@@ -1,0 +1,78 @@
+"""Fig. 6 ablation — the efficient algorithm vs naive re-optimization.
+
+Section 3.3 presents "a much more efficient version of the algorithm
+presented in [6]": thanks to the soft-fault-region stability (§3.2), test
+parameters are optimized *once* per configuration at a weakened impact,
+and the impact-adaptation loop only re-evaluates the candidates.  The
+naive predecessor re-optimizes every configuration at every impact
+level.
+
+This bench runs both variants on a fault sample (DC configurations keep
+each simulation to an operating-point solve) and compares simulator-call
+counts and outcomes: same winners, several-fold fewer simulations.
+"""
+
+from repro.faults import BridgingFault
+from repro.reporting import ExperimentRecord, render_table
+from repro.testgen import (
+    GenerationSettings,
+    MacroTestbench,
+    generate_test_for_fault,
+)
+
+SAMPLE = (("n1", "n2"), ("n2", "n3"), ("vout", "0"), ("nbias", "ntail"),
+          ("vdd", "n3"))
+
+
+def bench_ablation_efficient_vs_naive(benchmark, iv_macro,
+                                      iv_configurations, experiment_log):
+    dc_configs = [c for c in iv_configurations
+                  if c.name.startswith("dc-")]
+    faults = [BridgingFault(node_a=a, node_b=b, impact=10e3)
+              for a, b in SAMPLE]
+
+    def run(naive: bool):
+        settings = GenerationSettings(reoptimize_each_impact=naive)
+        bench_obj = MacroTestbench(iv_macro.circuit, dc_configs,
+                                   iv_macro.options)
+        generated = [generate_test_for_fault(bench_obj, fault, settings)
+                     for fault in faults]
+        return generated, bench_obj.stats.total_simulations
+
+    def run_both():
+        return run(naive=False), run(naive=True)
+
+    (efficient, sims_eff), (naive, sims_naive) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1, warmup_rounds=0)
+
+    rows = []
+    agree = 0
+    for e, n in zip(efficient, naive):
+        same = e.config_name == n.config_name
+        agree += int(same)
+        rows.append([e.fault.fault_id, e.config_name, n.config_name,
+                     e.n_simulations, n.n_simulations,
+                     "yes" if same else "NO"])
+    print()
+    print(render_table(
+        ["fault", "efficient winner", "naive winner", "sims (eff)",
+         "sims (naive)", "same winner"], rows,
+        title="Fig. 6 ablation: optimize-once vs re-optimize-per-impact"))
+    speedup = sims_naive / sims_eff
+    print(f"\ntotal simulations: efficient {sims_eff}, naive {sims_naive} "
+          f"-> {speedup:.1f}x fewer simulator calls")
+
+    assert sims_naive > sims_eff, \
+        "re-optimizing at every impact must cost more simulations"
+    assert agree == len(faults), \
+        "both variants must select the same winning configuration"
+
+    experiment_log([ExperimentRecord(
+        experiment_id="Fig. 6 (ablation)",
+        description="efficient generation vs naive re-optimization [6]",
+        paper="'a much more efficient version of the algorithm presented "
+              "in [6] can be constructed' via the soft-region "
+              "observation; no speedup figure given",
+        measured=f"{speedup:.1f}x fewer simulator calls on a 5-fault DC "
+                 f"sample with identical winners",
+        agreement="matches")])

@@ -1,0 +1,82 @@
+"""Figs 2-4 — tps-graphs of the THD configuration at three fault impacts.
+
+The paper plots test-parameter-sensitivity graphs for a resistive short
+between "two arbitrarily chosen nodes" at bridge resistances 10 kOhm
+(Fig. 2, hard-fault region), 34 kOhm (Fig. 3) and 75 kOhm (Fig. 4, both
+soft region).  The claims to reproduce:
+
+* detection regions exist and shrink as the impact weakens (values shift
+  up / flatten);
+* the landscape *shape* stabilizes in the soft region: the optimum of
+  Fig. 3 and Fig. 4 sits at the same parameters, while the hard-region
+  graph (Fig. 2) may differ;
+* the tps minimum is a usable optimization target.
+
+We use the bridge n2-n3 (second-stage input to output — a short across
+the Miller compensation, squarely in the distortion path).
+"""
+
+import numpy as np
+
+from repro.faults import BridgingFault
+from repro.reporting import ExperimentRecord, render_tps_graph
+from repro.testgen import compute_tps_graph, optimum_drift, shape_correlation
+
+IMPACTS = (10e3, 34e3, 75e3)
+GRID = 9
+
+
+def bench_figs234_tps_graphs(benchmark, iv_testbench, experiment_log):
+    executor = iv_testbench.executor("thd")
+    fault = BridgingFault(node_a="n2", node_b="n3", impact=10e3)
+
+    def compute_all():
+        return [compute_tps_graph(executor, fault.with_impact(impact),
+                                  points_per_axis=GRID)
+                for impact in IMPACTS]
+
+    graphs = benchmark.pedantic(compute_all, rounds=1, iterations=1,
+                                warmup_rounds=0)
+
+    figure_ids = ("Fig. 2 (hard region)", "Fig. 3 (soft region)",
+                  "Fig. 4 (soft region)")
+    print()
+    for figure, graph in zip(figure_ids, graphs):
+        print(f"--- {figure} ---")
+        print(render_tps_graph(graph))
+        print(f"  detection fraction: {graph.detection_fraction:.0%}\n")
+
+    drift_23 = optimum_drift(graphs[1], graphs[2])
+    corr_23 = shape_correlation(graphs[1], graphs[2])
+    min_shift = [g.min_value for g in graphs]
+    print(f"optimum drift Fig3->Fig4 (soft region): {drift_23:.3f}")
+    print(f"shape correlation Fig3<->Fig4:          {corr_23:.3f}")
+    print(f"graph minima (10k, 34k, 75k): "
+          f"{min_shift[0]:.4g}, {min_shift[1]:.4g}, {min_shift[2]:.4g}")
+
+    # Reproduction assertions (qualitative claims of section 3.1-3.2).
+    assert all(g.detection_fraction > 0.0 for g in graphs), \
+        "every impact level must have a detectable region"
+    assert drift_23 <= 0.25, \
+        "soft-region optimum must be stable between 34k and 75k"
+    assert min_shift[2] > min_shift[0], \
+        "weakening the impact must flatten the landscape upward"
+
+    experiment_log([
+        ExperimentRecord(
+            experiment_id="Figs 2-4",
+            description="THD tps-graphs at 10k/34k/75k bridge impact",
+            paper="detection regions on the (Iin_dc, freq) plane; shape "
+                  "stabilizes in the soft region; optimum at "
+                  "freq=20 kHz, Iin_dc=40 uA for 75 kOhm",
+            measured=(f"detection fractions "
+                      f"{[round(g.detection_fraction, 2) for g in graphs]}"
+                      f"; soft-region optimum drift {drift_23:.3f}; "
+                      f"75k optimum at "
+                      f"{np.round(graphs[2].argmin_params, 7).tolist()}"),
+            agreement="qualitative",
+            note="our reconstructed macro places the soft-region optimum "
+                 "at high Iin_dc like the paper; the optimal frequency "
+                 "depends on the compensation sizing of the "
+                 "(unpublished) original design"),
+    ])

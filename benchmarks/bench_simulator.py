@@ -1,0 +1,86 @@
+"""Simulator micro-benchmarks (engine performance, not a paper artifact).
+
+The paper ran HSPICE on an HP700; every experiment above stands on this
+engine instead.  These benches track the cost of the primitive
+operations behind a generation run so performance regressions surface:
+
+* nonlinear DC operating point of the 10-MOSFET macro (cold and warm);
+* one THD measurement (256-step transient);
+* one step-response measurement (300-step transient);
+* vectorized level-1 MOSFET model evaluation.
+
+These use full pytest-benchmark statistics (multiple rounds) since each
+iteration is cheap.
+"""
+
+import numpy as np
+
+from repro.analysis import CompiledCircuit, operating_point, transient
+from repro.circuit.mosfet import mos_level1
+from repro.waveforms import SineWave, StepWave
+
+
+def bench_operating_point_cold(benchmark, iv_macro):
+    circuit = iv_macro.circuit
+
+    def solve():
+        return operating_point(circuit)
+
+    op = benchmark(solve)
+    assert 0.1 < op.v("vout") < 4.9
+
+
+def bench_operating_point_warm(benchmark, iv_macro):
+    compiled = CompiledCircuit(iv_macro.circuit)
+    warm = operating_point(compiled)
+
+    def solve():
+        return operating_point(compiled, x0=warm.x)
+
+    op = benchmark(solve)
+    assert op.iterations <= 3
+
+
+def bench_thd_transient(benchmark, iv_macro):
+    freq, spp = 20e3, 64
+    wave = SineWave(offset=20e-6, amplitude=9e-6, freq=freq)
+    circuit = iv_macro.circuit.replace_element(
+        type(iv_macro.circuit.element("IIN"))("IIN", "0", "iin", wave))
+
+    def run():
+        return transient(circuit, t_stop=4 / freq, dt=1 / (spp * freq))
+
+    result = benchmark(run)
+    assert len(result) == 4 * spp + 1
+
+
+def bench_step_transient(benchmark, iv_macro):
+    wave = StepWave(base=5e-6, elev=30e-6, t_step=10e-9, slew_rate=800.0)
+    circuit = iv_macro.circuit.replace_element(
+        type(iv_macro.circuit.element("IIN"))("IIN", "0", "iin", wave))
+
+    def run():
+        return transient(circuit, t_stop=7.5e-6, dt=1 / 40e6)
+
+    result = benchmark(run)
+    assert len(result) == 301
+
+
+def bench_mos_level1_bank(benchmark):
+    rng = np.random.default_rng(7)
+    n = 64
+    vgs = rng.uniform(0.0, 3.0, n)
+    vds = rng.uniform(-2.0, 4.0, n)
+    vbs = rng.uniform(-2.0, 0.0, n)
+    sign = np.where(rng.uniform(size=n) > 0.5, 1.0, -1.0)
+    beta = rng.uniform(1e-5, 1e-3, n)
+    vto = 0.8 * sign
+    lam = np.full(n, 0.02)
+    gamma = np.full(n, 0.4)
+    phi = np.full(n, 0.7)
+
+    def evaluate():
+        return mos_level1(vgs, vds, vbs, sign, beta, vto, lam, gamma, phi)
+
+    ids, gm, gds, gmb = benchmark(evaluate)
+    assert np.all(np.isfinite(ids))

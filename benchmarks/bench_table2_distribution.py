@@ -1,0 +1,83 @@
+"""Table 2 — distribution of best tests over the five configurations.
+
+The paper runs the Fig. 6 generation for all 55 dictionary faults
+(45 bridging at 10 kOhm initial impact, 10 pinholes at 2 kOhm) and
+reports how many faults each test configuration wins.  The scan of
+Table 2 is OCR-damaged; the legible fragments are:
+
+* configuration #1 wins 22 of the 45 bridging faults (about half);
+* the pinhole column contains small counts spread over several
+  configurations (legible digits 1, 3, ...);
+* configuration #5 wins 2 faults.
+
+Reproduction claims: the DC output-voltage configuration dominates the
+bridging faults; the remaining faults spread across the supply-current,
+THD and step configurations with small counts; every fault receives a
+verdict (best test, impact-increase-needed, or undetectable).
+"""
+
+from repro.reporting import ExperimentRecord, render_table
+
+from conftest import fast_mode
+
+
+def bench_table2_best_test_distribution(benchmark, full_generation,
+                                        iv_configurations, experiment_log):
+    generation = full_generation
+
+    def build_table():
+        distribution = generation.distribution()
+        order = [c.name for c in iv_configurations] + ["<undetectable>"]
+        rows = []
+        for index, name in enumerate(order, start=1):
+            counts = distribution.get(name, {})
+            label = (f"#{index} {name}" if name != "<undetectable>"
+                     else name)
+            rows.append([label, counts.get("bridge", 0),
+                         counts.get("pinhole", 0)])
+        return distribution, rows
+
+    distribution, rows = benchmark(build_table)
+
+    scope = "12-fault smoke subset" if fast_mode() else "all 55 faults"
+    print()
+    print(render_table(
+        ["ID / test configuration", "bridge", "pinhole"], rows,
+        title=f"Table 2: best-test distribution ({scope})"))
+    total = sum(v for row in distribution.values() for v in row.values())
+    n_undetectable = sum(
+        distribution.get("<undetectable>", {}).values())
+    n_impact_increase = sum(1 for t in generation.tests
+                            if t.required_impact_increase)
+    print(f"\nfaults processed: {total}  "
+          f"(undetectable: {n_undetectable}, "
+          f"needed impact increase: {n_impact_increase})")
+    print(f"simulations: {generation.total_simulations}, "
+          f"generation wall time: {generation.wall_time_s:.0f}s "
+          f"(cached runs report the original time)")
+
+    assert total == len(generation.tests)
+    if not fast_mode():
+        assert total == 55
+        bridge_counts = {name: row.get("bridge", 0)
+                         for name, row in distribution.items()}
+        winner = max(bridge_counts, key=bridge_counts.get)
+        # Paper: configuration #1 (DC output) dominates with 22/45.
+        assert winner == "dc-output", (
+            f"expected the DC output configuration to dominate the "
+            f"bridging faults as in the paper, got {winner}")
+
+    paper_cells = ("#1 wins 22/45 bridges; pinholes spread with small "
+                   "counts (1, 3 legible); #5 wins 2; other cells "
+                   "illegible in the scan")
+    measured = "; ".join(
+        f"{row[0]}: bridge={row[1]}, pinhole={row[2]}" for row in rows)
+    experiment_log([ExperimentRecord(
+        experiment_id="Table 2",
+        description="best-test distribution over configurations",
+        paper=paper_cells, measured=measured,
+        agreement="qualitative",
+        note="absolute counts depend on the reconstructed macro and "
+             "tolerance boxes; the dominance pattern (DC output wins "
+             "about half the bridges, remainder spread thinly) is the "
+             "reproducible claim")])

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fault-impact study: critical impact levels and the pinhole model.
+
+Two mini-experiments on the IV-converter using the DC configurations
+(fast):
+
+1. **Critical impact levels** — for a handful of bridging faults, find
+   the weakest bridge resistance at which each fault's best test still
+   guarantees detection (the paper's "critical impact level", §2.2).
+2. **Pinhole position sweep** — reproduce the Eckersall observation the
+   paper cites (Fig. 7): gate-oxide defects close to the drain are less
+   detectable; the paper therefore fixes defects at 25% of the channel
+   length from the drain.
+
+Run:  python examples/fault_impact_study.py
+"""
+
+from repro.faults import BridgingFault, PinholeFault
+from repro.macros import IVConverterMacro
+from repro.reporting import render_table
+from repro.testgen import (
+    GenerationSettings,
+    MacroTestbench,
+    generate_test_for_fault,
+)
+
+
+def main() -> None:
+    macro = IVConverterMacro()
+    dc_configs = [c for c in macro.test_configurations()
+                  if c.name.startswith("dc-")]
+    bench = MacroTestbench(macro.circuit, dc_configs, macro.options)
+
+    # ------------------------------------------------------------------
+    # 1. critical impact levels of selected bridges
+    # ------------------------------------------------------------------
+    bridges = [("n2", "n3"), ("n1", "n2"), ("vout", "0"),
+               ("vdd", "nbias"), ("iin", "vref")]
+    rows = []
+    for node_a, node_b in bridges:
+        fault = BridgingFault(node_a=node_a, node_b=node_b, impact=10e3)
+        generated = generate_test_for_fault(bench, fault,
+                                            GenerationSettings())
+        rows.append([
+            fault.fault_id, generated.config_name,
+            f"{generated.critical_impact / 1e3:.1f}k",
+            f"{generated.sensitivity_at_critical:.3g}",
+            generated.adaptation_rounds,
+        ])
+    print(render_table(
+        ["bridging fault", "best config", "critical impact",
+         "S at critical", "rounds"],
+        rows, title="Critical impact levels (DC configurations only)"))
+    print("Higher critical impact = fault stays detectable even as the\n"
+          "short weakens; these are the 'easy' defects.\n")
+
+    # ------------------------------------------------------------------
+    # 2. pinhole detectability vs defect position (paper Fig. 7 context)
+    # ------------------------------------------------------------------
+    executor = bench.executor("dc-output")
+    rows = []
+    # A moderate shunt (50 kOhm) exposes the position effect; at the
+    # dictionary impact of 2 kOhm the short is so hard that detection
+    # saturates regardless of position.
+    for position in (0.05, 0.1, 0.25, 0.5, 0.9):
+        fault = PinholeFault(device="M6", impact=50e3, position=position)
+        report = executor.sensitivity(fault, [20e-6])
+        rows.append([f"{position:.0%} from drain", f"{report.value:.3g}",
+                     "detected" if report.detected else "hidden"])
+    print(render_table(
+        ["defect position", "S_f (dc-output @ 20uA)", "verdict"],
+        rows, title="Pinhole detectability vs channel position "
+                    "(M6, Rs = 50 kOhm)"))
+    print("The paper fixes pinholes at 25% from the drain (Fig. 7):\n"
+          "drain-proximal defects couple less strongly and are the\n"
+          "hardest to see, exactly as Eckersall et al. observed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Full ATPG on the paper's IV-converter macro (or a subset of it).
+
+Runs the complete generation + compaction flow on the CMOS IV-converter:
+45 bridging + 10 pinhole faults against the five test configurations of
+Table 1.  The full run is simulation-heavy (the paper ran overnight on an
+HP700; we parallelize over faults) — use ``--faults N`` to try a subset
+first.
+
+Run:  python examples/iv_converter_atpg.py --faults 6 --jobs 4
+      python examples/iv_converter_atpg.py            # all 55 faults
+"""
+
+import argparse
+
+from repro.compaction import CompactionSettings, collapse_test_set
+from repro.macros import IVConverterMacro
+from repro.reporting import render_table
+from repro.testgen import GenerationSettings, generate_tests
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--faults", type=int, default=None,
+                        help="limit to the first N dictionary faults")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker processes")
+    parser.add_argument("--calibrated-boxes", action="store_true",
+                        help="Monte-Carlo-calibrate tolerance boxes "
+                             "(slower first run; cached under results/)")
+    args = parser.parse_args()
+
+    macro = IVConverterMacro()
+    box_mode = "calibrated" if args.calibrated_boxes else "fast"
+    configurations = macro.test_configurations(
+        box_mode=box_mode, cache_dir="results/box_cache")
+    faults = macro.fault_dictionary()
+    fault_list = list(faults)[:args.faults] if args.faults else list(faults)
+
+    print(f"IV-converter: {macro.circuit.summary()}")
+    print(f"running {len(fault_list)} faults x "
+          f"{len(configurations)} configurations "
+          f"({box_mode} boxes, {args.jobs} jobs)...\n")
+
+    generation = generate_tests(macro.circuit, configurations, fault_list,
+                                GenerationSettings(), n_jobs=args.jobs)
+
+    # Table-2-style distribution.
+    distribution = generation.distribution()
+    config_names = [c.name for c in configurations] + ["<undetectable>"]
+    rows = [[name,
+             distribution.get(name, {}).get("bridge", 0),
+             distribution.get(name, {}).get("pinhole", 0)]
+            for name in config_names if name in distribution
+            or not name.startswith("<")]
+    print(render_table(["configuration", "bridge", "pinhole"], rows,
+                       title="Best-test distribution (paper Table 2)"))
+    print(f"\nsimulations: {generation.total_simulations}, "
+          f"wall time {generation.wall_time_s:.0f}s")
+
+    hard = [t for t in generation.tests if t.required_impact_increase]
+    if hard:
+        print(f"faults needing impact increase to detect: "
+              f"{', '.join(t.fault.fault_id for t in hard)}")
+
+    # Compaction (screening reuses the generation's configurations).
+    from repro.testgen import MacroTestbench
+    testbench = MacroTestbench(macro.circuit, configurations,
+                               macro.options)
+    compaction = collapse_test_set(generation, testbench,
+                                   CompactionSettings(delta=0.1))
+    print(f"\ncompaction: {compaction.n_original_tests} -> "
+          f"{compaction.n_compact_tests} tests "
+          f"({compaction.compaction_ratio:.1f}x, delta=0.1)")
+    rows = [[g.config_name,
+             ", ".join(f"{k}={v:.3g}" for k, v in
+                       g.collapsed_test.as_dict().items()),
+             g.size] for g in compaction.groups]
+    print(render_table(["configuration", "collapsed parameters",
+                        "faults covered"], rows,
+                       title="Compact test set (paper section 4.2)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's tps-graph study (Figs 2-4) interactively.
+
+Computes test-parameter-sensitivity graphs of the IV-converter's THD
+configuration for the bridge fault between nodes n2 and n3 at the three
+impact levels the paper plots (10 kOhm, 34 kOhm, 75 kOhm), renders them
+as ASCII level plots, and reports the hard/soft impact-region
+classification of §3.2.
+
+Run:  python examples/tps_graph_exploration.py [--quick]
+      --quick uses a coarser grid (5x5 instead of 9x9).
+"""
+
+import argparse
+
+from repro.faults import BridgingFault
+from repro.macros import IVConverterMacro
+from repro.reporting import render_tps_graph
+from repro.testgen import (
+    MacroTestbench,
+    classify_impact_regions,
+    compute_tps_graph,
+    optimum_drift,
+    shape_correlation,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="coarser grid for a fast run")
+    args = parser.parse_args()
+    points = 5 if args.quick else 9
+
+    macro = IVConverterMacro()
+    thd_config = [c for c in macro.test_configurations()
+                  if c.name == "thd"]
+    bench = MacroTestbench(macro.circuit, thd_config, macro.options)
+    executor = bench.executor("thd")
+
+    fault = BridgingFault(node_a="n2", node_b="n3", impact=10e3)
+    impacts = [10e3, 34e3, 75e3]  # the paper's Figs 2, 3, 4
+
+    graphs = []
+    for impact in impacts:
+        graph = compute_tps_graph(executor, fault.with_impact(impact),
+                                  points_per_axis=points)
+        graphs.append(graph)
+        print(render_tps_graph(graph))
+        print(f"  detection fraction: {graph.detection_fraction:.0%}\n")
+
+    print("Landscape stability (paper §3.2):")
+    print(f"  optimum drift 10k -> 34k: "
+          f"{optimum_drift(graphs[0], graphs[1]):.3f} "
+          f"(hard-region models may move)")
+    print(f"  optimum drift 34k -> 75k: "
+          f"{optimum_drift(graphs[1], graphs[2]):.3f} "
+          f"(soft-region models are stable)")
+    print(f"  shape correlation 34k <-> 75k: "
+          f"{shape_correlation(graphs[1], graphs[2]):.3f}")
+
+    print("\nAutomatic impact-region classification:")
+    regions = classify_impact_regions(
+        executor, fault, impacts=[5e3, 10e3, 34e3, 75e3, 150e3],
+        points_per_axis=max(points - 2, 5))
+    for region in regions:
+        drift = ("-" if region.region == "terminal"
+                 else f"{region.drift_to_next:.3f}")
+        print(f"  impact {region.impact:>10.3g} ohm: {region.region:8s} "
+              f"(argmin drift to next: {drift})")
+
+
+if __name__ == "__main__":
+    main()

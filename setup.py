@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this repository targets may lack the ``wheel`` package, in
+which case PEP 517 editable installs fail; ``pip install -e .
+--no-use-pep517 --no-build-isolation`` falls back to this file.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

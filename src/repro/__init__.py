@@ -1,0 +1,53 @@
+"""repro — compact structural test generation for analog macros.
+
+A complete reproduction of Kaal & Kerkhoff, *Compact Structural Test
+Generation for Analog Macros* (ED&TC/DATE 1997): fault-model-driven test
+generation and compaction for analog macros, together with every substrate
+the methodology needs — an MNA circuit simulator with level-1 MOSFETs,
+bridging/pinhole fault models, tolerance boxes, and Brent/Powell
+optimizers.
+
+Quickstart::
+
+    from repro.macros import IVConverterMacro
+    from repro.testgen import generate_tests
+    from repro.compaction import collapse_test_set
+
+    macro = IVConverterMacro()
+    result = generate_tests(macro, macro.fault_dictionary())
+    compact = collapse_test_set(result, delta=0.1)
+
+See README.md / DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.errors import (
+    AnalysisError,
+    CompactionError,
+    ConvergenceError,
+    FaultModelError,
+    NetlistError,
+    OptimizationError,
+    ParseError,
+    ReproError,
+    SingularMatrixError,
+    TestGenerationError,
+    ToleranceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "NetlistError",
+    "ParseError",
+    "AnalysisError",
+    "ConvergenceError",
+    "SingularMatrixError",
+    "FaultModelError",
+    "ToleranceError",
+    "OptimizationError",
+    "TestGenerationError",
+    "CompactionError",
+]

@@ -1,0 +1,22 @@
+"""Package-wide logging setup.
+
+The library never configures the root logger; it only emits through the
+``repro`` logger hierarchy so the embedding application stays in control.
+``repro.testgen`` uses INFO for per-fault progress and DEBUG for optimizer
+traces — enable with::
+
+    import logging
+    logging.getLogger("repro").setLevel(logging.INFO)
+    logging.basicConfig()
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger of the ``repro`` hierarchy."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

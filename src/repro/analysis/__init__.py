@@ -1,0 +1,35 @@
+"""Numerical analyses over compiled circuits (the HSPICE substitute).
+
+Public entry points:
+
+* :func:`operating_point` — nonlinear DC solution.
+* :func:`dc_sweep` — operating points across a source sweep.
+* :func:`transient` — fixed-step trapezoidal/BE time-domain integration.
+* :func:`ac_analysis` — small-signal frequency response.
+"""
+
+from repro.analysis.ac import ac_analysis
+from repro.analysis.dc import dc_sweep, operating_point
+from repro.analysis.mna import CompiledCircuit
+from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
+from repro.analysis.results import (
+    ACResult,
+    OperatingPoint,
+    SweepResult,
+    TransientResult,
+)
+from repro.analysis.transient import transient
+
+__all__ = [
+    "CompiledCircuit",
+    "SimOptions",
+    "DEFAULT_OPTIONS",
+    "operating_point",
+    "dc_sweep",
+    "transient",
+    "ac_analysis",
+    "OperatingPoint",
+    "SweepResult",
+    "TransientResult",
+    "ACResult",
+]

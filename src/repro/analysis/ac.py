@@ -1,0 +1,85 @@
+"""Small-signal AC analysis.
+
+Linearizes the circuit at its DC operating point and solves the complex
+system ``(G + j*2*pi*f*C) x = b_ac`` per frequency, with a unit stimulus at
+one named independent source (magnitude 1, phase 0) and every other source
+quiet — the classic ``.ac`` setup with ``AC 1`` on the input source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.dc import operating_point
+from repro.analysis.mna import CompiledCircuit
+from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
+from repro.analysis.results import ACResult, OperatingPoint
+from repro.circuit.elements import CurrentSource, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError, SingularMatrixError
+
+__all__ = ["ac_analysis"]
+
+
+def ac_analysis(
+    circuit: Circuit | CompiledCircuit,
+    source_name: str,
+    freqs: np.ndarray,
+    options: SimOptions = DEFAULT_OPTIONS,
+    op: OperatingPoint | None = None,
+) -> ACResult:
+    """Frequency sweep with a unit AC stimulus at *source_name*.
+
+    Args:
+        circuit: circuit or compiled circuit.
+        source_name: independent source receiving the unit stimulus.
+        freqs: frequencies [Hz]; must be positive.
+        op: optional precomputed operating point.
+
+    Returns:
+        :class:`ACResult` with complex node phasors.
+    """
+    compiled = (circuit if isinstance(circuit, CompiledCircuit)
+                else CompiledCircuit(circuit))
+    freqs = np.asarray(freqs, dtype=float)
+    if np.any(freqs <= 0.0):
+        raise AnalysisError("AC frequencies must be positive")
+
+    element = compiled.circuit.element(source_name)
+    if not isinstance(element, (VoltageSource, CurrentSource)):
+        raise AnalysisError(f"{source_name!r} is not an independent source")
+
+    if op is None:
+        op = operating_point(compiled, options)
+    g, c = compiled.small_signal_matrices(op.x, options.gmin)
+
+    # Unit-stimulus RHS.
+    b = np.zeros(compiled.size, dtype=complex)
+    if isinstance(element, VoltageSource):
+        b[compiled.branch_index[element.name]] = 1.0
+    else:
+        gnd = compiled.size  # augmented slot index convention
+        p = (compiled.node_index.get(element.n1, gnd)
+             if element.n1.lower() not in ("0", "gnd")
+             else None)
+        n = (compiled.node_index.get(element.n2, gnd)
+             if element.n2.lower() not in ("0", "gnd")
+             else None)
+        if p is not None:
+            b[p] -= 1.0
+        if n is not None:
+            b[n] += 1.0
+
+    phasors = np.empty((compiled.n_nodes, len(freqs)), dtype=complex)
+    for k, freq in enumerate(freqs):
+        system = g + 1j * 2.0 * np.pi * freq * c
+        try:
+            x = np.linalg.solve(system, b)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"AC system singular at f={freq:g} Hz") from exc
+        phasors[:, k] = x[:compiled.n_nodes]
+
+    node_phasors = {name: phasors[i]
+                    for name, i in compiled.node_index.items()}
+    return ACResult(freqs=freqs, node_phasors=node_phasors)

@@ -1,0 +1,83 @@
+"""DC analyses: operating point and source sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.mna import CompiledCircuit
+from repro.analysis.newton import robust_solve
+from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
+from repro.analysis.results import OperatingPoint, SweepResult
+from repro.circuit.elements import CurrentSource, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+from repro.waveforms import DCWave
+
+__all__ = ["operating_point", "dc_sweep"]
+
+
+def operating_point(
+    circuit: Circuit | CompiledCircuit,
+    options: SimOptions = DEFAULT_OPTIONS,
+    x0: np.ndarray | None = None,
+) -> OperatingPoint:
+    """Solve the DC operating point (capacitors open, inductors short).
+
+    Args:
+        circuit: a circuit or an already-compiled circuit.
+        options: numerical options.
+        x0: optional warm-start solution vector (e.g. a neighbouring sweep
+            point); defaults to the flat zero start.
+
+    Raises:
+        ConvergenceError: when Newton and all homotopies fail.
+    """
+    compiled = (circuit if isinstance(circuit, CompiledCircuit)
+                else CompiledCircuit(circuit))
+    b = compiled.source_vector(None)
+    start = np.zeros(compiled.size) if x0 is None else np.asarray(x0, float)
+    x, iterations, strategy = robust_solve(compiled, start, b, options)
+    return OperatingPoint(
+        node_voltages=compiled.node_voltages(x),
+        branch_currents=compiled.branch_currents(x),
+        iterations=iterations,
+        strategy=strategy,
+        x=x,
+    )
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: np.ndarray,
+    options: SimOptions = DEFAULT_OPTIONS,
+) -> SweepResult:
+    """Sweep the DC level of one independent source.
+
+    Each point warm-starts from the previous solution, so sweeps through
+    nonlinear regions converge quickly.
+
+    Args:
+        circuit: the circuit to analyze (not modified).
+        source_name: name of a :class:`VoltageSource` or
+            :class:`CurrentSource` whose DC value is swept.
+        values: sweep values (any 1-D sequence).
+    """
+    element = circuit.element(source_name)
+    if not isinstance(element, (VoltageSource, CurrentSource)):
+        raise AnalysisError(
+            f"{source_name!r} is not an independent source")
+    values = np.asarray(values, dtype=float)
+
+    points: list[OperatingPoint] = []
+    x_prev: np.ndarray | None = None
+    for value in values:
+        swept = circuit.replace_element(
+            type(element)(element.name, element.n1, element.n2,
+                          DCWave(float(value))))
+        compiled = CompiledCircuit(swept)
+        op = operating_point(compiled, options, x0=x_prev)
+        points.append(op)
+        x_prev = op.x
+    return SweepResult(sweep_name=source_name, values=values,
+                       points=tuple(points))

@@ -1,0 +1,389 @@
+"""Modified nodal analysis (MNA) compilation and stamping.
+
+:class:`CompiledCircuit` turns a :class:`~repro.circuit.Circuit` into dense
+index-based numpy structures once, so the Newton loop only performs array
+work:
+
+* node unknowns first, then branch-current unknowns (voltage sources,
+  inductors, VCVS), exactly like SPICE;
+* the *ground trick*: stamping happens in an augmented ``(size+1)`` system
+  whose last row/column represents ground and is dropped before solving —
+  this removes all per-stamp ground special-casing;
+* bias-independent stamps (resistors, controlled-source incidence) are
+  assembled once into a static matrix that each Newton iteration copies;
+* MOSFETs and diodes are evaluated as vector banks
+  (:func:`repro.circuit.mosfet.mos_level1`, :func:`repro.circuit.diode.diode_eval`).
+
+Work buffers are reused across calls: the ``(G, b)`` views returned by
+:meth:`CompiledCircuit.linearize` are invalidated by the next call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.diode import Diode, diode_eval
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    is_ground,
+)
+from repro.circuit.mosfet import Mosfet, mos_level1
+from repro.circuit.netlist import Circuit
+from repro.errors import SingularMatrixError
+
+__all__ = ["CompiledCircuit"]
+
+
+class CompiledCircuit:
+    """Index-compiled form of a circuit, ready for repeated stamping.
+
+    Args:
+        circuit: the netlist to compile.  The compiled object keeps no
+            reference to mutable state; recompile after deriving a new
+            circuit (fault injection does this automatically).
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.node_names: tuple[str, ...] = circuit.nodes()
+        self.node_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)}
+        self.n_nodes = len(self.node_names)
+
+        branch_elements = [e for e in circuit
+                           if isinstance(e, (VoltageSource, Inductor, VCVS))]
+        self.branch_names: tuple[str, ...] = tuple(
+            e.name for e in branch_elements)
+        self.branch_index: dict[str, int] = {
+            e.name: self.n_nodes + k for k, e in enumerate(branch_elements)}
+        self.size = self.n_nodes + len(branch_elements)
+        self._gnd = self.size  # augmented ground slot
+
+        self._compile_static()
+        self._compile_sources()
+        self._compile_capacitors()
+        self._compile_inductors()
+        self._compile_mosfets()
+        self._compile_diodes()
+
+        # Reusable work buffers (augmented).
+        self._g_work = np.zeros((self.size + 1, self.size + 1))
+        self._b_work = np.zeros(self.size + 1)
+
+        self._compile_nonlinear_mask()
+
+    def _compile_nonlinear_mask(self) -> None:
+        """Mark node unknowns attached to nonlinear devices.
+
+        Newton step limiting (the junction-limiting surrogate) applies
+        only to these nodes: linear unknowns may jump straight to their
+        solution, which keeps linear circuits converging in one step.
+        """
+        mask = np.zeros(self.size, dtype=bool)
+        for element in self.circuit:
+            if isinstance(element, (Mosfet, Diode)):
+                for node in element.nodes:
+                    if not is_ground(node):
+                        mask[self.node_index[node]] = True
+        self.nonlinear_node_mask = mask
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def _idx(self, node: str) -> int:
+        """Augmented index of a node name (ground maps to the extra slot)."""
+        if is_ground(node):
+            return self._gnd
+        return self.node_index[node]
+
+    def _compile_static(self) -> None:
+        ga = np.zeros((self.size + 1, self.size + 1))
+        for element in self.circuit:
+            if isinstance(element, Resistor):
+                g = element.conductance
+                p, n = self._idx(element.n1), self._idx(element.n2)
+                ga[p, p] += g
+                ga[p, n] -= g
+                ga[n, p] -= g
+                ga[n, n] += g
+            elif isinstance(element, VCCS):
+                p, n = self._idx(element.np), self._idx(element.nn)
+                cp, cn = self._idx(element.cp), self._idx(element.cn)
+                ga[p, cp] += element.gm
+                ga[p, cn] -= element.gm
+                ga[n, cp] -= element.gm
+                ga[n, cn] += element.gm
+            elif isinstance(element, VoltageSource):
+                r = self.branch_index[element.name]
+                p, n = self._idx(element.n1), self._idx(element.n2)
+                ga[p, r] += 1.0
+                ga[n, r] -= 1.0
+                ga[r, p] += 1.0
+                ga[r, n] -= 1.0
+            elif isinstance(element, Inductor):
+                r = self.branch_index[element.name]
+                p, n = self._idx(element.n1), self._idx(element.n2)
+                ga[p, r] += 1.0
+                ga[n, r] -= 1.0
+                ga[r, p] += 1.0
+                ga[r, n] -= 1.0
+            elif isinstance(element, VCVS):
+                r = self.branch_index[element.name]
+                p, n = self._idx(element.np), self._idx(element.nn)
+                cp, cn = self._idx(element.cp), self._idx(element.cn)
+                ga[p, r] += 1.0
+                ga[n, r] -= 1.0
+                ga[r, p] += 1.0
+                ga[r, n] -= 1.0
+                ga[r, cp] -= element.gain
+                ga[r, cn] += element.gain
+        self._g_static = ga
+
+    def _compile_sources(self) -> None:
+        self._vsources = [
+            (self.branch_index[e.name], e)
+            for e in self.circuit.elements_of_type(VoltageSource)]
+        self._isources = [
+            (self._idx(e.n1), self._idx(e.n2), e)
+            for e in self.circuit.elements_of_type(CurrentSource)]
+
+    def _compile_capacitors(self) -> None:
+        """Capacitor bank: explicit caps plus constant MOS gate caps."""
+        cp: list[int] = []
+        cn: list[int] = []
+        cv: list[float] = []
+        for element in self.circuit.elements_of_type(Capacitor):
+            cp.append(self._idx(element.n1))
+            cn.append(self._idx(element.n2))
+            cv.append(element.capacitance)
+        for mos in self.circuit.elements_of_type(Mosfet):
+            cp.append(self._idx(mos.g))
+            cn.append(self._idx(mos.s))
+            cv.append(mos.cgs)
+            cp.append(self._idx(mos.g))
+            cn.append(self._idx(mos.d))
+            cv.append(mos.cgd)
+        self.cap_p = np.array(cp, dtype=np.intp)
+        self.cap_n = np.array(cn, dtype=np.intp)
+        self.cap_value = np.array(cv, dtype=float)
+        self.n_caps = len(cv)
+
+    def _compile_inductors(self) -> None:
+        rows: list[int] = []
+        values: list[float] = []
+        for element in self.circuit.elements_of_type(Inductor):
+            rows.append(self.branch_index[element.name])
+            values.append(element.inductance)
+        self.ind_row = np.array(rows, dtype=np.intp)
+        self.ind_value = np.array(values, dtype=float)
+        self.n_inductors = len(values)
+
+    def _compile_mosfets(self) -> None:
+        devices = self.circuit.elements_of_type(Mosfet)
+        self.n_mosfets = len(devices)
+        self.mos_names = tuple(m.name for m in devices)
+        self.mos_d = np.array([self._idx(m.d) for m in devices], dtype=np.intp)
+        self.mos_g = np.array([self._idx(m.g) for m in devices], dtype=np.intp)
+        self.mos_s = np.array([self._idx(m.s) for m in devices], dtype=np.intp)
+        self.mos_b = np.array([self._idx(m.b) for m in devices], dtype=np.intp)
+        self.mos_sign = np.array([m.params.sign for m in devices])
+        self.mos_beta = np.array([m.beta for m in devices])
+        self.mos_vto = np.array([m.params.vto for m in devices])
+        self.mos_lam = np.array([m.params.lam for m in devices])
+        self.mos_gamma = np.array([m.params.gamma for m in devices])
+        self.mos_phi = np.array([m.params.phi for m in devices])
+
+    def _compile_diodes(self) -> None:
+        devices = self.circuit.elements_of_type(Diode)
+        self.n_diodes = len(devices)
+        self.dio_a = np.array([self._idx(d.anode) for d in devices],
+                              dtype=np.intp)
+        self.dio_c = np.array([self._idx(d.cathode) for d in devices],
+                              dtype=np.intp)
+        self.dio_is = np.array([d.i_s for d in devices])
+        self.dio_n = np.array([d.n for d in devices])
+
+    # ------------------------------------------------------------------
+    # per-timepoint source vector
+    # ------------------------------------------------------------------
+    def source_vector(self, t: float | None, scale: float = 1.0) -> np.ndarray:
+        """RHS contribution of the independent sources at time *t*.
+
+        ``t=None`` selects the DC value of every waveform (operating
+        point).  Returns a fresh augmented vector.
+        """
+        b = np.zeros(self.size + 1)
+        for row, src in self._vsources:
+            value = src.dc_value if t is None else src.value_at(t)
+            b[row] += value * scale
+        for p, n, src in self._isources:
+            value = src.dc_value if t is None else src.value_at(t)
+            b[p] -= value * scale
+            b[n] += value * scale
+        return b
+
+    # ------------------------------------------------------------------
+    # linearization (one Newton iteration's matrix/RHS)
+    # ------------------------------------------------------------------
+    def linearize(
+        self,
+        x: np.ndarray,
+        b_sources: np.ndarray,
+        gmin: float,
+        cap_geq: np.ndarray | None = None,
+        cap_ieq: np.ndarray | None = None,
+        ind_geq: np.ndarray | None = None,
+        ind_veq: np.ndarray | None = None,
+        breakdown_voltage: float = float("inf"),
+        breakdown_conductance: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble the linearized MNA system around solution estimate *x*.
+
+        Args:
+            x: current solution estimate, shape (size,).
+            b_sources: augmented source vector from :meth:`source_vector`.
+            gmin: node-to-ground conductance added on every node diagonal.
+            cap_geq / cap_ieq: companion conductance/current per capacitor
+                (transient only; omit for DC where capacitors are open).
+            ind_geq / ind_veq: companion resistance/voltage per inductor
+                branch (transient only; omit for DC where inductors short).
+
+        Returns:
+            ``(G, b)`` dense views of shape (size, size) and (size,).
+            Valid until the next call on this object.
+        """
+        ga = self._g_work
+        np.copyto(ga, self._g_static)
+        ba = self._b_work
+        np.copyto(ba, b_sources)
+
+        # gmin on node diagonals only.
+        idx = np.arange(self.n_nodes)
+        ga[idx, idx] += gmin
+
+        xa = np.append(x, 0.0)  # augmented state (ground = 0)
+
+        # Breakdown clamp: beyond +-breakdown_voltage a strong
+        # conductance pulls the node back (junction-breakdown surrogate;
+        # see SimOptions).  Piecewise-linear, so the Jacobian is exact.
+        if np.isfinite(breakdown_voltage) and breakdown_conductance > 0.0:
+            v = xa[:self.n_nodes]
+            over = v > breakdown_voltage
+            under = v < -breakdown_voltage
+            if np.any(over) or np.any(under):
+                gbd = breakdown_conductance
+                clamp_idx = idx[over | under]
+                ga[clamp_idx, clamp_idx] += gbd
+                ba[idx[over]] += gbd * breakdown_voltage
+                ba[idx[under]] -= gbd * breakdown_voltage
+
+        if self.n_mosfets:
+            d, g, s, b = self.mos_d, self.mos_g, self.mos_s, self.mos_b
+            vgs = xa[g] - xa[s]
+            vds = xa[d] - xa[s]
+            vbs = xa[b] - xa[s]
+            ids, gm, gds, gmb = mos_level1(
+                vgs, vds, vbs, self.mos_sign, self.mos_beta, self.mos_vto,
+                self.mos_lam, self.mos_gamma, self.mos_phi)
+            ieq = ids - gm * vgs - gds * vds - gmb * vbs
+            gsum = gm + gds + gmb
+            np.add.at(ga, (d, g), gm)
+            np.add.at(ga, (d, d), gds)
+            np.add.at(ga, (d, b), gmb)
+            np.add.at(ga, (d, s), -gsum)
+            np.add.at(ga, (s, g), -gm)
+            np.add.at(ga, (s, d), -gds)
+            np.add.at(ga, (s, b), -gmb)
+            np.add.at(ga, (s, s), gsum)
+            np.add.at(ba, d, -ieq)
+            np.add.at(ba, s, ieq)
+
+        if self.n_diodes:
+            a, c = self.dio_a, self.dio_c
+            vd = xa[a] - xa[c]
+            idio, gdio = diode_eval(vd, self.dio_is, self.dio_n)
+            ieq = idio - gdio * vd
+            np.add.at(ga, (a, a), gdio)
+            np.add.at(ga, (a, c), -gdio)
+            np.add.at(ga, (c, a), -gdio)
+            np.add.at(ga, (c, c), gdio)
+            np.add.at(ba, a, -ieq)
+            np.add.at(ba, c, ieq)
+
+        if cap_geq is not None and self.n_caps:
+            p, n = self.cap_p, self.cap_n
+            np.add.at(ga, (p, p), cap_geq)
+            np.add.at(ga, (p, n), -cap_geq)
+            np.add.at(ga, (n, p), -cap_geq)
+            np.add.at(ga, (n, n), cap_geq)
+            np.add.at(ba, p, cap_ieq)
+            np.add.at(ba, n, -cap_ieq)
+
+        if ind_geq is not None and self.n_inductors:
+            r = self.ind_row
+            np.add.at(ga, (r, r), -ind_geq)
+            np.add.at(ba, r, ind_veq)
+
+        # Neutralize anything stamped into the ground slot, then trim.
+        return ga[:self.size, :self.size], ba[:self.size]
+
+    # ------------------------------------------------------------------
+    # device current recovery (for measurements / companion updates)
+    # ------------------------------------------------------------------
+    def capacitor_voltages(self, x: np.ndarray) -> np.ndarray:
+        """Voltage across every capacitor in the bank at solution *x*."""
+        if not self.n_caps:
+            return np.zeros(0)
+        xa = np.append(x, 0.0)
+        return xa[self.cap_p] - xa[self.cap_n]
+
+    def small_signal_matrices(
+            self, x_op: np.ndarray,
+            gmin: float) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(G, C)`` for AC analysis, linearized at *x_op*.
+
+        ``G`` is the Jacobian at the operating point; ``C`` collects
+        capacitances (node-referred) and inductor branch terms such that
+        the AC system is ``(G + j*2*pi*f*C) x = b_ac``.
+        """
+        b_zero = np.zeros(self.size + 1)
+        g_view, _ = self.linearize(x_op, b_zero, gmin)
+        g = g_view.copy()
+
+        ca = np.zeros((self.size + 1, self.size + 1))
+        if self.n_caps:
+            p, n = self.cap_p, self.cap_n
+            np.add.at(ca, (p, p), self.cap_value)
+            np.add.at(ca, (p, n), -self.cap_value)
+            np.add.at(ca, (n, p), -self.cap_value)
+            np.add.at(ca, (n, n), self.cap_value)
+        if self.n_inductors:
+            r = self.ind_row
+            np.add.at(ca, (r, r), -self.ind_value)
+        return g, ca[:self.size, :self.size]
+
+    # ------------------------------------------------------------------
+    # solution unpacking
+    # ------------------------------------------------------------------
+    def solve_linear(self, g: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense solve with a clear error on singular systems."""
+        try:
+            return np.linalg.solve(g, b)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular MNA matrix for circuit {self.circuit.name!r}: "
+                f"{exc}") from exc
+
+    def node_voltages(self, x: np.ndarray) -> dict[str, float]:
+        """Map a solution vector to named node voltages."""
+        return {name: float(x[i]) for name, i in self.node_index.items()}
+
+    def branch_currents(self, x: np.ndarray) -> dict[str, float]:
+        """Map a solution vector to named branch currents."""
+        return {name: float(x[i]) for name, i in self.branch_index.items()}

@@ -1,0 +1,247 @@
+"""Newton-Raphson solver with homotopy escalation.
+
+:func:`newton_solve` performs plain damped Newton on a compiled circuit;
+:func:`robust_solve` escalates through the SPICE-style convergence aids —
+gmin stepping, then source stepping — before raising
+:class:`~repro.errors.ConvergenceError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis.mna import CompiledCircuit
+from repro.analysis.options import SimOptions
+from repro.errors import ConvergenceError, SingularMatrixError
+
+__all__ = ["NewtonOutcome", "newton_solve", "robust_solve"]
+
+
+@dataclass(frozen=True)
+class NewtonOutcome:
+    """Result of one Newton attempt."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+
+
+def newton_solve(
+    compiled: CompiledCircuit,
+    x0: np.ndarray,
+    b_sources: np.ndarray,
+    options: SimOptions,
+    gmin: float | None = None,
+    cap_geq: np.ndarray | None = None,
+    cap_ieq: np.ndarray | None = None,
+    ind_geq: np.ndarray | None = None,
+    ind_veq: np.ndarray | None = None,
+) -> NewtonOutcome:
+    """Damped Newton iteration from initial estimate *x0*.
+
+    Companion-model arrays are passed straight through to
+    :meth:`CompiledCircuit.linearize`.  Convergence requires every solution
+    component to move less than ``tol_i = vntol/abstol + reltol*|x_i|``
+    between iterations (voltage tolerance for node unknowns, current
+    tolerance for branch unknowns).
+
+    Node-voltage updates are clamped to ``options.vstep_limit`` per
+    iteration — a blunt but effective stand-in for SPICE's per-junction
+    limiting on circuits of this size.
+    """
+    x = np.array(x0, dtype=float, copy=True)
+    n_nodes = compiled.n_nodes
+    gmin_val = options.gmin if gmin is None else gmin
+
+    abs_tol = np.empty(compiled.size)
+    abs_tol[:n_nodes] = options.vntol
+    abs_tol[n_nodes:] = options.abstol
+
+    for iteration in range(1, options.max_iter + 1):
+        g, b = compiled.linearize(
+            x, b_sources, gmin_val,
+            cap_geq=cap_geq, cap_ieq=cap_ieq,
+            ind_geq=ind_geq, ind_veq=ind_veq,
+            breakdown_voltage=options.breakdown_voltage,
+            breakdown_conductance=options.breakdown_conductance)
+        try:
+            x_new = compiled.solve_linear(g, b)
+        except SingularMatrixError:
+            if iteration == 1:
+                raise
+            return NewtonOutcome(x, iteration, False)
+        if not np.all(np.isfinite(x_new)):
+            return NewtonOutcome(x, iteration, False)
+
+        dx = x_new - x
+        # Clamp voltage steps at nonlinear-device nodes only (junction
+        # limiting surrogate); purely linear unknowns may jump freely.
+        mask = compiled.nonlinear_node_mask
+        if mask.any():
+            vmax = float(np.max(np.abs(dx[mask])))
+            if vmax > options.vstep_limit:
+                dx *= options.vstep_limit / vmax
+        x = x + dx
+
+        tol = abs_tol + options.reltol * np.abs(x)
+        if np.all(np.abs(dx) <= tol):
+            return NewtonOutcome(x, iteration, True)
+    return NewtonOutcome(x, options.max_iter, False)
+
+
+def robust_solve(
+    compiled: CompiledCircuit,
+    x0: np.ndarray,
+    b_sources: np.ndarray,
+    options: SimOptions,
+    cap_geq: np.ndarray | None = None,
+    cap_ieq: np.ndarray | None = None,
+    ind_geq: np.ndarray | None = None,
+    ind_veq: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, str]:
+    """Newton with gmin-stepping and source-stepping fallbacks.
+
+    Returns:
+        ``(x, total_iterations, strategy)`` where strategy is one of
+        ``"direct"``, ``"damped"``, ``"gmin"``, ``"source"``.
+
+    Raises:
+        ConvergenceError: if every homotopy fails.
+    """
+    companion = dict(cap_geq=cap_geq, cap_ieq=cap_ieq,
+                     ind_geq=ind_geq, ind_veq=ind_veq)
+
+    outcome = newton_solve(compiled, x0, b_sources, options, **companion)
+    total = outcome.iterations
+    if outcome.converged:
+        return outcome.x, total, "direct"
+
+    # Damped retry: high-gain feedback loops make undamped Newton cycle;
+    # a much smaller step limit with a larger iteration budget walks into
+    # the solution instead.
+    damped_options = replace(options, vstep_limit=options.vstep_limit / 8.0,
+                             max_iter=options.max_iter * 4)
+    outcome = newton_solve(compiled, x0, b_sources, damped_options,
+                           **companion)
+    total += outcome.iterations
+    if outcome.converged:
+        return outcome.x, total, "damped"
+
+    def attempt(x_start, b, gmin):
+        """One rung: plain Newton, then the damped variant."""
+        nonlocal total
+        rung = newton_solve(compiled, x_start, b, options, gmin=gmin,
+                            **companion)
+        total += rung.iterations
+        if rung.converged:
+            return rung
+        rung = newton_solve(compiled, x_start, b, damped_options,
+                            gmin=gmin, **companion)
+        total += rung.iterations
+        return rung
+
+    # gmin stepping: start heavily damped toward ground, relax to gmin.
+    x = np.array(x0, dtype=float, copy=True)
+    ladder = tuple(options.gmin_steps) + (options.gmin,)
+    ok = True
+    for gmin in ladder:
+        outcome = attempt(x, b_sources, gmin)
+        if not outcome.converged:
+            ok = False
+            break
+        x = outcome.x
+    if ok:
+        return x, total, "gmin"
+
+    # Combined source+gmin stepping: ramp the sources from zero while a
+    # raised gmin (1 uS) keeps otherwise-floating nodes tame (with all
+    # transistors off, a current source into a high-impedance node would
+    # otherwise demand kilovolt iterates), then walk gmin back down at
+    # full drive.  The source ramp is adaptive: a failed step is retried
+    # at half size.
+    ramp_gmin = max(1e-6, options.gmin)
+    x = np.zeros(compiled.size)
+    scale = 0.0
+    step = 1.0 / options.source_steps
+    min_step = step / 256.0
+    while scale < 1.0:
+        target = min(scale + step, 1.0)
+        outcome = attempt(x, b_sources * target, ramp_gmin)
+        if outcome.converged:
+            x = outcome.x
+            scale = target
+            step = min(step * 1.5, 0.25)
+        else:
+            step /= 2.0
+            if step < min_step:
+                break  # stalled; fall through to pseudo-transient
+
+    # Relax gmin back to the target at full drive.
+    source_failure: str | None = None
+    if scale >= 1.0:
+        gmin = ramp_gmin
+        while gmin > options.gmin:
+            gmin = max(gmin * 1e-1, options.gmin)
+            outcome = attempt(x, b_sources, gmin)
+            if not outcome.converged:
+                source_failure = f"gmin relaxation diverged at {gmin:.2g}"
+                break
+            x = outcome.x
+        if source_failure is None:
+            return x, total, "source"
+
+    # Last resort: pseudo-transient continuation.  The circuit's real
+    # reactive elements damp the multi-loop feedback that makes static
+    # Newton cycle; integrating from a cold start with growing steps
+    # settles into the DC solution, which a final Newton then polishes.
+    x, extra = _pseudo_transient(compiled, b_sources, options)
+    total += extra
+    outcome = newton_solve(compiled, x, b_sources, options, **companion)
+    total += outcome.iterations
+    if not outcome.converged:
+        outcome = newton_solve(compiled, x, b_sources, damped_options,
+                               **companion)
+        total += outcome.iterations
+    if outcome.converged:
+        return outcome.x, total, "ptran"
+    raise ConvergenceError(
+        f"all homotopies failed for circuit {compiled.circuit.name!r} "
+        f"({source_failure or 'source stepping stalled'}; pseudo-"
+        f"transient did not settle; {total} total Newton iterations)")
+
+
+def _pseudo_transient(compiled: CompiledCircuit, b_sources: np.ndarray,
+                      options: SimOptions,
+                      n_steps: int = 400) -> tuple[np.ndarray, int]:
+    """Integrate toward DC with the circuit's own capacitors.
+
+    Backward-Euler steps with a geometrically growing dt from a cold
+    start.  Capacitor companion conductances (C/dt) stabilize the
+    Jacobian exactly where static Newton cycles.  Inductors are treated
+    as DC shorts (their static branch rows already enforce v = 0), which
+    is the steady state anyway.  Returns the final state and the Newton
+    iterations spent; the caller polishes with a true static solve.
+    """
+    x = np.zeros(compiled.size)
+    cap_v = np.zeros(compiled.n_caps)
+    if compiled.n_caps == 0:
+        return x, 0
+    # Start near the smallest circuit time constant, grow ~5 decades.
+    dt = 1e-10
+    growth = 10.0 ** (5.0 / n_steps)
+    total = 0
+    for _ in range(n_steps):
+        geq = compiled.cap_value / dt
+        ieq = geq * cap_v
+        outcome = newton_solve(compiled, x, b_sources, options,
+                               cap_geq=geq, cap_ieq=ieq)
+        total += outcome.iterations
+        if outcome.converged:
+            x = outcome.x
+            cap_v = compiled.capacitor_voltages(x)
+            dt *= growth
+        else:
+            dt *= 0.25
+    return x, total

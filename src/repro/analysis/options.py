@@ -1,0 +1,68 @@
+"""Simulation option bundle (the ``.options`` card of the engine)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimOptions"]
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Numerical knobs of the analysis engine.
+
+    The defaults are tuned for the small (tens of unknowns) macro circuits
+    this library targets; they mirror SPICE conventions where one exists.
+
+    Attributes:
+        gmin: minimum conductance from every node to ground [S].  Keeps
+            high-impedance nodes (MOS gates) non-singular.
+        reltol: relative convergence tolerance on solution updates.
+        vntol: absolute voltage tolerance [V].
+        abstol: absolute branch-current tolerance [A].
+        max_iter: Newton iteration cap per solve.
+        vstep_limit: per-iteration clamp on node-voltage updates [V]; the
+            crude-but-robust junction limiting used by the engine.
+        gmin_steps: gmin homotopy ladder (largest first) used when a plain
+            Newton solve fails.
+        source_steps: number of source-stepping increments for the final
+            homotopy fallback.
+        transient_method: ``"trap"`` (trapezoidal) or ``"be"`` (backward
+            Euler) integration.
+        transient_substeps: hidden sub-steps per output sample on Newton
+            failure (halving refinement depth).  Depth 6 = up to dt/64;
+            faulted macro circuits near clipping genuinely need that.
+        breakdown_voltage: node-voltage magnitude beyond which a strong
+            clamp conductance engages.  Defects that cut every DC path
+            from a driven node (bias-kill faults) otherwise demand
+            kilovolt operating points that only exist because gmin hides
+            junction breakdown; the clamp is that breakdown model.
+        breakdown_conductance: clamp conductance beyond the breakdown
+            voltage [S].
+    """
+
+    gmin: float = 1e-12
+    reltol: float = 1e-4
+    vntol: float = 1e-6
+    abstol: float = 1e-10
+    max_iter: int = 80
+    vstep_limit: float = 0.8
+    gmin_steps: tuple[float, ...] = field(
+        default=(1e-3, 1e-5, 1e-7, 1e-9, 1e-11))
+    source_steps: int = 12
+    transient_method: str = "trap"
+    transient_substeps: int = 6
+    breakdown_voltage: float = 50.0
+    breakdown_conductance: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.transient_method not in ("trap", "be"):
+            raise ValueError(
+                f"transient_method must be 'trap' or 'be', "
+                f"got {self.transient_method!r}")
+        if self.max_iter < 2:
+            raise ValueError("max_iter must be at least 2")
+
+
+#: Shared default options instance (immutable, safe to share).
+DEFAULT_OPTIONS = SimOptions()

@@ -1,0 +1,53 @@
+"""Netlist layer: elements, device models, circuits, builder and parser.
+
+This package is the structural half of the HSPICE substitute (see
+DESIGN.md §2); the numerical half lives in :mod:`repro.analysis`.
+"""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.diode import Diode
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    GROUND_NAMES,
+    Inductor,
+    Resistor,
+    TwoTerminal,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    is_ground,
+)
+from repro.circuit.mosfet import (
+    Mosfet,
+    MosfetParams,
+    NMOS_DEFAULT,
+    PMOS_DEFAULT,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.parser import parse_netlist
+from repro.circuit.validate import validate_circuit
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "Element",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "Diode",
+    "Mosfet",
+    "MosfetParams",
+    "NMOS_DEFAULT",
+    "PMOS_DEFAULT",
+    "GROUND_NAMES",
+    "is_ground",
+    "parse_netlist",
+    "validate_circuit",
+]

@@ -1,0 +1,119 @@
+"""Fluent circuit construction with engineering-notation values.
+
+The builder is the recommended way to author macros in code::
+
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder("divider")
+    b.voltage_source("VIN", "in", "0", 5.0)
+    b.resistor("R1", "in", "mid", "10k")
+    b.resistor("R2", "mid", "0", "10k")
+    circuit = b.build()
+
+String values go through :func:`repro.units.parse_value`, so ``"10k"``,
+``"2.5u"`` and plain floats are interchangeable.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.diode import Diode
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuit.mosfet import Mosfet, MosfetParams
+from repro.circuit.netlist import Circuit
+from repro.circuit.validate import validate_circuit
+from repro.units import parse_value
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Accumulates elements and produces a validated :class:`Circuit`."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self._circuit = Circuit(name)
+
+    # Each method returns self so construction chains naturally.
+
+    def resistor(self, name: str, n1: str, n2: str,
+                 resistance: float | str) -> "CircuitBuilder":
+        """Add a resistor; *resistance* accepts ``"10k"`` style strings."""
+        self._circuit.add(Resistor(name, n1, n2, parse_value(resistance)))
+        return self
+
+    def capacitor(self, name: str, n1: str, n2: str,
+                  capacitance: float | str) -> "CircuitBuilder":
+        """Add a capacitor."""
+        self._circuit.add(Capacitor(name, n1, n2, parse_value(capacitance)))
+        return self
+
+    def inductor(self, name: str, n1: str, n2: str,
+                 inductance: float | str) -> "CircuitBuilder":
+        """Add an inductor."""
+        self._circuit.add(Inductor(name, n1, n2, parse_value(inductance)))
+        return self
+
+    def voltage_source(self, name: str, npos: str, nneg: str,
+                       waveform) -> "CircuitBuilder":
+        """Add an independent voltage source (float or Waveform)."""
+        if isinstance(waveform, str):
+            waveform = parse_value(waveform)
+        self._circuit.add(VoltageSource(name, npos, nneg, waveform))
+        return self
+
+    def current_source(self, name: str, npos: str, nneg: str,
+                       waveform) -> "CircuitBuilder":
+        """Add an independent current source (float or Waveform).
+
+        SPICE polarity: positive current flows npos -> nneg through the
+        source, i.e. it is injected *into* the circuit at ``nneg``.
+        """
+        if isinstance(waveform, str):
+            waveform = parse_value(waveform)
+        self._circuit.add(CurrentSource(name, npos, nneg, waveform))
+        return self
+
+    def vcvs(self, name: str, npos: str, nneg: str, cpos: str, cneg: str,
+             gain: float | str) -> "CircuitBuilder":
+        """Add a voltage-controlled voltage source."""
+        self._circuit.add(VCVS(name, npos, nneg, cpos, cneg,
+                               parse_value(gain)))
+        return self
+
+    def vccs(self, name: str, npos: str, nneg: str, cpos: str, cneg: str,
+             gm: float | str) -> "CircuitBuilder":
+        """Add a voltage-controlled current source."""
+        self._circuit.add(VCCS(name, npos, nneg, cpos, cneg, parse_value(gm)))
+        return self
+
+    def diode(self, name: str, anode: str, cathode: str,
+              i_s: float | str = 1e-14, n: float = 1.0) -> "CircuitBuilder":
+        """Add a junction diode."""
+        self._circuit.add(Diode(name, anode, cathode, parse_value(i_s), n))
+        return self
+
+    def mosfet(self, name: str, d: str, g: str, s: str, b: str,
+               params: MosfetParams, w: float | str, l: float | str,
+               m: float = 1.0) -> "CircuitBuilder":
+        """Add a level-1 MOSFET (``w``/``l`` accept ``"10u"`` strings)."""
+        self._circuit.add(Mosfet(name, d, g, s, b, params,
+                                 parse_value(w), parse_value(l), m))
+        return self
+
+    def add(self, element) -> "CircuitBuilder":
+        """Add an already-constructed element."""
+        self._circuit.add(element)
+        return self
+
+    def build(self, validate: bool = True) -> Circuit:
+        """Finish construction; validates structurally unless disabled."""
+        if validate:
+            validate_circuit(self._circuit)
+        return self._circuit

@@ -1,0 +1,73 @@
+"""Junction diode model (Shockley equation with linearized high-bias tail).
+
+Not required by the IV-converter macro itself, but part of the substrate a
+usable analog netlist layer needs (and handy for building other macros and
+for exercising the Newton solver's exponential-nonlinearity path in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.circuit.elements import Element
+
+__all__ = ["Diode", "diode_eval", "THERMAL_VOLTAGE"]
+
+#: kT/q at 300 K [V].
+THERMAL_VOLTAGE = 0.02585
+
+#: Above this junction voltage the exponential is continued linearly to
+#: keep Newton iterations from overflowing (standard SPICE practice).
+_VD_CRIT_MULT = 40.0
+
+
+@dataclass(frozen=True)
+class Diode(Element):
+    """Junction diode between ``anode`` and ``cathode``.
+
+    Attributes:
+        i_s: saturation current [A].
+        n: emission coefficient.
+    """
+
+    anode: str = "0"
+    cathode: str = "0"
+    i_s: float = 1e-14
+    n: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.i_s <= 0.0:
+            raise NetlistError(f"diode {self.name}: IS must be > 0")
+        if self.n <= 0.0:
+            raise NetlistError(f"diode {self.name}: N must be > 0")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.anode, self.cathode)
+
+
+def diode_eval(vd: np.ndarray, i_s: np.ndarray,
+               n: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized diode current and conductance at junction voltage *vd*.
+
+    Uses the Shockley equation ``i = IS*(exp(vd/(n*Vt)) - 1)`` with a
+    first-order (tangent) continuation beyond ``vd_crit = 40*n*Vt`` so the
+    function stays finite and C1-continuous for arbitrary Newton iterates.
+
+    Returns:
+        ``(id, gd)`` — current anode->cathode and its derivative d id/d vd.
+    """
+    nvt = n * THERMAL_VOLTAGE
+    vd_crit = _VD_CRIT_MULT * nvt
+    v_clamped = np.minimum(vd, vd_crit)
+    expo = np.exp(v_clamped / nvt)
+    i = i_s * (expo - 1.0)
+    g = i_s * expo / nvt
+    # Linear continuation above vd_crit (tangent line).
+    over = vd > vd_crit
+    i = np.where(over, i + g * (vd - vd_crit), i)
+    return i, g

@@ -1,0 +1,219 @@
+"""Circuit element definitions.
+
+Elements are immutable dataclasses: a :class:`~repro.circuit.netlist.Circuit`
+can therefore be copied cheaply (the element objects are shared) and fault
+injection builds modified circuits without mutating the original — exactly
+what a fault simulator iterating over a dictionary of thousands of faults
+needs.
+
+Node references are plain strings; the ground node is ``"0"`` (``"gnd"`` is
+accepted as an alias).  Index assignment happens later, when the analysis
+engine compiles a circuit (see :mod:`repro.analysis.mna`).
+
+Sign conventions follow SPICE:
+
+* ``VoltageSource(np, nn)``: the branch current unknown is the current
+  flowing from ``np`` through the source to ``nn``.
+* ``CurrentSource(np, nn)``: a positive value drives current from ``np``
+  *through the source* to ``nn`` — i.e. it removes current from node ``np``
+  and injects it into node ``nn``.  To push current into a node ``x`` from
+  ground, write ``CurrentSource("I1", "0", "x", wave)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import NetlistError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.waveforms.sources import Waveform
+
+__all__ = [
+    "Element",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "GROUND_NAMES",
+    "is_ground",
+]
+
+#: Names treated as the global reference node.
+GROUND_NAMES = frozenset({"0", "gnd"})
+
+
+def is_ground(node: str) -> bool:
+    """True if *node* names the global reference node."""
+    return node.lower() in GROUND_NAMES
+
+
+@dataclass(frozen=True)
+class Element:
+    """Common base: every element has a unique name and ordered terminals."""
+
+    name: str
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Terminal node names in declaration order."""
+        raise NotImplementedError
+
+    def renamed(self, name: str) -> "Element":
+        """Return a copy of this element under a different name."""
+        return replace(self, name=name)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("element name must be non-empty")
+
+
+@dataclass(frozen=True)
+class TwoTerminal(Element):
+    """Base for elements with exactly two terminals ``(n1, n2)``."""
+
+    n1: str
+    n2: str
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+
+@dataclass(frozen=True)
+class Resistor(TwoTerminal):
+    """Linear resistor.
+
+    Attributes:
+        resistance: value in ohms; must be positive and finite.  Bridging
+            faults use very small values (down to a few ohms), so no lower
+            bound beyond zero is imposed.
+    """
+
+    resistance: float = 1e3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.resistance > 0.0:
+            raise NetlistError(
+                f"resistor {self.name}: resistance must be > 0, "
+                f"got {self.resistance!r}")
+
+    @property
+    def conductance(self) -> float:
+        """1/R in siemens."""
+        return 1.0 / self.resistance
+
+
+@dataclass(frozen=True)
+class Capacitor(TwoTerminal):
+    """Linear capacitor.
+
+    Open circuit in DC analyses; integrated with the companion-model
+    scheme selected by the transient engine.
+    """
+
+    capacitance: float = 1e-12
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.capacitance > 0.0:
+            raise NetlistError(
+                f"capacitor {self.name}: capacitance must be > 0, "
+                f"got {self.capacitance!r}")
+
+
+@dataclass(frozen=True)
+class Inductor(TwoTerminal):
+    """Linear inductor; carries a branch-current unknown in MNA.
+
+    Short circuit in DC analyses.
+    """
+
+    inductance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.inductance > 0.0:
+            raise NetlistError(
+                f"inductor {self.name}: inductance must be > 0, "
+                f"got {self.inductance!r}")
+
+
+@dataclass(frozen=True)
+class VoltageSource(TwoTerminal):
+    """Independent voltage source with a time-dependent waveform.
+
+    The ``waveform`` may be a plain float (DC) or any
+    :class:`repro.waveforms.Waveform`.
+    """
+
+    waveform: "Waveform | float" = 0.0
+
+    def value_at(self, t: float) -> float:
+        """Source voltage at time *t* (the DC value for ``t <= 0``)."""
+        if isinstance(self.waveform, (int, float)):
+            return float(self.waveform)
+        return self.waveform.value_at(t)
+
+    @property
+    def dc_value(self) -> float:
+        """Value used by DC/operating-point analyses."""
+        if isinstance(self.waveform, (int, float)):
+            return float(self.waveform)
+        return self.waveform.dc_value
+
+
+@dataclass(frozen=True)
+class CurrentSource(TwoTerminal):
+    """Independent current source (see module docstring for polarity)."""
+
+    waveform: "Waveform | float" = 0.0
+
+    def value_at(self, t: float) -> float:
+        """Source current at time *t* (the DC value for ``t <= 0``)."""
+        if isinstance(self.waveform, (int, float)):
+            return float(self.waveform)
+        return self.waveform.value_at(t)
+
+    @property
+    def dc_value(self) -> float:
+        """Value used by DC/operating-point analyses."""
+        if isinstance(self.waveform, (int, float)):
+            return float(self.waveform)
+        return self.waveform.dc_value
+
+
+@dataclass(frozen=True)
+class VCVS(Element):
+    """Voltage-controlled voltage source ``E``: V(np,nn) = gain * V(cp,cn)."""
+
+    np: str = "0"
+    nn: str = "0"
+    cp: str = "0"
+    cn: str = "0"
+    gain: float = 1.0
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.np, self.nn, self.cp, self.cn)
+
+
+@dataclass(frozen=True)
+class VCCS(Element):
+    """Voltage-controlled current source ``G``: I(np->nn) = gm * V(cp,cn)."""
+
+    np: str = "0"
+    nn: str = "0"
+    cp: str = "0"
+    cn: str = "0"
+    gm: float = field(default=1e-3)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.np, self.nn, self.cp, self.cn)

@@ -1,0 +1,254 @@
+"""Level-1 (Shichman-Hodges) MOSFET model.
+
+This is the workhorse device of the reproduction: the 1997 paper simulated
+its IV-converter macro with HSPICE; we substitute a self-contained level-1
+implementation.  Level 1 captures everything the methodology exercises —
+square-law gain, triode/saturation transitions, channel-length modulation,
+body effect — and its simplicity keeps the tens of thousands of Newton
+iterations behind a full ATPG run affordable in pure Python.
+
+Two layers:
+
+* :class:`MosfetParams` / :class:`Mosfet` — immutable netlist-level
+  description (also used by the pinhole fault model, which splits a device
+  into two series transistors; see :mod:`repro.faults.pinhole`).
+* :func:`mos_level1` — vectorized model evaluation over arrays of terminal
+  voltages and parameters, returning currents and the small-signal partial
+  derivatives the Newton stamper needs.  Polarity is handled with a sign
+  transform so NMOS and PMOS evaluate through one code path.
+
+The model equations (NMOS orientation, ``vov = vgs - vth``):
+
+* cutoff   (``vov <= 0``):       ``ids = 0``
+* triode   (``vds < vov``):      ``ids = beta*(vov - vds/2)*vds*(1 + lam*vds)``
+* saturation (``vds >= vov``):   ``ids = beta/2*vov^2*(1 + lam*vds)``
+
+with ``beta = kp*(w/l)*m`` and body effect
+``vth = vto + gamma*(sqrt(phi - vbs) - sqrt(phi))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.circuit.elements import Element
+
+__all__ = ["MosfetParams", "Mosfet", "mos_level1", "NMOS_DEFAULT", "PMOS_DEFAULT"]
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Technology parameters of a level-1 MOSFET model card.
+
+    Attributes:
+        kind: ``"nmos"`` or ``"pmos"``.
+        vto: zero-bias threshold voltage [V].  Positive for NMOS,
+            negative for PMOS (SPICE convention).
+        kp: transconductance parameter ``KP = u0*Cox`` [A/V^2].
+        lam: channel-length modulation ``LAMBDA`` [1/V].
+        gamma: body-effect coefficient [sqrt(V)].
+        phi: surface potential ``2*phi_F`` [V].
+        cgs_ov: gate-source overlap capacitance per meter width [F/m].
+        cgd_ov: gate-drain overlap capacitance per meter width [F/m].
+        cox_area: gate-oxide capacitance per unit area [F/m^2]; used for
+            the (constant, 2/3-channel) intrinsic gate capacitance added
+            in transient analyses.
+    """
+
+    kind: str = "nmos"
+    vto: float = 0.8
+    kp: float = 60e-6
+    lam: float = 0.02
+    gamma: float = 0.4
+    phi: float = 0.7
+    cgs_ov: float = 200e-12
+    cgd_ov: float = 200e-12
+    cox_area: float = 1.5e-3
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("nmos", "pmos"):
+            raise NetlistError(f"mosfet kind must be nmos/pmos, got {self.kind!r}")
+        if self.kp <= 0.0:
+            raise NetlistError(f"mosfet KP must be > 0, got {self.kp!r}")
+        if self.phi <= 0.0:
+            raise NetlistError(f"mosfet PHI must be > 0, got {self.phi!r}")
+        if (self.kind == "nmos") != (self.vto >= 0.0):
+            raise NetlistError(
+                f"VTO sign ({self.vto}) inconsistent with kind {self.kind!r}")
+
+    @property
+    def sign(self) -> float:
+        """+1 for NMOS, -1 for PMOS (voltage/current polarity transform)."""
+        return 1.0 if self.kind == "nmos" else -1.0
+
+    def scaled(self, **overrides: float) -> "MosfetParams":
+        """Return a copy with selected parameters replaced.
+
+        Used by process-variation sampling (``scaled(vto=..., kp=...)``).
+        """
+        return replace(self, **overrides)
+
+
+#: Representative 1.6 um CMOS cards, in the spirit of mid-90s designs.
+NMOS_DEFAULT = MosfetParams(kind="nmos", vto=0.8, kp=60e-6, lam=0.02,
+                            gamma=0.4, phi=0.7)
+PMOS_DEFAULT = MosfetParams(kind="pmos", vto=-0.85, kp=22e-6, lam=0.03,
+                            gamma=0.5, phi=0.7)
+
+
+@dataclass(frozen=True)
+class Mosfet(Element):
+    """MOSFET instance: terminals (drain, gate, source, bulk) + geometry."""
+
+    d: str = "0"
+    g: str = "0"
+    s: str = "0"
+    b: str = "0"
+    params: MosfetParams = NMOS_DEFAULT
+    w: float = 10e-6
+    l: float = 2e-6
+    m: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.w <= 0.0 or self.l <= 0.0:
+            raise NetlistError(
+                f"mosfet {self.name}: W and L must be > 0 (w={self.w}, l={self.l})")
+        if self.m < 1.0:
+            raise NetlistError(f"mosfet {self.name}: multiplier m must be >= 1")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.d, self.g, self.s, self.b)
+
+    @property
+    def beta(self) -> float:
+        """Device transconductance factor ``KP*(W/L)*m`` [A/V^2]."""
+        return self.params.kp * (self.w / self.l) * self.m
+
+    @property
+    def cgs(self) -> float:
+        """Constant gate-source capacitance used in transient analyses [F]."""
+        intrinsic = (2.0 / 3.0) * self.params.cox_area * self.w * self.l
+        return (self.params.cgs_ov * self.w + intrinsic) * self.m
+
+    @property
+    def cgd(self) -> float:
+        """Constant gate-drain (overlap) capacitance [F]."""
+        return self.params.cgd_ov * self.w * self.m
+
+    def with_geometry(self, w: float | None = None,
+                      l: float | None = None) -> "Mosfet":
+        """Return a copy with a different channel geometry.
+
+        The pinhole fault model uses this to split a transistor into a
+        source-side and a drain-side segment.
+        """
+        return replace(self, w=self.w if w is None else w,
+                       l=self.l if l is None else l)
+
+
+def mos_level1(
+    vgs: np.ndarray,
+    vds: np.ndarray,
+    vbs: np.ndarray,
+    sign: np.ndarray,
+    beta: np.ndarray,
+    vto: np.ndarray,
+    lam: np.ndarray,
+    gamma: np.ndarray,
+    phi: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized level-1 evaluation for a bank of MOSFETs.
+
+    All arguments are equal-length 1-D arrays (one entry per device).
+    Terminal voltages are *actual* values; the NMOS/PMOS ``sign`` transform
+    is applied internally.  Source-drain inversion (``vds' < 0``) is handled
+    by evaluating the device with drain and source swapped and negating the
+    current, as physical MOSFETs are symmetric in level 1.
+
+    Returns:
+        ``(ids, gm, gds, gmb)`` where ``ids`` is the current flowing into
+        the *drain* terminal (out of the source), and the conductances are
+        the partials ``d ids / d vgs``, ``d ids / d vds``, ``d ids / d vbs``
+        — all in actual (untransformed) polarity, ready for MNA stamping.
+
+    Note:
+        Because ``ids = sign * f(sign*v...)``, the chain rule makes each
+        partial equal to the transformed-space partial (the two sign
+        factors cancel), so no re-transform of ``gm/gds/gmb`` is needed.
+    """
+    # Transform to NMOS-like orientation.
+    tvgs = sign * vgs
+    tvds = sign * vds
+    tvbs = sign * vbs
+    tvto = sign * vto
+
+    # Drain-source inversion: evaluate with swapped terminals.
+    inverted = tvds < 0.0
+    # Gate-source voltage seen from the effective source terminal.
+    evgs = np.where(inverted, tvgs - tvds, tvgs)
+    evds = np.abs(tvds)
+    evbs = np.where(inverted, tvbs - tvds, tvbs)
+
+    # Body effect: vth = vto + gamma*(sqrt(phi - vbs) - sqrt(phi)).
+    # Clamp the junction forward bias so sqrt stays real; dvth/dvbs is then
+    # zero in the clamped region, which is the standard SPICE treatment.
+    phi_vbs = np.maximum(phi - evbs, 1e-4)
+    sqrt_phi_vbs = np.sqrt(phi_vbs)
+    vth = tvto + gamma * (sqrt_phi_vbs - np.sqrt(phi))
+    dvth_dvbs = np.where(phi - evbs > 1e-4,
+                         -gamma / (2.0 * sqrt_phi_vbs), 0.0)
+
+    vov = evgs - vth
+    clm = 1.0 + lam * evds
+
+    on = vov > 0.0
+    sat = on & (evds >= vov)
+    tri = on & ~sat
+
+    ids = np.zeros_like(evgs)
+    gm = np.zeros_like(evgs)
+    gds = np.zeros_like(evgs)
+
+    # Saturation: ids = beta/2 * vov^2 * (1 + lam*vds)
+    ids = np.where(sat, 0.5 * beta * vov**2 * clm, ids)
+    gm = np.where(sat, beta * vov * clm, gm)
+    gds = np.where(sat, 0.5 * beta * vov**2 * lam, gds)
+
+    # Triode: ids = beta * (vov - vds/2) * vds * (1 + lam*vds)
+    ids = np.where(tri, beta * (vov - 0.5 * evds) * evds * clm, ids)
+    gm = np.where(tri, beta * evds * clm, gm)
+    gds = np.where(
+        tri,
+        beta * ((vov - evds) * clm + (vov - 0.5 * evds) * evds * lam),
+        gds)
+
+    # Body transconductance: d ids / d vbs = -gm_eff * dvth/dvbs.
+    gmb = -gm * dvth_dvbs
+
+    # Undo the source-drain swap.  In swapped orientation the computed
+    # current flows effective-drain -> effective-source = actual s -> d,
+    # and the partials map as: d/dvgs -> gm stays on vgs but measured from
+    # the other terminal; the standard result is:
+    #   ids_actual = -ids_swapped
+    #   gm_actual  = gm_swapped        (applied to vgd = vgs - vds)
+    # We fold the remapping algebraically so the caller can stamp with
+    # plain (gm, gds, gmb) against (vgs, vds, vbs):
+    #   i(vgs,vds,vbs) = -f(vgs-vds, -vds, vbs-vds)
+    #   di/dvgs = -f1
+    #   di/dvds = f1 + f2 + f3
+    #   di/dvbs = -f3
+    f1, f2, f3 = gm, gds, gmb
+    ids = np.where(inverted, -ids, ids)
+    gm_out = np.where(inverted, -f1, f1)
+    gds_out = np.where(inverted, f1 + f2 + f3, f2)
+    gmb_out = np.where(inverted, -f3, f3)
+
+    # Undo the polarity transform for the current (partials are invariant).
+    ids = sign * ids
+
+    return ids, gm_out, gds_out, gmb_out

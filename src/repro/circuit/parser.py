@@ -1,0 +1,263 @@
+"""SPICE-flavoured netlist parser.
+
+Supports the subset of SPICE needed to express the circuits in this
+repository as text decks (useful for tests, documentation and users who
+prefer decks over the builder API):
+
+* comment lines (``*``), inline comments (``;``), ``+`` continuations;
+* ``R/C/L`` two-terminal elements with engineering-notation values;
+* ``V/I`` sources with ``DC x``, ``SIN(...)``, ``PULSE(...)``, ``PWL(...)``
+  and the paper-specific ``STEP(base elev tstep slew)`` stimulus;
+* ``E`` (VCVS) and ``G`` (VCCS) controlled sources;
+* ``D`` diodes and ``M`` MOSFETs referencing ``.model`` cards
+  (``NMOS``/``PMOS`` level-1 parameters, ``D`` diodes);
+* ``.end`` terminator (optional).
+
+Example::
+
+    deck = '''
+    * resistive divider
+    VIN in 0 DC 5
+    R1 in mid 10k
+    R2 mid 0 10k
+    .end
+    '''
+    circuit = parse_netlist(deck)
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.circuit.diode import Diode
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuit.mosfet import Mosfet, MosfetParams
+from repro.circuit.netlist import Circuit
+from repro.units import parse_value
+from repro.waveforms import (
+    DCWave,
+    PWLWave,
+    PulseWave,
+    SineWave,
+    StepWave,
+    Waveform,
+)
+
+__all__ = ["parse_netlist"]
+
+_PAREN_FUNC_RE = re.compile(r"^(?P<kind>[a-zA-Z]+)\s*\((?P<args>.*)\)\s*$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "$"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.rstrip()
+
+
+def _join_continuations(text: str) -> list[tuple[int, str]]:
+    """Merge ``+`` continuation lines; returns (first line number, text)."""
+    merged: list[tuple[int, str]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        stripped = line.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not merged:
+                raise ParseError("continuation line with nothing to continue",
+                                 line_no, raw)
+            prev_no, prev = merged[-1]
+            merged[-1] = (prev_no, prev + " " + stripped[1:].strip())
+        else:
+            merged.append((line_no, stripped))
+    return merged
+
+
+def _parse_waveform(tokens: list[str], line_no: int, line: str) -> Waveform:
+    """Parse the stimulus part of a V/I card."""
+    text = " ".join(tokens).strip()
+    if not text:
+        return DCWave(0.0)
+    match = _PAREN_FUNC_RE.match(text)
+    if match is None:
+        # "DC 5" or a bare value.
+        parts = text.split()
+        if parts[0].lower() == "dc":
+            parts = parts[1:]
+        if len(parts) != 1:
+            raise ParseError(f"cannot parse source value {text!r}",
+                             line_no, line)
+        return DCWave(parse_value(parts[0]))
+    kind = match.group("kind").lower()
+    args = [parse_value(tok) for tok in
+            match.group("args").replace(",", " ").split()]
+    if kind == "sin":
+        # SIN(VO VA FREQ [TD [THETA [PHASE]]])
+        if len(args) < 3:
+            raise ParseError("SIN needs at least (VO VA FREQ)", line_no, line)
+        offset, amplitude, freq = args[0], args[1], args[2]
+        delay = args[3] if len(args) > 3 else 0.0
+        phase = args[5] if len(args) > 5 else 0.0
+        return SineWave(offset, amplitude, freq, delay, phase)
+    if kind == "pulse":
+        if len(args) < 7:
+            raise ParseError("PULSE needs (V1 V2 TD TR TF PW PER)",
+                             line_no, line)
+        return PulseWave(*args[:7])
+    if kind == "pwl":
+        if len(args) < 2 or len(args) % 2 != 0:
+            raise ParseError("PWL needs an even number of (t v) values",
+                             line_no, line)
+        points = tuple((args[i], args[i + 1]) for i in range(0, len(args), 2))
+        return PWLWave(points)
+    if kind == "step":
+        if len(args) < 4:
+            raise ParseError("STEP needs (BASE ELEV TSTEP SLEW)",
+                             line_no, line)
+        return StepWave(base=args[0], elev=args[1], t_step=args[2],
+                        slew_rate=args[3])
+    raise ParseError(f"unknown stimulus function {kind!r}", line_no, line)
+
+
+def _parse_model_card(tokens: list[str], line_no: int,
+                      line: str) -> tuple[str, object]:
+    """Parse ``.model NAME TYPE(KEY=VAL ...)`` into (name, params)."""
+    body = " ".join(tokens)
+    match = re.match(
+        r"^\s*(?P<name>\S+)\s+(?P<type>[a-zA-Z]+)\s*(\((?P<args>.*)\))?\s*$",
+        body)
+    if match is None:
+        raise ParseError("malformed .model card", line_no, line)
+    name = match.group("name").lower()
+    mtype = match.group("type").lower()
+    kv: dict[str, float] = {}
+    for item in (match.group("args") or "").replace(",", " ").split():
+        if "=" not in item:
+            raise ParseError(f"model parameter {item!r} is not KEY=VALUE",
+                             line_no, line)
+        key, value = item.split("=", 1)
+        kv[key.lower()] = parse_value(value)
+    if mtype in ("nmos", "pmos"):
+        params = MosfetParams(
+            kind=mtype,
+            vto=kv.get("vto", 0.8 if mtype == "nmos" else -0.8),
+            kp=kv.get("kp", 60e-6 if mtype == "nmos" else 22e-6),
+            lam=kv.get("lambda", 0.02),
+            gamma=kv.get("gamma", 0.4),
+            phi=kv.get("phi", 0.7),
+        )
+        return name, params
+    if mtype == "d":
+        return name, {"i_s": kv.get("is", 1e-14), "n": kv.get("n", 1.0)}
+    raise ParseError(f"unsupported model type {mtype!r}", line_no, line)
+
+
+def parse_netlist(text: str, name: str = "netlist") -> Circuit:
+    """Parse a SPICE-flavoured deck into a :class:`Circuit`.
+
+    Raises:
+        ParseError: with line information on any malformed card.
+    """
+    lines = _join_continuations(text)
+
+    # First pass: models (they may appear after their use sites, as in SPICE).
+    models: dict[str, object] = {}
+    cards: list[tuple[int, str]] = []
+    for line_no, line in lines:
+        lower = line.lower()
+        if lower.startswith(".model"):
+            mname, params = _parse_model_card(line.split()[1:], line_no, line)
+            models[mname] = params
+        elif lower.startswith(".end"):
+            break
+        elif lower.startswith("."):
+            raise ParseError(f"unsupported directive {line.split()[0]!r}",
+                             line_no, line)
+        else:
+            cards.append((line_no, line))
+
+    circuit = Circuit(name)
+    for line_no, line in cards:
+        tokens = line.split()
+        card, rest = tokens[0], tokens[1:]
+        letter = card[0].upper()
+        ename = card  # keep the full card name ("R1", "M3") as element name
+        try:
+            if letter == "R":
+                circuit.add(Resistor(ename, rest[0], rest[1],
+                                     parse_value(rest[2])))
+            elif letter == "C":
+                circuit.add(Capacitor(ename, rest[0], rest[1],
+                                      parse_value(rest[2])))
+            elif letter == "L":
+                circuit.add(Inductor(ename, rest[0], rest[1],
+                                     parse_value(rest[2])))
+            elif letter == "V":
+                wave = _parse_waveform(rest[2:], line_no, line)
+                circuit.add(VoltageSource(ename, rest[0], rest[1], wave))
+            elif letter == "I":
+                wave = _parse_waveform(rest[2:], line_no, line)
+                circuit.add(CurrentSource(ename, rest[0], rest[1], wave))
+            elif letter == "E":
+                circuit.add(VCVS(ename, rest[0], rest[1], rest[2], rest[3],
+                                 parse_value(rest[4])))
+            elif letter == "G":
+                circuit.add(VCCS(ename, rest[0], rest[1], rest[2], rest[3],
+                                 parse_value(rest[4])))
+            elif letter == "D":
+                extra = {}
+                model_tokens = rest[2:]
+                if model_tokens and "=" not in model_tokens[0]:
+                    model = models.get(model_tokens[0].lower())
+                    if model is None:
+                        raise ParseError(
+                            f"unknown diode model {model_tokens[0]!r}",
+                            line_no, line)
+                    extra = dict(model)  # type: ignore[arg-type]
+                    model_tokens = model_tokens[1:]
+                for item in model_tokens:
+                    key, value = item.split("=", 1)
+                    key = key.lower()
+                    mapped = {"is": "i_s", "n": "n"}.get(key)
+                    if mapped is None:
+                        raise ParseError(f"unknown diode parameter {key!r}",
+                                         line_no, line)
+                    extra[mapped] = parse_value(value)
+                circuit.add(Diode(ename, rest[0], rest[1], **extra))
+            elif letter == "M":
+                model_name = rest[4].lower()
+                params = models.get(model_name)
+                if not isinstance(params, MosfetParams):
+                    raise ParseError(f"unknown MOS model {rest[4]!r}",
+                                     line_no, line)
+                geometry = {"w": 10e-6, "l": 2e-6, "m": 1.0}
+                for item in rest[5:]:
+                    key, value = item.split("=", 1)
+                    key = key.lower()
+                    if key not in geometry:
+                        raise ParseError(f"unknown MOS parameter {key!r}",
+                                         line_no, line)
+                    geometry[key] = parse_value(value)
+                circuit.add(Mosfet(ename, rest[0], rest[1], rest[2], rest[3],
+                                   params, geometry["w"], geometry["l"],
+                                   geometry["m"]))
+            else:
+                raise ParseError(f"unsupported element letter {letter!r}",
+                                 line_no, line)
+        except ParseError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise ParseError(f"malformed {letter}-card: {exc}",
+                             line_no, line) from exc
+    return circuit

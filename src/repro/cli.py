@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin argparse wrapper over the library for interactive use:
+
+* ``describe``  — macro structure + test-configuration cards (Fig. 1);
+* ``faults``    — fault dictionary (exhaustive or IFA-weighted);
+* ``tps``       — tps-graph of one fault under one configuration;
+* ``generate``  — the Fig. 6 generation run (JSON output optional);
+* ``compact``   — generation + collapse + coverage, the full flow.
+
+Examples::
+
+    python -m repro describe --macro rc-ladder
+    python -m repro faults --macro iv-converter --ifa --top 10
+    python -m repro tps --macro iv-converter --config thd \\
+        --fault bridge:n2:n3 --impact 34k --grid 7
+    python -m repro compact --macro rc-ladder --delta 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.compaction import (
+    CompactionSettings,
+    collapse_test_set,
+    evaluate_coverage,
+)
+from repro.errors import ReproError
+from repro.faults import ifa_fault_dictionary
+from repro.macros import available_macros, get_macro
+from repro.reporting import render_table, render_tps_graph
+from repro.testgen import (
+    GenerationSettings,
+    MacroTestbench,
+    compute_tps_graph,
+    generate_tests,
+)
+from repro.units import format_value, parse_value
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compact structural test generation for analog "
+                    "macros (Kaal & Kerkhoff, DATE 1997)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_macro_arg(p):
+        p.add_argument("--macro", default="rc-ladder",
+                       choices=available_macros(),
+                       help="macro type to operate on")
+
+    p_describe = sub.add_parser(
+        "describe", help="macro structure and configuration cards")
+    add_macro_arg(p_describe)
+
+    p_faults = sub.add_parser("faults", help="list the fault dictionary")
+    add_macro_arg(p_faults)
+    p_faults.add_argument("--ifa", action="store_true",
+                          help="IFA-weighted instead of exhaustive")
+    p_faults.add_argument("--top", type=int, default=None,
+                          help="keep only the N most likely faults "
+                               "(with --ifa)")
+
+    p_tps = sub.add_parser("tps", help="tps-graph for one fault")
+    add_macro_arg(p_tps)
+    p_tps.add_argument("--config", required=True,
+                       help="configuration name (see 'describe')")
+    p_tps.add_argument("--fault", required=True,
+                       help="fault id, e.g. bridge:n2:n3 or pinhole:M1")
+    p_tps.add_argument("--impact", default=None,
+                       help="override the impact (e.g. 34k)")
+    p_tps.add_argument("--grid", type=int, default=7,
+                       help="grid points per parameter axis")
+
+    p_generate = sub.add_parser(
+        "generate", help="run the Fig. 6 generation algorithm")
+    add_macro_arg(p_generate)
+    p_generate.add_argument("--jobs", type=int, default=1,
+                            help="parallel worker processes")
+    p_generate.add_argument("--faults", type=int, default=None,
+                            help="limit to the first N faults")
+    p_generate.add_argument("--json", type=Path, default=None,
+                            help="write the result as JSON")
+
+    p_compact = sub.add_parser(
+        "compact", help="generation + collapse + coverage")
+    add_macro_arg(p_compact)
+    p_compact.add_argument("--jobs", type=int, default=1)
+    p_compact.add_argument("--delta", type=float, default=0.1,
+                           help="acceptable sensitivity-loss fraction")
+
+    return parser
+
+
+def _cmd_describe(args) -> int:
+    macro = get_macro(args.macro)
+    print(macro.circuit.summary())
+    print(f"standard nodes: {', '.join(macro.standard_nodes)}")
+    print()
+    for config in macro.test_configurations():
+        print(config.description.describe())
+        for parameter in config.parameters:
+            print(f"    {parameter}")
+        print()
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    macro = get_macro(args.macro)
+    if args.ifa:
+        faults = ifa_fault_dictionary(macro.circuit,
+                                      nodes=macro.standard_nodes,
+                                      top_n=args.top)
+    else:
+        faults = macro.fault_dictionary()
+    rows = [[f.fault_id, f.fault_type,
+             format_value(f.impact, "ohm"), f"{f.likelihood:.2f}"]
+            for f in faults]
+    print(render_table(["fault", "type", "impact", "likelihood"], rows,
+                       title=str(faults)))
+    return 0
+
+
+def _cmd_tps(args) -> int:
+    macro = get_macro(args.macro)
+    configs = [c for c in macro.test_configurations()
+               if c.name == args.config]
+    if not configs:
+        names = [c.name for c in macro.test_configurations()]
+        print(f"error: no configuration {args.config!r}; have {names}",
+              file=sys.stderr)
+        return 2
+    bench = MacroTestbench(macro.circuit, configs, macro.options)
+    fault = macro.fault_dictionary().get(args.fault)
+    if args.impact is not None:
+        fault = fault.with_impact(parse_value(args.impact))
+    graph = compute_tps_graph(bench.executor(args.config), fault,
+                              points_per_axis=args.grid)
+    print(render_tps_graph(graph))
+    print(f"detection fraction: {graph.detection_fraction:.0%}")
+    return 0
+
+
+def _run_generation(args):
+    macro = get_macro(args.macro)
+    configurations = macro.test_configurations()
+    faults = list(macro.fault_dictionary())
+    if getattr(args, "faults", None):
+        faults = faults[:args.faults]
+    generation = generate_tests(macro.circuit, configurations, faults,
+                                GenerationSettings(), n_jobs=args.jobs)
+    return macro, configurations, generation
+
+
+def _print_generation(generation) -> None:
+    rows = []
+    for t in generation.tests:
+        params = ("-" if t.test is None else
+                  ", ".join(f"{k}={v:.4g}" for k, v in
+                            t.test.as_dict().items()))
+        rows.append([t.fault.fault_id, t.config_name, params,
+                     f"{t.sensitivity_at_critical:.3g}",
+                     format_value(t.critical_impact, "ohm")])
+    print(render_table(
+        ["fault", "best config", "parameters", "S@critical",
+         "critical impact"], rows, title="Generated tests"))
+    print(f"simulations: {generation.total_simulations}, "
+          f"wall time {generation.wall_time_s:.1f}s")
+
+
+def _cmd_generate(args) -> int:
+    _, __, generation = _run_generation(args)
+    _print_generation(generation)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(generation.to_json())
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    macro, configurations, generation = _run_generation(args)
+    _print_generation(generation)
+    bench = MacroTestbench(macro.circuit, configurations, macro.options)
+    compaction = collapse_test_set(
+        generation, bench, CompactionSettings(delta=args.delta))
+    print(f"\ncompacted {compaction.n_original_tests} -> "
+          f"{compaction.n_compact_tests} tests "
+          f"(delta={args.delta:g})")
+    for group in compaction.groups:
+        print(f"  {group.collapsed_test} covers "
+              f"{', '.join(group.fault_ids)}")
+    detected = [t for t in generation.tests if t.detected_at_dictionary]
+    if detected:
+        report = evaluate_coverage(bench, [t.fault for t in detected],
+                                   list(compaction.tests))
+        print(f"coverage at dictionary impact: "
+              f"{report.n_covered}/{report.n_faults}")
+    return 0
+
+
+_COMMANDS = {
+    "describe": _cmd_describe,
+    "faults": _cmd_faults,
+    "tps": _cmd_tps,
+    "generate": _cmd_generate,
+    "compact": _cmd_compact,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

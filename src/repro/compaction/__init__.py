@@ -1,0 +1,38 @@
+"""Test compaction: parameter-space grouping + delta-screened collapse (§4)."""
+
+from repro.compaction.collapse import (
+    CollapsedGroup,
+    CompactionResult,
+    CompactionSettings,
+    MemberScreening,
+    collapse_test_set,
+)
+from repro.compaction.coverage import (
+    CoverageReport,
+    FaultCoverage,
+    evaluate_coverage,
+)
+from repro.compaction.grouping import farthest_pair_split, single_linkage_groups
+from repro.compaction.ordering import (
+    DetectionMatrix,
+    OrderedTestPlan,
+    detection_matrix,
+    greedy_order,
+)
+
+__all__ = [
+    "DetectionMatrix",
+    "OrderedTestPlan",
+    "detection_matrix",
+    "greedy_order",
+    "CompactionSettings",
+    "MemberScreening",
+    "CollapsedGroup",
+    "CompactionResult",
+    "collapse_test_set",
+    "single_linkage_groups",
+    "farthest_pair_split",
+    "FaultCoverage",
+    "CoverageReport",
+    "evaluate_coverage",
+]

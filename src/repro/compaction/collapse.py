@@ -1,0 +1,240 @@
+"""The test-set collapse algorithm (paper §4.1).
+
+Fault-specific best tests ``T_tc,f1 .. T_tc,fn`` of one configuration are
+collapsed onto a single test ``T_tc,c`` whose parameter values are the
+average of the group members.  The collapse is *screened*: for every
+member fault the sensitivity loss at the collapsed parameters must stay
+within a delta-fraction slide toward the insensitivity level ``S = 1``:
+
+    S_fi(T_tc,c)  <=  S_fi(T_tc,fi) + delta * (1 - S_fi(T_tc,fi))
+
+``delta = 0`` accepts only lossless collapses; ``delta = 1`` accepts
+anything still below insensitivity.  Screening evaluates each fault at
+its *critical impact level* — the impact the optimal test was defined at,
+where sensitivity margins are thinnest.
+
+Groups that fail screening are bisected (farthest-pair split) and both
+halves are retried, down to singletons, which pass trivially.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._log import get_logger
+from repro.compaction.grouping import farthest_pair_split, single_linkage_groups
+from repro.errors import CompactionError
+from repro.testgen.configuration import Test
+from repro.testgen.execution import MacroTestbench
+from repro.testgen.generator import GeneratedTest, GenerationResult
+
+__all__ = ["CompactionSettings", "MemberScreening", "CollapsedGroup",
+           "CompactionResult", "collapse_test_set"]
+
+_LOG = get_logger("compaction.collapse")
+
+
+@dataclass(frozen=True)
+class CompactionSettings:
+    """Tunables of the collapse algorithm.
+
+    Attributes:
+        delta: acceptable sensitivity-loss fraction (paper's delta).
+        grouping_radius: single-linkage threshold in normalized parameter
+            coordinates (unit box).
+        max_split_depth: recursion cap for failed-group bisection.
+    """
+
+    delta: float = 0.1
+    grouping_radius: float = 0.15
+    max_split_depth: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delta <= 1.0:
+            raise CompactionError(f"delta must be in [0, 1], got {self.delta}")
+        if self.grouping_radius < 0.0:
+            raise CompactionError("grouping_radius must be >= 0")
+
+
+@dataclass(frozen=True)
+class MemberScreening:
+    """Screening record of one fault in a collapsed group."""
+
+    fault_id: str
+    sensitivity_optimal: float
+    sensitivity_collapsed: float
+    accepted: bool
+
+    @property
+    def loss(self) -> float:
+        """Raw sensitivity shift (collapsed minus optimal)."""
+        return self.sensitivity_collapsed - self.sensitivity_optimal
+
+
+@dataclass(frozen=True)
+class CollapsedGroup:
+    """One group of fault-specific tests collapsed onto a single test."""
+
+    config_name: str
+    collapsed_test: Test
+    members: tuple[GeneratedTest, ...]
+    screenings: tuple[MemberScreening, ...]
+
+    @property
+    def fault_ids(self) -> tuple[str, ...]:
+        """Fault ids covered by this group."""
+        return tuple(m.fault.fault_id for m in self.members)
+
+    @property
+    def size(self) -> int:
+        """Number of member tests collapsed into one."""
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of collapsing a generation result.
+
+    Attributes:
+        groups: accepted collapsed groups (singletons included).
+        undetectable_fault_ids: faults that had no test to collapse.
+        settings: the settings used.
+        n_original_tests: test count before collapsing.
+        wall_time_s: run time of the collapse (screening simulations).
+    """
+
+    groups: tuple[CollapsedGroup, ...]
+    undetectable_fault_ids: tuple[str, ...]
+    settings: CompactionSettings
+    n_original_tests: int
+    wall_time_s: float
+
+    @property
+    def tests(self) -> tuple[Test, ...]:
+        """The compact test set."""
+        return tuple(g.collapsed_test for g in self.groups)
+
+    @property
+    def n_compact_tests(self) -> int:
+        """Size of the compact set."""
+        return len(self.groups)
+
+    @property
+    def compaction_ratio(self) -> float:
+        """Original over compact test count (higher = better)."""
+        if self.n_compact_tests == 0:
+            return float("nan")
+        return self.n_original_tests / self.n_compact_tests
+
+    def groups_for_config(self, config_name: str) -> tuple[CollapsedGroup, ...]:
+        """Groups belonging to one configuration."""
+        return tuple(g for g in self.groups if g.config_name == config_name)
+
+    def worst_loss(self) -> float:
+        """Largest sensitivity shift accepted anywhere (diagnostic)."""
+        losses = [s.loss for g in self.groups for s in g.screenings]
+        return max(losses) if losses else 0.0
+
+
+def _screen_group(testbench: MacroTestbench, config_name: str,
+                  members: list[GeneratedTest],
+                  settings: CompactionSettings
+                  ) -> tuple[Test, list[MemberScreening], bool]:
+    """Propose the centroid test for *members* and screen it."""
+    configuration = testbench.configuration(config_name)
+    vectors = np.array([m.test.values for m in members])
+    centroid = configuration.parameters.clip(vectors.mean(axis=0))
+    candidate = configuration.make_test(centroid)
+
+    screenings: list[MemberScreening] = []
+    all_ok = True
+    for member in members:
+        s_opt = member.sensitivity_at_critical
+        probe = member.fault.with_impact(member.critical_impact)
+        s_col = testbench.evaluate_test(probe, candidate).value
+        limit = s_opt + settings.delta * (1.0 - s_opt)
+        ok = s_col <= limit + 1e-12
+        screenings.append(MemberScreening(
+            fault_id=member.fault.fault_id, sensitivity_optimal=s_opt,
+            sensitivity_collapsed=s_col, accepted=ok))
+        all_ok = all_ok and ok
+    return candidate, screenings, all_ok
+
+
+def _collapse_recursive(testbench: MacroTestbench, config_name: str,
+                        points: np.ndarray, members: list[GeneratedTest],
+                        indices: list[int], settings: CompactionSettings,
+                        depth: int) -> list[CollapsedGroup]:
+    group_members = [members[i] for i in indices]
+    candidate, screenings, ok = _screen_group(
+        testbench, config_name, group_members, settings)
+    if ok or len(indices) == 1 or depth >= settings.max_split_depth:
+        if not ok and len(indices) > 1:
+            _LOG.warning(
+                "group of %d tests in %s kept despite screening failure "
+                "(split depth exhausted)", len(indices), config_name)
+        if not ok and len(indices) == 1:
+            # A singleton "collapse" is the original test; a screening
+            # failure here can only be simulation noise.
+            _LOG.debug("singleton screening discrepancy in %s", config_name)
+        return [CollapsedGroup(
+            config_name=config_name, collapsed_test=candidate,
+            members=tuple(group_members), screenings=tuple(screenings))]
+    left, right = farthest_pair_split(points, indices)
+    _LOG.debug("splitting group of %d in %s -> %d + %d",
+               len(indices), config_name, len(left), len(right))
+    return (_collapse_recursive(testbench, config_name, points, members,
+                                left, settings, depth + 1)
+            + _collapse_recursive(testbench, config_name, points, members,
+                                  right, settings, depth + 1))
+
+
+def collapse_test_set(
+    generation: GenerationResult,
+    testbench: MacroTestbench,
+    settings: CompactionSettings = CompactionSettings(),
+) -> CompactionResult:
+    """Collapse a generation result into a compact test set (§4.1).
+
+    Args:
+        generation: output of :func:`repro.testgen.generate_tests`.
+        testbench: the macro testbench (screening needs simulations).
+        settings: delta, grouping radius, split depth.
+
+    Returns:
+        :class:`CompactionResult` with the compact set and full screening
+        records.
+    """
+    started = time.monotonic()
+    undetectable = tuple(t.fault.fault_id for t in generation.tests
+                         if t.test is None)
+    groups: list[CollapsedGroup] = []
+
+    for config_name in testbench.configuration_names:
+        members = [t for t in generation.tests
+                   if t.test is not None and t.config_name == config_name]
+        if not members:
+            continue
+        configuration = testbench.configuration(config_name)
+        points = np.array([
+            configuration.parameters.normalize(m.test.values)
+            for m in members])
+        for index_group in single_linkage_groups(points,
+                                                 settings.grouping_radius):
+            groups.extend(_collapse_recursive(
+                testbench, config_name, points, members, index_group,
+                settings, depth=0))
+
+    result = CompactionResult(
+        groups=tuple(groups), undetectable_fault_ids=undetectable,
+        settings=settings,
+        n_original_tests=sum(1 for t in generation.tests
+                             if t.test is not None),
+        wall_time_s=time.monotonic() - started)
+    _LOG.info("collapsed %d tests -> %d (delta=%.2g, ratio %.1fx)",
+              result.n_original_tests, result.n_compact_tests,
+              settings.delta, result.compaction_ratio)
+    return result

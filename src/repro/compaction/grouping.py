@@ -1,0 +1,101 @@
+"""Grouping of optimized tests in test-parameter space.
+
+The compaction step starts from the observation behind the paper's
+Fig. 8: fault-specific optimal tests of one configuration cluster in the
+parameter space ("if the tests can be grouped in the parameter space.
+Several groups may be located in the parameter space of the test
+configuration", §4.1).  We group with single-linkage agglomeration over
+normalized parameter coordinates: two tests join the same group when they
+are connected by a chain of pairwise distances below the threshold.
+Single-linkage is the right relaxation here because the screening
+criterion (not the clustering) is what ultimately accepts or rejects a
+collapse — the clustering only proposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompactionError
+
+__all__ = ["single_linkage_groups", "farthest_pair_split"]
+
+
+def single_linkage_groups(points: np.ndarray,
+                          threshold: float) -> list[list[int]]:
+    """Cluster row vectors of *points* with single-linkage at *threshold*.
+
+    Args:
+        points: (n, d) coordinates (normalized parameter vectors).
+        threshold: maximum merge distance.
+
+    Returns:
+        List of index groups (each sorted), ordered by smallest member.
+    """
+    points = np.atleast_2d(np.asarray(points, float))
+    n = len(points)
+    if n == 0:
+        return []
+    if threshold < 0.0:
+        raise CompactionError(f"threshold must be >= 0, got {threshold}")
+
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+
+    for i in range(n):
+        deltas = points[i + 1:] - points[i]
+        distances = np.linalg.norm(deltas, axis=1)
+        for offset in np.nonzero(distances <= threshold)[0]:
+            union(i, i + 1 + int(offset))
+
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+    return sorted((sorted(g) for g in groups.values()), key=lambda g: g[0])
+
+
+def farthest_pair_split(points: np.ndarray,
+                        indices: list[int]) -> tuple[list[int], list[int]]:
+    """Split a group in two, seeded by its farthest pair.
+
+    Used when a proposed collapse fails the delta-screening: the group is
+    bisected (each member joins the nearer of the two extreme points) and
+    both halves are retried recursively.
+    """
+    if len(indices) < 2:
+        raise CompactionError("cannot split a group of fewer than 2 tests")
+    pts = np.atleast_2d(np.asarray(points, float))[indices]
+    # Farthest pair (exact O(m^2); groups are small).
+    best = (0, 1)
+    best_dist = -1.0
+    for a in range(len(indices)):
+        deltas = pts[a + 1:] - pts[a]
+        if len(deltas) == 0:
+            continue
+        distances = np.linalg.norm(deltas, axis=1)
+        b = int(np.argmax(distances))
+        if distances[b] > best_dist:
+            best_dist = float(distances[b])
+            best = (a, a + 1 + b)
+    seed_a, seed_b = best
+    group_a: list[int] = []
+    group_b: list[int] = []
+    for k, index in enumerate(indices):
+        da = float(np.linalg.norm(pts[k] - pts[seed_a]))
+        db = float(np.linalg.norm(pts[k] - pts[seed_b]))
+        (group_a if da <= db else group_b).append(index)
+    if not group_a or not group_b:
+        # Degenerate (all points identical): split arbitrarily.
+        middle = len(indices) // 2
+        return indices[:middle], indices[middle:]
+    return group_a, group_b

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the ATPG flow can fence the whole library with one
+``except`` clause.  The sub-classes follow the package structure: netlist
+construction errors, simulation (convergence) errors, fault-model errors,
+optimization errors and test-generation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Raised for structurally invalid circuits.
+
+    Examples: duplicate element names, elements referencing undeclared
+    nodes, floating nodes without a DC path to ground, shorted ideal
+    voltage-source loops.
+    """
+
+
+class ParseError(NetlistError):
+    """Raised by the SPICE-like netlist parser on malformed input.
+
+    Carries the offending line number and text so the message can point at
+    the exact location in the source deck.
+    """
+
+    def __init__(self, message: str, line_no: int | None = None,
+                 line: str | None = None) -> None:
+        location = f" (line {line_no}: {line!r})" if line_no is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line_no = line_no
+        self.line = line
+
+
+class AnalysisError(ReproError):
+    """Base class for simulation-engine failures."""
+
+
+class ConvergenceError(AnalysisError):
+    """Raised when Newton-Raphson fails to converge.
+
+    The engine escalates through damping, gmin stepping and source
+    stepping before giving up; this error means all homotopies failed.
+    """
+
+
+class SingularMatrixError(AnalysisError):
+    """Raised when the MNA matrix is numerically singular.
+
+    Usually indicates a floating node or an ill-formed circuit that
+    slipped past validation (e.g. a current source driving an open pin).
+    """
+
+
+class FaultModelError(ReproError):
+    """Raised for invalid fault definitions or impossible injections."""
+
+
+class ToleranceError(ReproError):
+    """Raised for invalid tolerance-box or process-variation setups."""
+
+
+class OptimizationError(ReproError):
+    """Raised for invalid optimizer setups (bad bounds, empty budget)."""
+
+
+class TestGenerationError(ReproError):
+    """Raised for inconsistent test-configuration or generation inputs."""
+
+
+class CompactionError(ReproError):
+    """Raised for invalid compaction inputs (empty sets, bad delta)."""

@@ -1,0 +1,58 @@
+"""Structural fault models, dictionaries and injection (paper §2-3).
+
+The two model families of the paper's experiment:
+
+* :class:`BridgingFault` — resistive short between two nodes;
+* :class:`PinholeFault` — Eckersall gate-oxide short (split channel plus
+  gate shunt at 25 % of the channel length from the drain).
+
+Both expose the *impact* manipulation interface the generation algorithm
+drives (weaken / strengthen / critical-impact search).
+"""
+
+from repro.faults.base import (
+    FaultModel,
+    IMPACT_RESISTANCE_MAX,
+    IMPACT_RESISTANCE_MIN,
+)
+from repro.faults.bridging import BridgingFault, DEFAULT_BRIDGE_RESISTANCE
+from repro.faults.dictionary import (
+    FaultDictionary,
+    enumerate_bridging_faults,
+    enumerate_pinhole_faults,
+    exhaustive_fault_dictionary,
+)
+from repro.faults.ifa import (
+    IfaWeights,
+    bridge_likelihood,
+    ifa_fault_dictionary,
+    pinhole_likelihood,
+    weighted_coverage,
+)
+from repro.faults.inject import inject_fault
+from repro.faults.pinhole import (
+    DEFAULT_PINHOLE_POSITION,
+    DEFAULT_PINHOLE_RESISTANCE,
+    PinholeFault,
+)
+
+__all__ = [
+    "FaultModel",
+    "BridgingFault",
+    "PinholeFault",
+    "FaultDictionary",
+    "enumerate_bridging_faults",
+    "enumerate_pinhole_faults",
+    "exhaustive_fault_dictionary",
+    "inject_fault",
+    "IfaWeights",
+    "bridge_likelihood",
+    "pinhole_likelihood",
+    "ifa_fault_dictionary",
+    "weighted_coverage",
+    "DEFAULT_BRIDGE_RESISTANCE",
+    "DEFAULT_PINHOLE_RESISTANCE",
+    "DEFAULT_PINHOLE_POSITION",
+    "IMPACT_RESISTANCE_MIN",
+    "IMPACT_RESISTANCE_MAX",
+]

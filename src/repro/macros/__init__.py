@@ -1,0 +1,28 @@
+"""Analog macros with built-in test knowledge.
+
+* :class:`IVConverterMacro` — the paper's evaluation vehicle
+  (reconstruction; see DESIGN.md §3.1).
+* :class:`RCLadderMacro` — a tiny linear macro for fast pipeline tests.
+"""
+
+from repro.macros.base import Macro
+from repro.macros.ivconverter import IVConverterMacro, IV_NMOS, IV_PMOS
+from repro.macros.ota import OTAMacro
+from repro.macros.rcladder import RCLadderMacro
+from repro.macros.registry import (
+    available_macros,
+    get_macro,
+    register_macro,
+)
+
+__all__ = [
+    "Macro",
+    "IVConverterMacro",
+    "RCLadderMacro",
+    "OTAMacro",
+    "IV_NMOS",
+    "IV_PMOS",
+    "register_macro",
+    "get_macro",
+    "available_macros",
+]

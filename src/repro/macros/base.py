@@ -1,0 +1,112 @@
+"""Macro abstraction: a reusable analog block plus its test knowledge.
+
+A *macro* in the paper's sense is a reusable analog building block of a
+mixed-signal IC (an IV-converter, an opamp, a filter) that ships with
+standardized node names and a set of test-configuration descriptions
+shared by its macro type.  This class bundles everything the ATPG flow
+needs about one macro:
+
+* the netlist (:meth:`Macro.build_circuit`),
+* the standard node list (defines the bridging-fault universe),
+* the exhaustive fault dictionary,
+* the test-configuration implementations (bounds, seeds, procedures,
+  box functions),
+* the process-variation and tester-accuracy models.
+
+Box functions come in two modes:
+
+* ``"fast"`` — conservative constant half-widths shipped with the macro;
+  instant, used by unit tests and interactive exploration;
+* ``"calibrated"`` — Monte-Carlo calibration against the macro's process
+  variation (cached on disk), used by the experiment benches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.analysis import DEFAULT_OPTIONS, SimOptions
+from repro.circuit.netlist import Circuit
+from repro.faults.dictionary import (
+    FaultDictionary,
+    exhaustive_fault_dictionary,
+)
+from repro.testgen.configuration import TestConfiguration
+from repro.testgen.execution import MacroTestbench
+from repro.tolerance.equipment import DEFAULT_EQUIPMENT, EquipmentSpec
+from repro.tolerance.process import DEFAULT_PROCESS, ProcessVariation
+
+__all__ = ["Macro"]
+
+
+class Macro(ABC):
+    """Base class for analog macros under test."""
+
+    #: Macro instance name (used in reports and cache tags).
+    name: str = "macro"
+
+    #: Macro type; test-configuration descriptions are shared per type.
+    macro_type: str = "generic"
+
+    def __init__(self,
+                 process_variation: ProcessVariation = DEFAULT_PROCESS,
+                 equipment: EquipmentSpec = DEFAULT_EQUIPMENT,
+                 options: SimOptions = DEFAULT_OPTIONS) -> None:
+        self.process_variation = process_variation
+        self.equipment = equipment
+        self.options = options
+        self._circuit: Circuit | None = None
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build_circuit(self) -> Circuit:
+        """Construct the fault-free netlist (uncached)."""
+
+    @property
+    def circuit(self) -> Circuit:
+        """The fault-free netlist (cached)."""
+        if self._circuit is None:
+            self._circuit = self.build_circuit()
+        return self._circuit
+
+    @property
+    @abstractmethod
+    def standard_nodes(self) -> tuple[str, ...]:
+        """Standardized node names; the bridging-fault universe."""
+
+    # ------------------------------------------------------------------
+    # fault universe
+    # ------------------------------------------------------------------
+    def fault_dictionary(self) -> FaultDictionary:
+        """Exhaustive dictionary: all node-pair bridges + all pinholes."""
+        return exhaustive_fault_dictionary(self.circuit,
+                                           nodes=self.standard_nodes)
+
+    # ------------------------------------------------------------------
+    # test knowledge
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def test_configurations(
+        self, box_mode: str = "fast",
+        cache_dir: Path | str | None = None,
+    ) -> tuple[TestConfiguration, ...]:
+        """The macro's candidate test-configuration implementations.
+
+        Args:
+            box_mode: ``"fast"`` (shipped constant boxes) or
+                ``"calibrated"`` (Monte-Carlo, cached under *cache_dir*).
+            cache_dir: calibration cache directory.
+        """
+
+    def testbench(self, box_mode: str = "fast",
+                  cache_dir: Path | str | None = None) -> MacroTestbench:
+        """Convenience: circuit + configurations wired into a testbench."""
+        return MacroTestbench(
+            self.circuit, self.test_configurations(box_mode, cache_dir),
+            self.options)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,154 @@
+"""A two-section RC ladder macro — the fast test vehicle.
+
+Not from the paper: this tiny linear macro exists so the test suite and
+the examples can exercise the *complete* ATPG pipeline (fault dictionary,
+box functions, generation, compaction) with millisecond simulations.  It
+deliberately mirrors the IV-converter macro's shape — standard nodes, a
+DC configuration and a step configuration — at 1/100th of the cost.
+
+Topology: ``VIN -> R1 -> n1 -> R2 -> vout``, shunt capacitors at ``n1``
+and ``vout`` (one time constant ~ 1 us), and a load resistor to ground so
+every DC level is observable.  Standard nodes: ``vin, n1, vout, 0`` —
+6 bridging faults, no pinholes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuit import Circuit, CircuitBuilder
+from repro.errors import TestGenerationError
+from repro.macros.base import Macro
+from repro.testgen.configuration import (
+    ReturnValueSpec,
+    TestConfiguration,
+    TestConfigurationDescription,
+)
+from repro.testgen.parameters import BoundParameter, ParameterSpec
+from repro.testgen.procedures import DCProcedure, Probe, StepProcedure
+from repro.tolerance.box import BoxFunction, ConstantBoxFunction
+from repro.tolerance.calibrate import calibrate_box_function
+
+__all__ = ["RCLadderMacro"]
+
+_FAST_BOXES = {
+    "dc-out": (0.12,),       # V
+    "step-mean": (0.06,),    # V
+}
+
+
+class RCLadderMacro(Macro):
+    """Fast linear macro for pipeline tests (see module docstring)."""
+
+    name = "rcladder"
+    macro_type = "rc-ladder"
+
+    STANDARD_NODES = ("vin", "n1", "vout", "0")
+    INPUT_SOURCE = "VIN"
+
+    def build_circuit(self) -> Circuit:
+        b = CircuitBuilder(self.name)
+        b.voltage_source(self.INPUT_SOURCE, "vin", "0", 0.0)
+        b.resistor("R1", "vin", "n1", "1k")
+        b.capacitor("C1", "n1", "0", "1n")
+        b.resistor("R2", "n1", "vout", "1k")
+        b.capacitor("C2", "vout", "0", "1n")
+        b.resistor("RL", "vout", "0", "10k")
+        return b.build()
+
+    @property
+    def standard_nodes(self) -> tuple[str, ...]:
+        return self.STANDARD_NODES
+
+    def configuration_descriptions(
+            self) -> tuple[TestConfigurationDescription, ...]:
+        """Two templates: a DC level test and a step-response test."""
+        return (
+            TestConfigurationDescription(
+                name="dc-out", macro_type=self.macro_type,
+                title="DC transfer",
+                control_nodes=("vin",), observe_nodes=("vout",),
+                stimulus_template="dc(level) at vin",
+                parameters=("level",),
+                return_values=(ReturnValueSpec(
+                    "delta_vout", "voltage", "dV(vout) vs nominal"),)),
+            TestConfigurationDescription(
+                name="step-mean", macro_type=self.macro_type,
+                title="Step response",
+                control_nodes=("vin",), observe_nodes=("vout",),
+                stimulus_template="step(base, elev) at vin",
+                parameters=("base", "elev"),
+                variables={"sa": "10 MHz sampling", "t": "5 us test time"},
+                return_values=(ReturnValueSpec(
+                    "acc_dv", "voltage_sample",
+                    "mean_i |dV(vout, t_i)|"),)),
+        )
+
+    def _bound_parameters(self, name: str) -> tuple[BoundParameter, ...]:
+        level = ParameterSpec("level", "V", "DC input level")
+        base = ParameterSpec("base", "V", "step base level")
+        elev = ParameterSpec("elev", "V", "step elevation")
+        table = {
+            "dc-out": (BoundParameter(level, 0.0, 5.0, 2.0),),
+            "step-mean": (BoundParameter(base, 0.0, 2.0, 0.5),
+                          BoundParameter(elev, -2.0, 3.0, 2.0)),
+        }
+        return table[name]
+
+    def _procedure(self, name: str):
+        if name == "dc-out":
+            return DCProcedure(self.INPUT_SOURCE, "level",
+                               (Probe("v", "vout"),))
+        if name == "step-mean":
+            return StepProcedure(
+                self.INPUT_SOURCE, "vout", base_param="base",
+                elev_param="elev", mode="accumulate", sample_rate=10e6,
+                test_time=5e-6, t_step=100e-9, slew_rate=1e8)
+        raise TestGenerationError(f"unknown configuration {name!r}")
+
+    def _box_function(self, name: str, box_mode: str,
+                      cache_dir: Path | str | None) -> BoxFunction:
+        if box_mode == "fast":
+            return ConstantBoxFunction(_FAST_BOXES[name])
+        if box_mode != "calibrated":
+            raise TestGenerationError(
+                f"box_mode must be 'fast' or 'calibrated', got {box_mode!r}")
+        procedure = self._procedure(name)
+        parameters = self._bound_parameters(name)
+        bounds = np.array([[p.lower, p.upper] for p in parameters])
+        names = [p.name for p in parameters]
+        nominal_cache: dict[tuple[float, ...], np.ndarray] = {}
+
+        def evaluate(circuit, point):
+            point = np.atleast_1d(np.asarray(point, float))
+            params = dict(zip(names, point))
+            key = tuple(point.tolist())
+            nominal_raw = nominal_cache.get(key)
+            if nominal_raw is None:
+                nominal_raw = procedure.simulate(self.circuit, params,
+                                                 self.options)
+                nominal_cache[key] = nominal_raw
+            raw = procedure.simulate(circuit, params, self.options)
+            return procedure.deviations(nominal_raw, raw)
+
+        return calibrate_box_function(
+            evaluate, self.circuit, self.process_variation, bounds,
+            tag=f"{self.name}/{name}", points_per_axis=3, n_samples=10,
+            cache_dir=cache_dir)
+
+    def test_configurations(
+        self, box_mode: str = "fast",
+        cache_dir: Path | str | None = None,
+    ) -> tuple[TestConfiguration, ...]:
+        configs = []
+        for description in self.configuration_descriptions():
+            configs.append(TestConfiguration(
+                description=description,
+                parameters=self._bound_parameters(description.name),
+                procedure=self._procedure(description.name),
+                box_function=self._box_function(description.name, box_mode,
+                                                cache_dir),
+                equipment=self.equipment))
+        return tuple(configs)

@@ -1,0 +1,52 @@
+"""Macro registry: look up macro classes by type name.
+
+Lets examples and command-line drivers select macros by string, and gives
+downstream users a single place to register their own macros::
+
+    from repro.macros import register_macro, get_macro
+
+    register_macro("my-opamp", MyOpampMacro)
+    macro = get_macro("my-opamp")
+"""
+
+from __future__ import annotations
+
+from repro.errors import TestGenerationError
+from repro.macros.base import Macro
+from repro.macros.ivconverter import IVConverterMacro
+from repro.macros.ota import OTAMacro
+from repro.macros.rcladder import RCLadderMacro
+
+__all__ = ["register_macro", "get_macro", "available_macros"]
+
+_REGISTRY: dict[str, type[Macro]] = {
+    IVConverterMacro.macro_type: IVConverterMacro,
+    RCLadderMacro.macro_type: RCLadderMacro,
+    OTAMacro.macro_type: OTAMacro,
+}
+
+
+def register_macro(macro_type: str, macro_class: type[Macro],
+                   overwrite: bool = False) -> None:
+    """Register a macro class under a type name."""
+    if macro_type in _REGISTRY and not overwrite:
+        raise TestGenerationError(
+            f"macro type {macro_type!r} already registered "
+            "(pass overwrite=True to replace)")
+    _REGISTRY[macro_type] = macro_class
+
+
+def get_macro(macro_type: str, **kwargs) -> Macro:
+    """Instantiate the macro registered under *macro_type*."""
+    try:
+        macro_class = _REGISTRY[macro_type]
+    except KeyError:
+        raise TestGenerationError(
+            f"unknown macro type {macro_type!r}; "
+            f"available: {sorted(_REGISTRY)}") from None
+    return macro_class(**kwargs)
+
+
+def available_macros() -> tuple[str, ...]:
+    """Registered macro type names."""
+    return tuple(sorted(_REGISTRY))

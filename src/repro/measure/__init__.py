@@ -1,0 +1,26 @@
+"""Measurement post-processing: sampling, THD, scalar deviation metrics."""
+
+from repro.measure.metrics import (
+    accumulated_deviation,
+    max_abs_deviation,
+    overshoot,
+    peak_to_peak,
+    rms,
+    settling_time,
+)
+from repro.measure.sampling import resample, steady_state_periods, window
+from repro.measure.thd import harmonic_amplitudes, thd_percent
+
+__all__ = [
+    "window",
+    "resample",
+    "steady_state_periods",
+    "harmonic_amplitudes",
+    "thd_percent",
+    "max_abs_deviation",
+    "accumulated_deviation",
+    "rms",
+    "peak_to_peak",
+    "settling_time",
+    "overshoot",
+]

@@ -1,0 +1,91 @@
+"""Scalar metrics over waveforms and over nominal/faulty waveform pairs.
+
+The paper's test configurations post-process observed waveforms into
+scalar *return values* (Table 1): DC deviations, ``Max(|dV(t_i)|)`` over
+transient samples, accumulated deviations, THD deltas.  These helpers are
+the vocabulary those return-value definitions are built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "max_abs_deviation",
+    "accumulated_deviation",
+    "rms",
+    "peak_to_peak",
+    "settling_time",
+    "overshoot",
+]
+
+
+def max_abs_deviation(nominal: np.ndarray, observed: np.ndarray) -> float:
+    """``Max_i |observed_i - nominal_i|`` (paper's Max(|dV|) return value)."""
+    nominal = np.asarray(nominal, float)
+    observed = np.asarray(observed, float)
+    if nominal.shape != observed.shape:
+        raise ValueError(
+            f"waveform shapes differ: {nominal.shape} vs {observed.shape}")
+    return float(np.max(np.abs(observed - nominal)))
+
+
+def accumulated_deviation(nominal: np.ndarray, observed: np.ndarray,
+                          normalize: bool = True) -> float:
+    """Accumulated absolute deviation over samples (paper's sigma-V).
+
+    With ``normalize=True`` the sum is divided by the sample count, making
+    the value a mean absolute deviation — independent of the sample rate,
+    which keeps tolerance boxes comparable when the rate variable changes.
+    """
+    nominal = np.asarray(nominal, float)
+    observed = np.asarray(observed, float)
+    if nominal.shape != observed.shape:
+        raise ValueError(
+            f"waveform shapes differ: {nominal.shape} vs {observed.shape}")
+    total = float(np.sum(np.abs(observed - nominal)))
+    return total / len(nominal) if normalize else total
+
+
+def rms(values: np.ndarray) -> float:
+    """Root-mean-square of a waveform."""
+    values = np.asarray(values, float)
+    return float(np.sqrt(np.mean(values**2)))
+
+
+def peak_to_peak(values: np.ndarray) -> float:
+    """Max minus min of a waveform."""
+    values = np.asarray(values, float)
+    return float(np.max(values) - np.min(values))
+
+
+def settling_time(t: np.ndarray, values: np.ndarray, final_value: float,
+                  tolerance: float) -> float:
+    """Time after which the waveform stays within ``+-tolerance`` of final.
+
+    Returns ``t[-1]`` if the waveform never settles (useful as a bounded
+    "did not settle" sentinel in return values).
+    """
+    t = np.asarray(t, float)
+    values = np.asarray(values, float)
+    outside = np.abs(values - final_value) > tolerance
+    if not np.any(outside):
+        return float(t[0])
+    last_outside = int(np.max(np.nonzero(outside)[0]))
+    if last_outside + 1 >= len(t):
+        return float(t[-1])
+    return float(t[last_outside + 1])
+
+
+def overshoot(values: np.ndarray, initial_value: float,
+              final_value: float) -> float:
+    """Fractional overshoot of a step response (0.0 when monotonic)."""
+    values = np.asarray(values, float)
+    swing = final_value - initial_value
+    if swing == 0.0:
+        return 0.0
+    if swing > 0:
+        peak = float(np.max(values))
+        return max(0.0, (peak - final_value) / abs(swing))
+    trough = float(np.min(values))
+    return max(0.0, (final_value - trough) / abs(swing))

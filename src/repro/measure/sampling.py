@@ -1,0 +1,59 @@
+"""Waveform sampling helpers.
+
+Test configurations express observation as "sample node X at rate S for
+time T" (paper Fig. 1).  Since the transient engine integrates on exactly
+that grid, these helpers mostly select and window samples; resampling is
+provided for post-processing at a rate different from the integration grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["window", "resample", "steady_state_periods"]
+
+
+def window(t: np.ndarray, values: np.ndarray, t_from: float,
+           t_to: float) -> tuple[np.ndarray, np.ndarray]:
+    """Return the samples with ``t_from <= t <= t_to`` (inclusive)."""
+    t = np.asarray(t, float)
+    values = np.asarray(values, float)
+    mask = (t >= t_from - 1e-15) & (t <= t_to + 1e-15)
+    return t[mask], values[mask]
+
+
+def resample(t: np.ndarray, values: np.ndarray,
+             sample_rate: float) -> tuple[np.ndarray, np.ndarray]:
+    """Linear-interpolation resampling onto a uniform grid.
+
+    Args:
+        t: original (monotonic) time points.
+        values: waveform samples at *t*.
+        sample_rate: output rate [Hz].
+
+    Returns:
+        ``(t_new, v_new)`` covering the same span at the new rate.
+    """
+    t = np.asarray(t, float)
+    values = np.asarray(values, float)
+    dt = 1.0 / sample_rate
+    n = int(np.floor((t[-1] - t[0]) / dt)) + 1
+    t_new = t[0] + dt * np.arange(n)
+    return t_new, np.interp(t_new, t, values)
+
+
+def steady_state_periods(t: np.ndarray, values: np.ndarray, freq: float,
+                         n_periods: int) -> tuple[np.ndarray, np.ndarray]:
+    """Extract the last *n_periods* whole periods of a waveform.
+
+    Used for THD measurement: the leading periods carry the start-up
+    transient and are discarded.
+    """
+    t = np.asarray(t, float)
+    period = 1.0 / freq
+    t_to = t[-1]
+    t_from = t_to - n_periods * period
+    if t_from < t[0] - 1e-12:
+        raise ValueError(
+            f"waveform shorter than {n_periods} periods of {freq:g} Hz")
+    return window(t, values, t_from, t_to)

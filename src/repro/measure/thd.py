@@ -1,0 +1,69 @@
+"""Total harmonic distortion measurement.
+
+The paper's configuration #3 returns the THD of the IV-converter output
+under sine stimulation (Figs 2-4 legend: "a THD measurement for
+IV-converter macros").  We compute THD the way an analog tester's DSP
+option does: window an integer number of steady-state periods, take the
+DFT at the exact harmonic bins, and report
+
+    THD = sqrt(sum_{h=2..H} |X_h|^2) / |X_1|    (as a percentage)
+
+Because the analysis window is an integer number of periods of the
+*stimulus* frequency and the samples are uniform, the harmonic bins land
+exactly on DFT bins and no window function is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["harmonic_amplitudes", "thd_percent"]
+
+
+def harmonic_amplitudes(values: np.ndarray, samples_per_period: int,
+                        n_periods: int, n_harmonics: int) -> np.ndarray:
+    """Amplitudes of harmonics 1..n_harmonics of a periodic waveform.
+
+    Args:
+        values: uniformly sampled waveform covering exactly
+            ``n_periods * samples_per_period`` samples (trailing samples
+            beyond that are ignored; a leading remainder is an error).
+        samples_per_period: integration samples per stimulus period.
+        n_periods: whole periods contained in the window.
+        n_harmonics: number of harmonics to report.
+
+    Returns:
+        Array of length *n_harmonics* with peak amplitudes (same unit as
+        the input waveform).
+    """
+    n = samples_per_period * n_periods
+    if len(values) < n:
+        raise ValueError(
+            f"need {n} samples ({n_periods} periods x {samples_per_period}), "
+            f"got {len(values)}")
+    x = np.asarray(values[-n:], dtype=float)
+    spectrum = np.fft.rfft(x - np.mean(x))
+    # Harmonic h of the stimulus sits at bin h*n_periods.
+    bins = n_periods * np.arange(1, n_harmonics + 1)
+    if bins[-1] >= len(spectrum):
+        raise ValueError(
+            f"{n_harmonics} harmonics exceed Nyquist for "
+            f"{samples_per_period} samples/period")
+    return 2.0 * np.abs(spectrum[bins]) / n
+
+
+def thd_percent(values: np.ndarray, samples_per_period: int,
+                n_periods: int, n_harmonics: int = 5) -> float:
+    """THD in percent over harmonics 2..n_harmonics.
+
+    A vanishing fundamental (dead output) returns ``inf`` — a dead node is
+    maximally distorted as far as fault detection is concerned, and the
+    tolerance-box comparison handles the infinity gracefully.
+    """
+    amplitudes = harmonic_amplitudes(values, samples_per_period, n_periods,
+                                     n_harmonics)
+    fundamental = amplitudes[0]
+    harmonics = amplitudes[1:]
+    if fundamental <= 0.0 or not np.isfinite(fundamental):
+        return float("inf")
+    return float(100.0 * np.sqrt(np.sum(harmonics**2)) / fundamental)

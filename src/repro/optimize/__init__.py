@@ -1,0 +1,20 @@
+"""Derivative-free local optimizers (Brent, Powell) with hard budgets.
+
+These are from-scratch implementations of the two methods the paper
+cites — scipy.optimize is intentionally not used (the optimizers are part
+of the reproduced system, and budget-capped best-effort behaviour on
+noisy simulation-backed objectives is a first-class requirement here).
+"""
+
+from repro.optimize.brent import brent_minimize
+from repro.optimize.budget import BudgetExhausted, CountedObjective
+from repro.optimize.powell import powell_minimize
+from repro.optimize.result import OptimizationResult
+
+__all__ = [
+    "brent_minimize",
+    "powell_minimize",
+    "OptimizationResult",
+    "CountedObjective",
+    "BudgetExhausted",
+]

@@ -1,0 +1,152 @@
+"""Brent's method for bounded scalar minimization.
+
+Implemented from R.P. Brent, *Algorithms for Minimization without
+Derivatives* (1973), chapter 5 — the reference the paper cites for its
+single-parameter test configurations ("Optimizations of single-parameter
+test configurations are using Brent's method [7]", §3.3).  The algorithm
+combines golden-section steps with safeguarded successive parabolic
+interpolation; no derivatives, no bracketing phase (the parameter bounds
+of a test configuration are the interval).
+
+This file intentionally does not use :mod:`scipy.optimize`: the optimizer
+is part of the reproduced system.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.budget import BudgetExhausted, CountedObjective
+from repro.optimize.result import OptimizationResult
+
+__all__ = ["brent_minimize"]
+
+#: (3 - sqrt(5)) / 2, the golden-section step fraction.
+_GOLDEN = 0.3819660112501051
+
+#: Machine-epsilon-based safety used in the tolerance test.
+_SQRT_EPS = float(np.sqrt(np.finfo(float).eps))
+
+
+def brent_minimize(
+    fn: Callable[[np.ndarray], float],
+    lo: float,
+    hi: float,
+    xtol: float = 1e-4,
+    max_evals: int = 40,
+    seed: float | None = None,
+) -> OptimizationResult:
+    """Minimize a scalar function on ``[lo, hi]``.
+
+    Args:
+        fn: objective; receives a length-1 numpy array (uniform interface
+            with the multi-parameter optimizers).
+        lo / hi: interval bounds, ``lo < hi``.
+        xtol: absolute convergence tolerance on the parameter (interpreted
+            relative to the interval, see below).
+        max_evals: hard evaluation budget; the incumbent is returned when
+            it runs out.
+        seed: optional start point inside the interval — the test
+            configuration's seed parameter value.  Brent's initial point
+            defaults to the golden-section point when omitted.
+
+    Returns:
+        :class:`OptimizationResult`; ``converged`` reflects the tolerance
+        test, not budget exhaustion.
+    """
+    if not lo < hi:
+        raise OptimizationError(f"need lo < hi, got [{lo}, {hi}]")
+    if xtol <= 0.0:
+        raise OptimizationError(f"xtol must be positive, got {xtol}")
+
+    counted = CountedObjective(fn, max_evals)
+    a, b = float(lo), float(hi)
+    history: list[float] = []
+
+    if seed is not None and not (lo <= seed <= hi):
+        raise OptimizationError(
+            f"seed {seed} outside interval [{lo}, {hi}]")
+
+    x = (a + _GOLDEN * (b - a)) if seed is None else float(seed)
+    # Keep the seed strictly interior so the parabolic machinery has room.
+    span = b - a
+    x = min(max(x, a + 1e-12 * span), b - 1e-12 * span)
+    w = v = x
+    d = e = 0.0
+
+    converged = False
+    message = "evaluation budget exhausted"
+    try:
+        fx = counted(np.array([x]))
+        fw = fv = fx
+        history.append(fx)
+        while True:
+            m = 0.5 * (a + b)
+            tol = _SQRT_EPS * abs(x) + xtol
+            tol2 = 2.0 * tol
+            if abs(x - m) <= tol2 - 0.5 * (b - a):
+                converged = True
+                message = "xtol satisfied"
+                break
+
+            use_golden = True
+            if abs(e) > tol:
+                # Fit a parabola through (v, fv), (w, fw), (x, fx).
+                r = (x - w) * (fx - fv)
+                q = (x - v) * (fx - fw)
+                p = (x - v) * q - (x - w) * r
+                q = 2.0 * (q - r)
+                if q > 0.0:
+                    p = -p
+                q = abs(q)
+                e_prev = e
+                e = d
+                if (abs(p) < abs(0.5 * q * e_prev) and p > q * (a - x)
+                        and p < q * (b - x)):
+                    # Acceptable parabolic step.
+                    d = p / q
+                    u = x + d
+                    if (u - a) < tol2 or (b - u) < tol2:
+                        d = tol if x < m else -tol
+                    use_golden = False
+            if use_golden:
+                e = (b - x) if x < m else (a - x)
+                d = _GOLDEN * e
+
+            u = x + (d if abs(d) >= tol else (tol if d > 0 else -tol))
+            fu = counted(np.array([u]))
+            history.append(min(history[-1], fu))
+
+            if fu <= fx:
+                if u < x:
+                    b = x
+                else:
+                    a = x
+                v, fv = w, fw
+                w, fw = x, fx
+                x, fx = u, fu
+            else:
+                if u < x:
+                    a = u
+                else:
+                    b = u
+                if fu <= fw or w == x:
+                    v, fv = w, fw
+                    w, fw = u, fu
+                elif fu <= fv or v == x or v == w:
+                    v, fv = u, fu
+    except BudgetExhausted:
+        if counted.best_x is None:
+            # Nothing was evaluated: the exhaustion came from an *outer*
+            # budget (e.g. Powell's total) before our first call went
+            # through.  Propagate so the owner of that budget returns
+            # its own incumbent.
+            raise
+
+    assert counted.best_x is not None, "objective never evaluated"
+    return OptimizationResult(
+        x=counted.best_x, fun=counted.best_f, nfev=counted.nfev,
+        converged=converged, message=message, history=tuple(history))

@@ -1,0 +1,61 @@
+"""Evaluation budgets for simulation-backed objectives.
+
+Every objective evaluation behind the ATPG flow is at least one circuit
+simulation, so optimizers must be able to stop on a hard evaluation
+budget and still return their best point.  :class:`CountedObjective`
+wraps the raw objective, counts calls, tracks the incumbent and raises
+:class:`BudgetExhausted` (internal control flow) when the budget is spent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import OptimizationError
+
+__all__ = ["BudgetExhausted", "CountedObjective"]
+
+
+class BudgetExhausted(Exception):
+    """Internal signal: the evaluation budget ran out.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: it never
+    escapes the optimizers, which catch it and return the incumbent.
+    """
+
+
+class CountedObjective:
+    """Wraps ``f(x) -> float`` with counting and incumbent tracking."""
+
+    def __init__(self, fn: Callable[[np.ndarray], float],
+                 max_evals: int) -> None:
+        if max_evals < 1:
+            raise OptimizationError(
+                f"max_evals must be >= 1, got {max_evals}")
+        self._fn = fn
+        self._max_evals = max_evals
+        self.nfev = 0
+        self.best_x: np.ndarray | None = None
+        self.best_f = float("inf")
+
+    def __call__(self, x: Sequence[float] | float) -> float:
+        if self.nfev >= self._max_evals:
+            raise BudgetExhausted
+        self.nfev += 1
+        x_arr = np.atleast_1d(np.asarray(x, float))
+        value = float(self._fn(x_arr))
+        if np.isnan(value):
+            # A failed simulation is treated as a terrible objective value
+            # instead of crashing the whole generation run.
+            value = float("inf")
+        if value < self.best_f:
+            self.best_f = value
+            self.best_x = x_arr.copy()
+        return value
+
+    @property
+    def remaining(self) -> int:
+        """Evaluations left in the budget."""
+        return self._max_evals - self.nfev

@@ -1,0 +1,154 @@
+"""Powell's direction-set method with Brent line searches, box-constrained.
+
+The paper optimizes multi-parameter test configurations "by Powell's
+method described in [8] (Acton, *Numerical Methods that Work*), in which
+Brent's method is used to explore one-dimensional search-directions"
+(§3.3).  This module follows that construction: a derivative-free
+direction-set loop whose line minimizations call
+:func:`repro.optimize.brent.brent_minimize` over the exact segment where
+the search line intersects the parameter box.
+
+Classic Powell direction replacement is included: after each sweep the
+direction of largest decrease may be replaced by the overall displacement
+direction when the standard acceptance test passes, which restores
+conjugacy on smooth valleys without derivative information.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.brent import brent_minimize
+from repro.optimize.budget import BudgetExhausted, CountedObjective
+from repro.optimize.result import OptimizationResult
+
+__all__ = ["powell_minimize"]
+
+
+def _line_interval(x: np.ndarray, direction: np.ndarray,
+                   bounds: np.ndarray) -> tuple[float, float]:
+    """Step range [t_lo, t_hi] keeping ``x + t*direction`` inside the box."""
+    t_lo, t_hi = -np.inf, np.inf
+    for xi, di, (lo, hi) in zip(x, direction, bounds):
+        if abs(di) < 1e-300:
+            continue
+        t1, t2 = (lo - xi) / di, (hi - xi) / di
+        if t1 > t2:
+            t1, t2 = t2, t1
+        t_lo = max(t_lo, t1)
+        t_hi = min(t_hi, t2)
+    if not np.isfinite(t_lo) or not np.isfinite(t_hi) or t_hi <= t_lo:
+        return 0.0, 0.0
+    return float(t_lo), float(t_hi)
+
+
+def powell_minimize(
+    fn: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    bounds: np.ndarray,
+    ftol: float = 1e-3,
+    xtol_frac: float = 1e-3,
+    max_iters: int = 6,
+    max_evals: int = 80,
+    line_evals: int = 10,
+) -> OptimizationResult:
+    """Minimize ``fn`` over a parameter box starting from *x0*.
+
+    Args:
+        fn: objective over a length-d numpy array.
+        x0: start point (the configuration's seed parameter values);
+            clipped into the box.
+        bounds: (d, 2) lower/upper bounds.
+        ftol: relative function-decrease convergence threshold per sweep.
+        xtol_frac: line-search tolerance as a fraction of each
+            direction's feasible step range.
+        max_iters: maximum direction-set sweeps.
+        max_evals: hard total evaluation budget.
+        line_evals: evaluation budget per line minimization.
+
+    Returns:
+        :class:`OptimizationResult` with the best point seen.
+    """
+    bounds = np.atleast_2d(np.asarray(bounds, float))
+    n = bounds.shape[0]
+    if bounds.shape != (n, 2) or np.any(bounds[:, 0] >= bounds[:, 1]):
+        raise OptimizationError(f"malformed bounds {bounds.tolist()}")
+    x = np.atleast_1d(np.asarray(x0, float))
+    if x.shape != (n,):
+        raise OptimizationError(
+            f"x0 shape {x.shape} does not match bounds ({n} parameters)")
+    x = np.clip(x, bounds[:, 0], bounds[:, 1])
+
+    counted = CountedObjective(fn, max_evals)
+    directions = [np.eye(n)[i] for i in range(n)]
+    history: list[float] = []
+    converged = False
+    message = "evaluation budget exhausted"
+
+    try:
+        f_current = counted(x)
+        history.append(f_current)
+        for _ in range(max_iters):
+            x_sweep_start = x.copy()
+            f_sweep_start = f_current
+            biggest_drop = 0.0
+            biggest_drop_index = 0
+
+            for index, direction in enumerate(directions):
+                t_lo, t_hi = _line_interval(x, direction, bounds)
+                if t_hi - t_lo < 1e-15:
+                    continue
+                xtol = xtol_frac * (t_hi - t_lo)
+
+                def line(t: np.ndarray, _x=x, _d=direction) -> float:
+                    return counted(_x + float(t[0]) * _d)
+
+                line_result = brent_minimize(
+                    line, t_lo, t_hi, xtol=xtol,
+                    max_evals=min(line_evals, max(counted.remaining, 1)),
+                    seed=min(max(0.0, t_lo), t_hi))
+                if line_result.fun < f_current:
+                    drop = f_current - line_result.fun
+                    if drop > biggest_drop:
+                        biggest_drop = drop
+                        biggest_drop_index = index
+                    x = np.clip(x + float(line_result.x[0]) * direction,
+                                bounds[:, 0], bounds[:, 1])
+                    f_current = line_result.fun
+
+            history.append(f_current)
+            decrease = f_sweep_start - f_current
+            if 2.0 * decrease <= ftol * (abs(f_sweep_start)
+                                         + abs(f_current)) + 1e-12:
+                converged = True
+                message = "ftol satisfied"
+                break
+
+            # Powell direction replacement (Acton/NR acceptance test).
+            displacement = x - x_sweep_start
+            norm = float(np.linalg.norm(displacement))
+            if norm > 1e-14:
+                x_ext = np.clip(x + displacement, bounds[:, 0], bounds[:, 1])
+                f_ext = counted(x_ext)
+                if f_ext < f_sweep_start:
+                    t1 = (2.0 * (f_sweep_start - 2.0 * f_current + f_ext)
+                          * (f_sweep_start - f_current - biggest_drop) ** 2)
+                    t2 = biggest_drop * (f_sweep_start - f_ext) ** 2
+                    if t1 < t2:
+                        directions.pop(biggest_drop_index)
+                        directions.append(displacement / norm)
+                if f_ext < f_current:
+                    x, f_current = x_ext, f_ext
+        else:
+            message = "iteration cap reached"
+    except BudgetExhausted:
+        pass
+
+    assert counted.best_x is not None, "objective never evaluated"
+    best_x = np.clip(counted.best_x, bounds[:, 0], bounds[:, 1])
+    return OptimizationResult(
+        x=best_x, fun=counted.best_f, nfev=counted.nfev,
+        converged=converged, message=message, history=tuple(history))

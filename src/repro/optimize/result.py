@@ -1,0 +1,41 @@
+"""Optimization result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OptimizationResult"]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of a minimization run.
+
+    Attributes:
+        x: best parameter vector found.
+        fun: objective value at ``x``.
+        nfev: number of objective evaluations spent.
+        converged: True when the tolerance test passed; False when the
+            run stopped on its evaluation budget or iteration cap (the
+            result is still the best point seen).
+        message: human-readable stop reason.
+        history: objective value after each outer iteration (diagnostic).
+    """
+
+    x: np.ndarray
+    fun: float
+    nfev: int
+    converged: bool
+    message: str = ""
+    history: tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.atleast_1d(np.asarray(self.x,
+                                                               float)))
+
+    def __repr__(self) -> str:
+        status = "converged" if self.converged else "budget/cap"
+        return (f"OptimizationResult(x={self.x.tolist()}, "
+                f"fun={self.fun:.6g}, nfev={self.nfev}, {status})")

@@ -1,0 +1,18 @@
+"""Reporting: ASCII tables, tps heatmaps, experiment records."""
+
+from repro.reporting.heatmap import default_buckets, render_tps_graph
+from repro.reporting.records import (
+    ExperimentRecord,
+    load_records,
+    write_records,
+)
+from repro.reporting.tables import render_table
+
+__all__ = [
+    "render_table",
+    "render_tps_graph",
+    "default_buckets",
+    "ExperimentRecord",
+    "write_records",
+    "load_records",
+]

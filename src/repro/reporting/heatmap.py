@@ -1,0 +1,87 @@
+"""ASCII rendering of tps-graphs, mimicking the paper's level buckets.
+
+Figures 2-4 of the paper draw tps-graphs as shaded level plots with a
+legend like ``0..-200, -200..-400, ...`` (hard impact) or
+``1..0.5, 0.5..0, 0..-0.5, ...`` (soft impact).  :func:`render_tps_graph`
+reproduces that as a character raster: darker characters = more negative
+(more sensitive), with the bucket legend printed alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.testgen.tps import TpsGraph
+from repro.units import format_value
+
+__all__ = ["render_tps_graph", "default_buckets"]
+
+#: Light -> dark ramp; index 0 is "insensitive", last is "most sensitive".
+_RAMP = " .:-=+*#%@"
+
+
+def default_buckets(values: np.ndarray, n_buckets: int = 8) -> np.ndarray:
+    """Bucket edges spanning the value range (paper-legend style).
+
+    Uses round-ish quantile edges so both the flat soft-region graphs
+    (values in roughly [-2, 1]) and the violent hard-region graphs
+    (values to -1200) render with full contrast.
+    """
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return np.linspace(-1.0, 1.0, n_buckets + 1)
+    lo, hi = float(np.min(finite)), float(np.max(finite))
+    if lo == hi:
+        lo, hi = lo - 0.5, hi + 0.5
+    return np.linspace(hi, lo, n_buckets + 1)  # descending, like the legend
+
+
+def render_tps_graph(graph: TpsGraph, n_buckets: int = 8,
+                     buckets: np.ndarray | None = None) -> str:
+    """Render a 1-D or 2-D tps-graph as an ASCII level plot with legend."""
+    if buckets is None:
+        buckets = default_buckets(graph.values, n_buckets)
+    buckets = np.asarray(buckets, float)  # descending edges
+    n_levels = len(buckets) - 1
+
+    def bucket_char(value: float) -> str:
+        if not np.isfinite(value):
+            return _RAMP[-1]
+        index = int(np.searchsorted(-buckets, -value, side="right")) - 1
+        index = min(max(index, 0), n_levels - 1)
+        ramp_pos = int(round(index * (len(_RAMP) - 1) / max(n_levels - 1, 1)))
+        return _RAMP[ramp_pos]
+
+    header = (f"tps-graph: {graph.config_name} / {graph.fault_id} "
+              f"@ impact {format_value(graph.impact, 'ohm')}   "
+              f"min S = {graph.min_value:.4g} at "
+              f"{[format_value(v) for v in graph.argmin_params]}")
+
+    lines = [header]
+    if graph.values.ndim == 1:
+        axis = graph.axes[0]
+        row = "".join(bucket_char(v) for v in graph.values)
+        lines.append(f"  {graph.param_names[0]}: "
+                     f"{format_value(axis[0])} .. {format_value(axis[-1])}")
+        lines.append("  [" + row + "]")
+    else:
+        # Rows = second parameter (descending, like the figures' y-axis),
+        # columns = first parameter.
+        x_axis, y_axis = graph.axes[0], graph.axes[1]
+        lines.append(f"  y: {graph.param_names[1]} "
+                     f"({format_value(y_axis[-1])} top .. "
+                     f"{format_value(y_axis[0])} bottom)   "
+                     f"x: {graph.param_names[0]} "
+                     f"({format_value(x_axis[0])} .. "
+                     f"{format_value(x_axis[-1])})")
+        for j in range(len(y_axis) - 1, -1, -1):
+            row = "".join(bucket_char(graph.values[i, j])
+                          for i in range(len(x_axis)))
+            lines.append(f"  {format_value(y_axis[j]):>10s} |{row}|")
+
+    lines.append("  legend (S ranges, most sensitive last):")
+    for level in range(n_levels):
+        char = bucket_char((buckets[level] + buckets[level + 1]) / 2.0)
+        lines.append(f"    '{char}'  {buckets[level]:10.4g} .. "
+                     f"{buckets[level + 1]:10.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Experiment records: paper-versus-measured bookkeeping.
+
+The benchmark harness produces one :class:`ExperimentRecord` per paper
+table/figure; EXPERIMENTS.md is generated from these.  A record keeps the
+paper's claim verbatim next to the measured counterpart plus a judgement
+note, so reviewers can audit each comparison independently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentRecord", "write_records", "load_records"]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One paper-versus-measured comparison.
+
+    Attributes:
+        experiment_id: table/figure identifier ("Table 2", "Fig. 3").
+        description: what is being compared.
+        paper: the paper's value/claim (verbatim where legible).
+        measured: our measured counterpart.
+        agreement: short judgement ("matches", "qualitative", ...).
+        note: caveats (OCR damage, substitution effects, ...).
+    """
+
+    experiment_id: str
+    description: str
+    paper: str
+    measured: str
+    agreement: str = "qualitative"
+    note: str = ""
+
+    def to_markdown(self) -> str:
+        """Render as a markdown section for EXPERIMENTS.md."""
+        lines = [
+            f"### {self.experiment_id} — {self.description}",
+            "",
+            f"* **Paper:** {self.paper}",
+            f"* **Measured:** {self.measured}",
+            f"* **Agreement:** {self.agreement}",
+        ]
+        if self.note:
+            lines.append(f"* **Note:** {self.note}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def write_records(records: list[ExperimentRecord],
+                  path: Path | str) -> None:
+    """Append records to a JSON-lines artifact file (bench output)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        for record in records:
+            handle.write(json.dumps({
+                "experiment_id": record.experiment_id,
+                "description": record.description,
+                "paper": record.paper,
+                "measured": record.measured,
+                "agreement": record.agreement,
+                "note": record.note,
+            }) + "\n")
+
+
+def load_records(path: Path | str) -> list[ExperimentRecord]:
+    """Load records written by :func:`write_records`."""
+    path = Path(path)
+    records: list[ExperimentRecord] = []
+    if not path.exists():
+        return records
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        records.append(ExperimentRecord(**data))
+    return records

@@ -1,0 +1,53 @@
+"""Monospace table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None,
+                 align: Sequence[str] | None = None) -> str:
+    """Render an ASCII table.
+
+    Args:
+        headers: column titles.
+        rows: row cells; any object, rendered with ``str``.
+        title: optional title line above the table.
+        align: per-column ``"l"`` / ``"r"`` (default: left for the first
+            column, right for the rest — the usual shape of numeric
+            result tables).
+    """
+    columns = len(headers)
+    if align is None:
+        align = ["l"] + ["r"] * (columns - 1)
+    if len(align) != columns:
+        raise ValueError(f"align has {len(align)} entries for "
+                         f"{columns} columns")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row} has {len(row)} cells, expected {columns}")
+
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width, a in zip(cells, widths, align):
+            parts.append(cell.ljust(width) if a == "l" else cell.rjust(width))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([separator, fmt(headers), separator])
+    lines.extend(fmt(row) for row in text_rows)
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,228 @@
+"""Test-configuration descriptions, implementations and tests.
+
+Mirrors the paper's three-level construction (§2.1, Fig. 1):
+
+* :class:`TestConfigurationDescription` — the macro-type-level template:
+  controlled/observed nodes, stimulus shape with named parameters,
+  post-processing, variables.  Shared by all macros of a type; node names
+  are standardized.
+* :class:`TestConfiguration` — the *implementation* for one macro:
+  parameter bounds and seeds, variable values (already baked into the
+  measurement procedure), the box function, and the equipment model.
+* :class:`Test` — a configuration plus concrete parameter values; the
+  unit the generator optimizes and the compactor collapses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TestGenerationError
+from repro.testgen.parameters import BoundParameter, ParameterSet
+from repro.testgen.procedures import MeasurementProcedure
+from repro.tolerance.box import BoxFunction
+from repro.tolerance.equipment import DEFAULT_EQUIPMENT, EquipmentSpec
+from repro.units import format_value
+
+__all__ = [
+    "ReturnValueSpec",
+    "TestConfigurationDescription",
+    "TestConfiguration",
+    "Test",
+]
+
+
+@dataclass(frozen=True)
+class ReturnValueSpec:
+    """Declaration of one scalar return value.
+
+    Attributes:
+        name: identifier, e.g. ``"delta_vout"``.
+        kind: measurement kind keying the equipment accuracy
+            (``"voltage"``, ``"current"``, ``"thd"``, ``"voltage_sample"``).
+        description: rendered in configuration cards.
+    """
+
+    name: str
+    kind: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class TestConfigurationDescription:
+    """Macro-type-level test configuration template (paper Fig. 1).
+
+    Attributes:
+        name: short identifier (``"thd"``, ``"dc-output"``).
+        macro_type: macro family the description belongs to
+            (``"iv-converter"``); descriptions are shared across macros
+            of a type.
+        title: one-line human title ("Step response 1").
+        control_nodes: standardized node names receiving stimulus.
+        observe_nodes: standardized node names being measured.
+        stimulus_template: human-readable stimulus expression with the
+            parameter names inline, e.g.
+            ``"step(base, elev, slew_rate=sl) at iin"``.
+        parameters: declared parameter names/units (bounds live in the
+            implementation).
+        variables: non-optimized quantities and their meaning, e.g.
+            ``{"sa": "sample rate", "t": "test time"}``.
+        return_values: declared scalar return values.
+    """
+
+    name: str
+    macro_type: str
+    title: str
+    control_nodes: tuple[str, ...]
+    observe_nodes: tuple[str, ...]
+    stimulus_template: str
+    parameters: tuple[str, ...]
+    variables: Mapping[str, str] = field(default_factory=dict)
+    return_values: tuple[ReturnValueSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.control_nodes or not self.observe_nodes:
+            raise TestGenerationError(
+                f"configuration {self.name!r} needs control and observe "
+                "nodes")
+        if not self.return_values:
+            raise TestGenerationError(
+                f"configuration {self.name!r} declares no return values")
+        object.__setattr__(self, "variables", dict(self.variables))
+
+    def describe(self) -> str:
+        """Render the Fig.-1-style configuration card."""
+        lines = [
+            f"Macro type: {self.macro_type}",
+            f"Test configuration: {self.title} ({self.name})",
+            f"  control : {', '.join(self.control_nodes)}",
+            f"  stimulus: {self.stimulus_template}",
+            f"  observe : {', '.join(self.observe_nodes)}",
+        ]
+        for rv in self.return_values:
+            lines.append(f"  return  : {rv.name} [{rv.kind}]"
+                         + (f" -- {rv.description}" if rv.description else ""))
+        if self.parameters:
+            lines.append(f"  params  : {', '.join(self.parameters)}")
+        if self.variables:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.variables.items())
+            lines.append(f"  vars    : {rendered}")
+        return "\n".join(lines)
+
+
+class TestConfiguration:
+    """A test configuration *implementation* for a specific macro.
+
+    Args:
+        description: the shared macro-type template.
+        parameters: bound parameters (bounds + seeds), one per declared
+            parameter name, same order.
+        procedure: executable stimulus/measurement behaviour with the
+            variable values (sample rate, test time, slew) baked in.
+        box_function: process-spread half-width estimator over the
+            parameter box.
+        equipment: tester accuracy model.
+    """
+
+    def __init__(self, description: TestConfigurationDescription,
+                 parameters: Sequence[BoundParameter],
+                 procedure: MeasurementProcedure,
+                 box_function: BoxFunction,
+                 equipment: EquipmentSpec = DEFAULT_EQUIPMENT) -> None:
+        self.description = description
+        self.parameters = ParameterSet(parameters)
+        self.procedure = procedure
+        self.box_function = box_function
+        self.equipment = equipment
+
+        declared = tuple(description.parameters)
+        if self.parameters.names != declared:
+            raise TestGenerationError(
+                f"configuration {description.name!r}: bound parameters "
+                f"{self.parameters.names} do not match declared {declared}")
+        if procedure.n_return_values != len(description.return_values):
+            raise TestGenerationError(
+                f"configuration {description.name!r}: procedure yields "
+                f"{procedure.n_return_values} return values, description "
+                f"declares {len(description.return_values)}")
+
+    @property
+    def name(self) -> str:
+        """Configuration identifier (from the description)."""
+        return self.description.name
+
+    @property
+    def n_parameters(self) -> int:
+        """Number of optimizable test parameters."""
+        return len(self.parameters)
+
+    @property
+    def n_return_values(self) -> int:
+        """Number of scalar return values."""
+        return self.procedure.n_return_values
+
+    @property
+    def return_kinds(self) -> tuple[str, ...]:
+        """Measurement kind per return value (equipment accuracy keys)."""
+        return tuple(rv.kind for rv in self.description.return_values)
+
+    def seed_test(self) -> "Test":
+        """The seed test: this configuration at its seed parameters."""
+        return Test(self, self.parameters.seeds)
+
+    def make_test(self, values: Mapping[str, float] | Sequence[float]) -> "Test":
+        """Build a test from named or ordered parameter values."""
+        if isinstance(values, Mapping):
+            vector = self.parameters.to_vector(values)
+        else:
+            vector = np.atleast_1d(np.asarray(values, float))
+        return Test(self, vector)
+
+    def __repr__(self) -> str:
+        return (f"TestConfiguration({self.name!r}, "
+                f"{self.n_parameters} params, "
+                f"{self.n_return_values} return values)")
+
+
+@dataclass(frozen=True)
+class Test:
+    """A concrete test: configuration + parameter values (paper §2.1).
+
+    "A test can be regarded as being built up from a test configuration
+    implementation and attached test parameter values."
+    """
+
+    configuration: TestConfiguration
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        vector = np.atleast_1d(np.asarray(self.values, float))
+        bounds = self.configuration.parameters.bounds
+        if vector.shape != (len(bounds),):
+            raise TestGenerationError(
+                f"test for {self.configuration.name!r}: expected "
+                f"{len(bounds)} values, got shape {vector.shape}")
+        if (np.any(vector < bounds[:, 0] - 1e-12)
+                or np.any(vector > bounds[:, 1] + 1e-12)):
+            raise TestGenerationError(
+                f"test for {self.configuration.name!r}: values "
+                f"{vector.tolist()} violate bounds {bounds.tolist()}")
+        object.__setattr__(self, "values", vector)
+
+    @property
+    def config_name(self) -> str:
+        """Name of the owning configuration."""
+        return self.configuration.name
+
+    def as_dict(self) -> dict[str, float]:
+        """Named parameter values."""
+        return self.configuration.parameters.to_dict(self.values)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(
+            f"{p.name}={format_value(v, p.spec.unit)}"
+            for p, v in zip(self.configuration.parameters, self.values))
+        return f"{self.config_name}({pairs})"

@@ -1,0 +1,247 @@
+"""Test execution engine: simulation, caching, sensitivity evaluation.
+
+:class:`TestExecutor` runs one configuration against nominal and faulty
+circuits.  The central economy: *nominal* raw observations are cached per
+quantized parameter point, so a cost-function evaluation inside the
+optimizer costs exactly one **faulty** simulation once the nominal at that
+point is known — crucial when 55 faults x 5 configurations x dozens of
+optimizer steps hit the simulator.
+
+:class:`MacroTestbench` bundles the executors of all configurations of a
+macro and is the object the generation algorithm drives.
+
+Tolerance-box composition happens here: the box half-width for return
+value *i* at parameters *T* is
+
+    box_i(T) = spread_i(T) + 2 * equipment_error_i(|reading_i|)
+
+where ``spread_i`` comes from the configuration's calibrated box function
+and the equipment term appears twice because a deviation compares two
+measured readings (the golden characterization and the unit under test),
+each carrying instrument error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._log import get_logger
+from repro.analysis import DEFAULT_OPTIONS, SimOptions
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError, TestGenerationError
+from repro.faults.base import FaultModel
+from repro.testgen.configuration import Test, TestConfiguration
+from repro.testgen.sensitivity import (
+    SensitivityReport,
+    sensitivity_components,
+)
+
+__all__ = ["ExecutorStats", "TestExecutor", "MacroTestbench"]
+
+_LOG = get_logger("testgen.execution")
+
+#: Deviation assigned when a faulty circuit cannot be simulated at all.
+_FAILED_SIMULATION_DEVIATION = 1e9
+
+
+@dataclass
+class ExecutorStats:
+    """Simulation accounting (used by the efficiency ablation bench)."""
+
+    nominal_simulations: int = 0
+    faulty_simulations: int = 0
+    nominal_cache_hits: int = 0
+
+    @property
+    def total_simulations(self) -> int:
+        """All circuit simulations performed."""
+        return self.nominal_simulations + self.faulty_simulations
+
+    def merged(self, other: "ExecutorStats") -> "ExecutorStats":
+        """Combine two accounts (e.g. across configurations)."""
+        return ExecutorStats(
+            self.nominal_simulations + other.nominal_simulations,
+            self.faulty_simulations + other.faulty_simulations,
+            self.nominal_cache_hits + other.nominal_cache_hits)
+
+
+class TestExecutor:
+    """Runs one test configuration against a macro circuit.
+
+    Args:
+        nominal_circuit: the fault-free macro circuit.
+        configuration: the configuration implementation to execute.
+        options: simulator options shared by all runs.
+    """
+
+    def __init__(self, nominal_circuit: Circuit,
+                 configuration: TestConfiguration,
+                 options: SimOptions = DEFAULT_OPTIONS) -> None:
+        self.nominal_circuit = nominal_circuit
+        self.configuration = configuration
+        self.options = options
+        self.stats = ExecutorStats()
+        self._nominal_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._faulty_cache: dict[str, Circuit] = {}
+
+    # ------------------------------------------------------------------
+    # raw simulation layer
+    # ------------------------------------------------------------------
+    def nominal_raw(self, vector: Sequence[float]) -> np.ndarray:
+        """Nominal raw observation at *vector* (cached)."""
+        params = self.configuration.parameters
+        key = params.quantized_key(vector)
+        cached = self._nominal_cache.get(key)
+        if cached is not None:
+            self.stats.nominal_cache_hits += 1
+            return cached
+        raw = self.configuration.procedure.simulate(
+            self.nominal_circuit, params.to_dict(vector), self.options)
+        self.stats.nominal_simulations += 1
+        self._nominal_cache[key] = raw
+        return raw
+
+    def observed_raw(self, circuit: Circuit,
+                     vector: Sequence[float]) -> np.ndarray:
+        """Raw observation of an arbitrary circuit at *vector* (uncached)."""
+        params = self.configuration.parameters
+        raw = self.configuration.procedure.simulate(
+            circuit, params.to_dict(vector), self.options)
+        self.stats.faulty_simulations += 1
+        return raw
+
+    def _faulty_circuit(self, fault: FaultModel) -> Circuit:
+        key = fault.cache_key
+        circuit = self._faulty_cache.get(key)
+        if circuit is None:
+            circuit = fault.apply(self.nominal_circuit)
+            # Keep the cache bounded: adaptation explores many impacts.
+            if len(self._faulty_cache) > 64:
+                self._faulty_cache.clear()
+            self._faulty_cache[key] = circuit
+        return circuit
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def deviations(self, circuit: Circuit,
+                   vector: Sequence[float]) -> np.ndarray:
+        """Deviation return values of *circuit* versus nominal."""
+        nominal = self.nominal_raw(vector)
+        observed = self.observed_raw(circuit, vector)
+        return self.configuration.procedure.deviations(nominal, observed)
+
+    def boxes(self, vector: Sequence[float]) -> np.ndarray:
+        """Tolerance-box half-widths (spread + 2x equipment error)."""
+        config = self.configuration
+        spread = np.atleast_1d(config.box_function(np.asarray(vector, float)))
+        if spread.shape != (config.n_return_values,):
+            raise TestGenerationError(
+                f"box function of {config.name!r} returned shape "
+                f"{spread.shape}, expected ({config.n_return_values},)")
+        scales = config.procedure.reading_scales(self.nominal_raw(vector))
+        equip = np.array([
+            config.equipment.error_bound(kind, float(scale))
+            for kind, scale in zip(config.return_kinds, scales)])
+        return spread + 2.0 * equip
+
+    def sensitivity(self, fault: FaultModel,
+                    vector: Sequence[float]) -> SensitivityReport:
+        """Evaluate ``S_f`` for *fault* at parameter *vector*.
+
+        A faulty circuit the simulator cannot converge counts as
+        *maximally deviant*: a defect that drives the macro into a state
+        the solver cannot even balance (latch-up, rail collapse) is
+        certainly outside every tolerance box.  Nominal-circuit failures
+        still propagate — those mean the testbench itself is broken.
+        """
+        vector = self.configuration.parameters.clip(vector)
+        faulty = self._faulty_circuit(fault)
+        nominal = self.nominal_raw(vector)  # failures here propagate
+        try:
+            observed = self.observed_raw(faulty, vector)
+            deviations = self.configuration.procedure.deviations(
+                nominal, observed)
+        except AnalysisError as exc:
+            _LOG.warning("faulty simulation failed (%s at %s): %s -> "
+                         "treating as maximal deviation",
+                         fault.cache_key, np.asarray(vector).tolist(), exc)
+            deviations = np.full(self.configuration.n_return_values,
+                                 _FAILED_SIMULATION_DEVIATION)
+        boxes = self.boxes(vector)
+        components = sensitivity_components(deviations, boxes)
+        return SensitivityReport(
+            value=float(np.min(components)), components=components,
+            deviations=deviations, boxes=boxes,
+            params=np.asarray(vector, float))
+
+    def evaluate_test(self, fault: FaultModel, test: Test) -> SensitivityReport:
+        """Evaluate ``S_f`` for *fault* at a concrete :class:`Test`."""
+        if test.configuration is not self.configuration and \
+                test.config_name != self.configuration.name:
+            raise TestGenerationError(
+                f"test belongs to {test.config_name!r}, executor runs "
+                f"{self.configuration.name!r}")
+        return self.sensitivity(fault, test.values)
+
+
+class MacroTestbench:
+    """All test configurations of a macro wired to executors.
+
+    This is the object the generation and compaction algorithms operate
+    on: it owns one :class:`TestExecutor` per configuration and exposes
+    fault-sensitivity evaluation by configuration name.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 configurations: Sequence[TestConfiguration],
+                 options: SimOptions = DEFAULT_OPTIONS) -> None:
+        if not configurations:
+            raise TestGenerationError("testbench needs >= 1 configuration")
+        names = [c.name for c in configurations]
+        if len(set(names)) != len(names):
+            raise TestGenerationError(
+                f"duplicate configuration names: {names}")
+        self.circuit = circuit
+        self.executors: dict[str, TestExecutor] = {
+            config.name: TestExecutor(circuit, config, options)
+            for config in configurations}
+
+    @property
+    def configuration_names(self) -> tuple[str, ...]:
+        """Configuration names in declaration order."""
+        return tuple(self.executors)
+
+    def configuration(self, name: str) -> TestConfiguration:
+        """Configuration implementation by name."""
+        return self.executor(name).configuration
+
+    def executor(self, name: str) -> TestExecutor:
+        """Executor by configuration name."""
+        try:
+            return self.executors[name]
+        except KeyError:
+            raise TestGenerationError(
+                f"no such configuration: {name!r} "
+                f"(have {list(self.executors)})") from None
+
+    def sensitivity(self, fault: FaultModel, config_name: str,
+                    vector: Sequence[float]) -> SensitivityReport:
+        """Evaluate ``S_f`` under one configuration."""
+        return self.executor(config_name).sensitivity(fault, vector)
+
+    def evaluate_test(self, fault: FaultModel,
+                      test: Test) -> SensitivityReport:
+        """Evaluate ``S_f`` at a concrete test (any owned configuration)."""
+        return self.executor(test.config_name).evaluate_test(fault, test)
+
+    @property
+    def stats(self) -> ExecutorStats:
+        """Combined simulation accounting across configurations."""
+        total = ExecutorStats()
+        for executor in self.executors.values():
+            total = total.merged(executor.stats)
+        return total

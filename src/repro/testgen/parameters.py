@@ -1,0 +1,173 @@
+"""Test-parameter declarations and bound/seed bookkeeping.
+
+The paper splits a test configuration into a *description* (which declares
+the existence of parameters like ``base`` or ``freq``) and an
+*implementation* that adds "boundary values for the test parameters and
+values for the variables" plus a seed value per parameter (§2.1-2.2).
+:class:`ParameterSpec` is the description-level declaration;
+:class:`BoundParameter` is the implementation-level binding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TestGenerationError
+from repro.units import format_value
+
+__all__ = ["ParameterSpec", "BoundParameter", "ParameterSet"]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Declaration of one test parameter (description level).
+
+    Attributes:
+        name: parameter identifier used in stimulus templates
+            (``"base"``, ``"elev"``, ``"iin_dc"``, ``"freq"``).
+        unit: physical unit for reports ("A", "Hz", ...).
+        description: one-line meaning for rendered configuration cards.
+    """
+
+    name: str
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise TestGenerationError(
+                f"parameter name {self.name!r} must be a valid identifier")
+
+
+@dataclass(frozen=True)
+class BoundParameter:
+    """Implementation-level binding: bounds plus a seed value.
+
+    The seed is the "promising test" starting value supplied by the
+    designer/test engineer (paper §2.2); optimizers start from it and
+    never leave ``[lower, upper]``.
+    """
+
+    spec: ParameterSpec
+    lower: float
+    upper: float
+    seed: float
+
+    def __post_init__(self) -> None:
+        if not self.lower < self.upper:
+            raise TestGenerationError(
+                f"parameter {self.spec.name}: need lower < upper, got "
+                f"[{self.lower}, {self.upper}]")
+        if not self.lower <= self.seed <= self.upper:
+            raise TestGenerationError(
+                f"parameter {self.spec.name}: seed {self.seed} outside "
+                f"[{self.lower}, {self.upper}]")
+
+    @property
+    def name(self) -> str:
+        """Shortcut for ``spec.name``."""
+        return self.spec.name
+
+    @property
+    def span(self) -> float:
+        """Width of the allowed interval."""
+        return self.upper - self.lower
+
+    def clip(self, value: float) -> float:
+        """Clamp *value* into the allowed interval."""
+        return float(min(max(value, self.lower), self.upper))
+
+    def normalize(self, value: float) -> float:
+        """Map a value into [0, 1] over the allowed interval."""
+        return (value - self.lower) / self.span
+
+    def denormalize(self, fraction: float) -> float:
+        """Inverse of :meth:`normalize`."""
+        return self.lower + fraction * self.span
+
+    def __str__(self) -> str:
+        unit = self.spec.unit
+        return (f"{self.name} in [{format_value(self.lower, unit)}, "
+                f"{format_value(self.upper, unit)}] "
+                f"(seed {format_value(self.seed, unit)})")
+
+
+class ParameterSet:
+    """Ordered collection of bound parameters with vector<->dict helpers.
+
+    The optimizers work on plain vectors; the measurement procedures want
+    named values.  This class is the adapter, and also provides the
+    normalized coordinates the compaction step clusters in.
+    """
+
+    def __init__(self, parameters: Sequence[BoundParameter]) -> None:
+        if not parameters:
+            raise TestGenerationError("a configuration needs >= 1 parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise TestGenerationError(f"duplicate parameter names: {names}")
+        self._parameters = tuple(parameters)
+
+    def __iter__(self):
+        return iter(self._parameters)
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __getitem__(self, name: str) -> BoundParameter:
+        for parameter in self._parameters:
+            if parameter.name == name:
+                return parameter
+        raise TestGenerationError(f"no such parameter: {name!r}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Parameter names in declaration order."""
+        return tuple(p.name for p in self._parameters)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """(d, 2) bounds array for the optimizers."""
+        return np.array([[p.lower, p.upper] for p in self._parameters])
+
+    @property
+    def seeds(self) -> np.ndarray:
+        """Seed vector in declaration order."""
+        return np.array([p.seed for p in self._parameters])
+
+    def to_dict(self, vector: Sequence[float]) -> dict[str, float]:
+        """Vector (declaration order) -> name-keyed dict."""
+        vector = np.atleast_1d(np.asarray(vector, float))
+        if vector.shape != (len(self._parameters),):
+            raise TestGenerationError(
+                f"expected {len(self._parameters)} parameter values, "
+                f"got shape {vector.shape}")
+        return {p.name: float(v) for p, v in zip(self._parameters, vector)}
+
+    def to_vector(self, values: Mapping[str, float]) -> np.ndarray:
+        """Name-keyed dict -> vector in declaration order."""
+        missing = set(self.names) - set(values)
+        if missing:
+            raise TestGenerationError(f"missing parameter values: {missing}")
+        return np.array([float(values[name]) for name in self.names])
+
+    def clip(self, vector: Sequence[float]) -> np.ndarray:
+        """Clamp a vector into the parameter box."""
+        vector = np.atleast_1d(np.asarray(vector, float))
+        bounds = self.bounds
+        return np.clip(vector, bounds[:, 0], bounds[:, 1])
+
+    def normalize(self, vector: Sequence[float]) -> np.ndarray:
+        """Map a vector into the unit box (compaction coordinates)."""
+        vector = np.atleast_1d(np.asarray(vector, float))
+        bounds = self.bounds
+        return (vector - bounds[:, 0]) / (bounds[:, 1] - bounds[:, 0])
+
+    def quantized_key(self, vector: Sequence[float],
+                      resolution: float = 1e-6) -> tuple[int, ...]:
+        """Stable cache key: normalized coordinates on a fine lattice."""
+        normalized = self.normalize(vector)
+        return tuple(int(round(v / resolution)) for v in normalized)

@@ -1,0 +1,80 @@
+"""The sensitivity cost function S_f (paper §3.1).
+
+For a fault model ``f``, test parameters ``T`` and return-value deviations
+``d_i(T) = r_f,i(T) - r_nom,i(T)`` with tolerance-box half-widths
+``box_i(T)``:
+
+    S_f,i(T) = 1 - |d_i(T)| / box_i(T)
+    S_f(T)   = min_i S_f,i(T)
+
+Properties (matching the paper's definition and tps-graph legends):
+
+* ``S_f = 1``  — no observable difference at all ("insensitivity has cost
+  value 1", §4.1);
+* ``S_f in (0, 1)`` — a difference exists but hides inside the tolerance
+  box (undetectable);
+* ``S_f < 0`` — the response escapes the box: detection is guaranteed
+  despite process spread and tester inaccuracy;
+* for multiple return values "selection of the minimal sensitivity value
+  for all individual return values can be used" (§3.1) — hence the min.
+
+``S_f`` is used directly as the minimization cost of the generation
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TestGenerationError
+
+__all__ = ["sensitivity_components", "sensitivity", "SensitivityReport"]
+
+
+def sensitivity_components(deviations: np.ndarray,
+                           boxes: np.ndarray) -> np.ndarray:
+    """Per-return-value sensitivities ``1 - |d_i| / box_i``."""
+    deviations = np.atleast_1d(np.asarray(deviations, float))
+    boxes = np.atleast_1d(np.asarray(boxes, float))
+    if deviations.shape != boxes.shape:
+        raise TestGenerationError(
+            f"deviations {deviations.shape} vs boxes {boxes.shape}")
+    if np.any(boxes <= 0.0):
+        raise TestGenerationError("tolerance boxes must be positive")
+    return 1.0 - np.abs(deviations) / boxes
+
+
+def sensitivity(deviations: np.ndarray, boxes: np.ndarray) -> float:
+    """Scalar cost ``S_f = min_i (1 - |d_i| / box_i)``."""
+    return float(np.min(sensitivity_components(deviations, boxes)))
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Full evaluation record of ``S_f`` at one parameter point.
+
+    Attributes:
+        value: the scalar sensitivity ``S_f``.
+        components: per-return-value sensitivities.
+        deviations: raw deviations ``r_f - r_nom``.
+        boxes: tolerance-box half-widths used (spread + equipment).
+        params: the evaluated parameter vector.
+    """
+
+    value: float
+    components: np.ndarray
+    deviations: np.ndarray
+    boxes: np.ndarray
+    params: np.ndarray
+
+    @property
+    def detected(self) -> bool:
+        """True when detection is guaranteed (``S_f < 0``)."""
+        return self.value < 0.0
+
+    def __repr__(self) -> str:
+        flag = "DETECTED" if self.detected else "undetected"
+        return (f"SensitivityReport(S={self.value:.4g}, {flag}, "
+                f"params={self.params.tolist()})")

@@ -1,0 +1,215 @@
+"""Test-parameter sensitivity (tps) graphs and impact-region classification.
+
+A tps-graph (paper §3.1, Figs 2-4) samples the sensitivity cost
+``S_f(T_tc)`` on a grid over the test-parameter space of one configuration
+for one fault model.  Positive regions are undetectable, negative regions
+guarantee detection, and the minimum is the optimal test-parameter point.
+
+§3.2 classifies the fault-impact axis into two regions by the behaviour of
+these graphs:
+
+* **hard-fault region** (strong impacts): the landscape shape depends on
+  the exact model parameter value;
+* **soft-fault region** (weak impacts): the landscape shape is stable —
+  only "a global flattening and upward shift of values" occurs as the
+  impact weakens further, so the argmin stops moving.
+
+:func:`classify_impact_regions` reproduces that analysis: it sweeps the
+impact, computes graphs, and labels each impact by whether the optimum has
+stabilized relative to the next weaker impact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TestGenerationError
+from repro.faults.base import FaultModel
+from repro.testgen.execution import TestExecutor
+
+__all__ = [
+    "TpsGraph",
+    "compute_tps_graph",
+    "optimum_drift",
+    "shape_correlation",
+    "ImpactRegion",
+    "classify_impact_regions",
+]
+
+
+@dataclass(frozen=True)
+class TpsGraph:
+    """Sensitivity values on a parameter grid for one fault model.
+
+    Attributes:
+        config_name: owning configuration.
+        fault_id / impact: identity of the evaluated fault model.
+        param_names: axis parameter names (1 or 2).
+        axes: grid coordinates per axis.
+        values: ``S_f`` array, shape ``(len(axes[0]),)`` or
+            ``(len(axes[0]), len(axes[1]))`` with axis 0 = first parameter.
+    """
+
+    config_name: str
+    fault_id: str
+    impact: float
+    param_names: tuple[str, ...]
+    axes: tuple[np.ndarray, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = tuple(len(a) for a in self.axes)
+        if self.values.shape != expected:
+            raise TestGenerationError(
+                f"tps values shape {self.values.shape} != grid {expected}")
+
+    @property
+    def min_value(self) -> float:
+        """The most sensitive (lowest) value on the grid."""
+        return float(np.min(self.values))
+
+    @property
+    def argmin_params(self) -> np.ndarray:
+        """Parameter vector of the grid minimum."""
+        flat_index = int(np.argmin(self.values))
+        index = np.unravel_index(flat_index, self.values.shape)
+        return np.array([axis[i] for axis, i in zip(self.axes, index)])
+
+    @property
+    def detection_fraction(self) -> float:
+        """Fraction of grid points with guaranteed detection (S < 0)."""
+        return float(np.mean(self.values < 0.0))
+
+    def normalized_argmin(self) -> np.ndarray:
+        """Argmin in per-axis [0, 1] coordinates (for drift metrics)."""
+        mins = np.array([axis[0] for axis in self.axes])
+        maxs = np.array([axis[-1] for axis in self.axes])
+        return (self.argmin_params - mins) / (maxs - mins)
+
+
+def compute_tps_graph(
+    executor: TestExecutor,
+    fault: FaultModel,
+    axes: Sequence[Sequence[float]] | None = None,
+    points_per_axis: int = 9,
+) -> TpsGraph:
+    """Sample ``S_f`` on a grid over the configuration's parameter box.
+
+    Args:
+        executor: executor of the configuration to map.
+        fault: fault model (at the impact of interest).
+        axes: explicit grid coordinates per parameter; defaults to a
+            uniform grid of *points_per_axis* over the bounds.
+        points_per_axis: default grid resolution.
+
+    Note:
+        Cost is one faulty simulation per grid point (nominal responses
+        are cached in the executor), so a 20x20 THD graph is 400
+        transient runs — the same economics the paper faced with HSPICE.
+    """
+    parameters = executor.configuration.parameters
+    if axes is None:
+        axes = [np.linspace(p.lower, p.upper, points_per_axis)
+                for p in parameters]
+    else:
+        axes = [np.asarray(a, float) for a in axes]
+        if len(axes) != len(parameters):
+            raise TestGenerationError(
+                f"{len(axes)} axes for {len(parameters)} parameters")
+
+    shape = tuple(len(a) for a in axes)
+    values = np.empty(shape)
+    for flat_index in range(int(np.prod(shape))):
+        index = np.unravel_index(flat_index, shape)
+        vector = np.array([axis[i] for axis, i in zip(axes, index)])
+        values[index] = executor.sensitivity(fault, vector).value
+
+    return TpsGraph(
+        config_name=executor.configuration.name, fault_id=fault.fault_id,
+        impact=fault.impact, param_names=parameters.names,
+        axes=tuple(np.asarray(a, float) for a in axes), values=values)
+
+
+def optimum_drift(first: TpsGraph, second: TpsGraph) -> float:
+    """Normalized distance between the argmins of two graphs (0..sqrt(d))."""
+    if first.param_names != second.param_names:
+        raise TestGenerationError(
+            f"graphs over different parameters: {first.param_names} vs "
+            f"{second.param_names}")
+    return float(np.linalg.norm(first.normalized_argmin()
+                                - second.normalized_argmin()))
+
+
+def shape_correlation(first: TpsGraph, second: TpsGraph) -> float:
+    """Pearson correlation of the two landscapes (shape similarity).
+
+    In the soft-fault region, weakening the impact only flattens and
+    shifts the landscape, so correlation stays near 1; in the hard-fault
+    region the shapes genuinely differ.
+    """
+    a = np.asarray(first.values, float).ravel()
+    b = np.asarray(second.values, float).ravel()
+    if a.shape != b.shape:
+        raise TestGenerationError("graphs have different grid shapes")
+    finite = np.isfinite(a) & np.isfinite(b)
+    a, b = a[finite], b[finite]
+    if len(a) < 3 or np.std(a) == 0.0 or np.std(b) == 0.0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+@dataclass(frozen=True)
+class ImpactRegion:
+    """Classification of one impact level along the sweep.
+
+    Attributes:
+        impact: the fault-model parameter value.
+        graph: the tps-graph computed at this impact.
+        drift_to_next: argmin drift toward the next weaker impact
+            (NaN for the last entry).
+        region: ``"soft"`` when the optimum has stabilized relative to
+            the next weaker impact, ``"hard"`` otherwise
+            (``"terminal"`` for the weakest sweep point).
+    """
+
+    impact: float
+    graph: TpsGraph
+    drift_to_next: float
+    region: str
+
+
+def classify_impact_regions(
+    executor: TestExecutor,
+    fault: FaultModel,
+    impacts: Sequence[float],
+    points_per_axis: int = 7,
+    drift_tolerance: float = 0.15,
+) -> list[ImpactRegion]:
+    """Sweep fault impacts and classify hard/soft tps regions (§3.2).
+
+    Args:
+        executor: configuration executor.
+        fault: base fault; its impact parameter is replaced by each value
+            in *impacts* (order them strong -> weak for readability).
+        impacts: impact parameter values to sweep.
+        points_per_axis: tps grid resolution.
+        drift_tolerance: maximum normalized argmin drift for an impact to
+            count as inside the soft (stable) region.
+    """
+    graphs = [compute_tps_graph(executor, fault.with_impact(i),
+                                points_per_axis=points_per_axis)
+              for i in impacts]
+    regions: list[ImpactRegion] = []
+    for k, graph in enumerate(graphs):
+        if k + 1 < len(graphs):
+            drift = optimum_drift(graph, graphs[k + 1])
+            region = "soft" if drift <= drift_tolerance else "hard"
+        else:
+            drift = float("nan")
+            region = "terminal"
+        regions.append(ImpactRegion(impact=float(impacts[k]), graph=graph,
+                                    drift_to_next=drift, region=region))
+    return regions

@@ -1,0 +1,37 @@
+"""Tolerance boxes: process spread, tester accuracy, box functions.
+
+The tolerance layer answers one question for the sensitivity cost
+function: *how large must a response deviation be before it is a
+guaranteed fault detection?*  (paper §2.2, Fig. 5.)
+"""
+
+from repro.tolerance.box import (
+    BoxFunction,
+    CallableBoxFunction,
+    ConstantBoxFunction,
+    InterpolatedBoxFunction,
+    ToleranceBox,
+)
+from repro.tolerance.calibrate import calibrate_box_function, grid_points
+from repro.tolerance.equipment import (
+    AccuracySpec,
+    DEFAULT_EQUIPMENT,
+    EquipmentSpec,
+)
+from repro.tolerance.process import DEFAULT_PROCESS, ProcessVariation, Spread
+
+__all__ = [
+    "ToleranceBox",
+    "BoxFunction",
+    "ConstantBoxFunction",
+    "CallableBoxFunction",
+    "InterpolatedBoxFunction",
+    "calibrate_box_function",
+    "grid_points",
+    "AccuracySpec",
+    "EquipmentSpec",
+    "DEFAULT_EQUIPMENT",
+    "Spread",
+    "ProcessVariation",
+    "DEFAULT_PROCESS",
+]

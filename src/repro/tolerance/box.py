@@ -1,0 +1,189 @@
+"""Tolerance boxes and box functions.
+
+A *tolerance box* (paper §2.2, Fig. 5) is a window in measurement space
+around the nominal return values: any response inside the box may have
+come from a fault-free macro under process spread and tester error, so
+only responses *outside* the box count as detections.
+
+A *box function* estimates the box half-width for any test-parameter value
+set of a configuration ("for each test configuration so-called
+box-functions have been determined estimating the (single) tolerance-box
+value given a test parameter value set within the allowed range", §3.4).
+The half-width returned by the box function covers process spread only;
+the execution layer adds the equipment error for the actual nominal
+reading (see :mod:`repro.testgen.sensitivity`), because the equipment term
+depends on the reading itself.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ToleranceError
+
+__all__ = [
+    "ToleranceBox",
+    "BoxFunction",
+    "ConstantBoxFunction",
+    "CallableBoxFunction",
+    "InterpolatedBoxFunction",
+]
+
+
+@dataclass(frozen=True)
+class ToleranceBox:
+    """Concrete box at one parameter point: nominal values +- half-widths."""
+
+    nominal: np.ndarray
+    half_width: np.ndarray
+
+    def __post_init__(self) -> None:
+        nominal = np.atleast_1d(np.asarray(self.nominal, float))
+        half = np.atleast_1d(np.asarray(self.half_width, float))
+        if nominal.shape != half.shape:
+            raise ToleranceError(
+                f"nominal {nominal.shape} and half_width {half.shape} "
+                "shapes differ")
+        if np.any(half <= 0.0):
+            raise ToleranceError("box half-widths must be positive")
+        object.__setattr__(self, "nominal", nominal)
+        object.__setattr__(self, "half_width", half)
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Lower box corner."""
+        return self.nominal - self.half_width
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Upper box corner."""
+        return self.nominal + self.half_width
+
+    def contains(self, values: Sequence[float]) -> bool:
+        """True if *values* lies inside (or on) the box in every dimension."""
+        values = np.atleast_1d(np.asarray(values, float))
+        return bool(np.all(np.abs(values - self.nominal) <= self.half_width))
+
+    def exceedance(self, values: Sequence[float]) -> np.ndarray:
+        """Per-dimension normalized distance ``|v - nominal| / half_width``.
+
+        Values > 1 indicate the measurement escapes the box in that
+        dimension (guaranteed detection).
+        """
+        values = np.atleast_1d(np.asarray(values, float))
+        return np.abs(values - self.nominal) / self.half_width
+
+
+class BoxFunction(ABC):
+    """Estimates process-spread half-width(s) as a function of parameters."""
+
+    @abstractmethod
+    def half_widths(self, params: Sequence[float]) -> np.ndarray:
+        """Process-spread half-width per return value at *params*."""
+
+    def __call__(self, params: Sequence[float]) -> np.ndarray:
+        return self.half_widths(params)
+
+
+class ConstantBoxFunction(BoxFunction):
+    """Parameter-independent half-widths (simplest usable model)."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self._values = np.atleast_1d(np.asarray(values, float))
+        if np.any(self._values <= 0.0):
+            raise ToleranceError("box half-widths must be positive")
+
+    def half_widths(self, params: Sequence[float]) -> np.ndarray:
+        return self._values.copy()
+
+    def __repr__(self) -> str:
+        return f"ConstantBoxFunction({self._values.tolist()})"
+
+
+class CallableBoxFunction(BoxFunction):
+    """Adapter for a user-supplied ``params -> half_widths`` callable."""
+
+    def __init__(self, fn: Callable[[np.ndarray], Sequence[float]],
+                 description: str = "callable") -> None:
+        self._fn = fn
+        self._description = description
+
+    def half_widths(self, params: Sequence[float]) -> np.ndarray:
+        out = np.atleast_1d(np.asarray(
+            self._fn(np.asarray(params, float)), float))
+        if np.any(out <= 0.0):
+            raise ToleranceError(
+                f"box function {self._description!r} returned non-positive "
+                f"half-widths {out.tolist()} at params {params}")
+        return out
+
+    def __repr__(self) -> str:
+        return f"CallableBoxFunction({self._description})"
+
+
+class InterpolatedBoxFunction(BoxFunction):
+    """Inverse-distance-weighted interpolation over calibration grid points.
+
+    Monte-Carlo box calibration (:mod:`repro.tolerance.calibrate`) yields
+    half-widths on a coarse grid of parameter points; this class
+    interpolates between them.  IDW is used because it is dimension-
+    agnostic, never extrapolates outside the calibrated value range, and
+    degrades gracefully at the grid edges — all desirable for a quantity
+    that must stay positive and conservative.
+
+    Args:
+        grid_points: (n, d) calibrated parameter points.
+        half_widths: (n, p) spread half-widths at those points.
+        bounds: (d, 2) parameter bounds used to normalize distances.
+        power: IDW exponent (2 = classic Shepard weighting).
+    """
+
+    def __init__(self, grid_points: np.ndarray, half_widths: np.ndarray,
+                 bounds: np.ndarray, power: float = 2.0) -> None:
+        self._points = np.atleast_2d(np.asarray(grid_points, float))
+        widths = np.asarray(half_widths, float)
+        if widths.ndim == 1:
+            widths = widths[:, None]
+        self._widths = widths
+        self._bounds = np.atleast_2d(np.asarray(bounds, float))
+        self._power = power
+        if len(self._points) != len(self._widths):
+            raise ToleranceError(
+                f"{len(self._points)} grid points vs "
+                f"{len(self._widths)} half-width rows")
+        if len(self._points) == 0:
+            raise ToleranceError("empty calibration grid")
+        if np.any(self._widths <= 0.0):
+            raise ToleranceError("calibrated half-widths must be positive")
+        span = self._bounds[:, 1] - self._bounds[:, 0]
+        if np.any(span <= 0.0):
+            raise ToleranceError("parameter bounds must have positive span")
+        self._span = span
+
+    def half_widths(self, params: Sequence[float]) -> np.ndarray:
+        p = np.asarray(params, float)
+        if p.shape != (self._points.shape[1],):
+            raise ToleranceError(
+                f"expected {self._points.shape[1]} parameters, "
+                f"got shape {p.shape}")
+        delta = (self._points - p) / self._span
+        dist2 = np.sum(delta**2, axis=1)
+        exact = dist2 < 1e-24
+        if np.any(exact):
+            return self._widths[np.argmax(exact)].copy()
+        weights = dist2 ** (-self._power / 2.0)
+        weights /= np.sum(weights)
+        return weights @ self._widths
+
+    @property
+    def n_grid_points(self) -> int:
+        """Number of calibrated parameter points."""
+        return len(self._points)
+
+    def __repr__(self) -> str:
+        return (f"InterpolatedBoxFunction({self.n_grid_points} points, "
+                f"{self._widths.shape[1]} return values)")

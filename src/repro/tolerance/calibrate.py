@@ -1,0 +1,155 @@
+"""Monte-Carlo calibration of box functions.
+
+For every point of a coarse grid over a configuration's parameter box, the
+calibrator simulates the *nominal* circuit and ``n_samples`` process-
+perturbed variants, records the worst absolute deviation per return value
+(inflated by a safety margin), and fits an
+:class:`~repro.tolerance.box.InterpolatedBoxFunction` through the grid.
+
+This mirrors the paper's precomputed "box-functions ... estimating the
+(single) tolerance-box value given a test parameter value set" (§3.4):
+calibration is done once per (macro, configuration) and cached on disk,
+because it is by far the most simulation-hungry preparatory step.
+
+The calibrator is deliberately decoupled from :mod:`repro.testgen`: it
+receives a plain ``evaluate(circuit, params) -> return_values`` callable,
+so the tolerance layer stays below the test-generation layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Callable, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro._log import get_logger
+from repro.circuit.netlist import Circuit
+from repro.errors import ToleranceError
+from repro.tolerance.box import InterpolatedBoxFunction
+from repro.tolerance.process import ProcessVariation
+
+__all__ = ["calibrate_box_function", "grid_points"]
+
+_LOG = get_logger("tolerance.calibrate")
+
+#: Multiplier on the observed worst-case deviation ("safely boxes in").
+SAFETY_MARGIN = 1.25
+
+#: Relative floor so a zero-deviation grid point still yields a usable box.
+_RELATIVE_FLOOR = 1e-6
+
+
+def grid_points(bounds: np.ndarray, points_per_axis: int) -> np.ndarray:
+    """Full-factorial grid over a parameter box.
+
+    Args:
+        bounds: (d, 2) lower/upper bounds per parameter.
+        points_per_axis: grid resolution per axis (>= 2).
+
+    Returns:
+        (points_per_axis**d, d) array of parameter points.
+    """
+    bounds = np.atleast_2d(np.asarray(bounds, float))
+    if points_per_axis < 2:
+        raise ToleranceError("need at least 2 grid points per axis")
+    axes = [np.linspace(low, high, points_per_axis)
+            for low, high in bounds]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=1)
+
+
+def _cache_key(tag: str, bounds: np.ndarray, points_per_axis: int,
+               n_samples: int, seed: int) -> str:
+    payload = json.dumps({
+        "tag": tag,
+        "bounds": np.asarray(bounds, float).tolist(),
+        "points_per_axis": points_per_axis,
+        "n_samples": n_samples,
+        "seed": seed,
+        "safety": SAFETY_MARGIN,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+def calibrate_box_function(
+    evaluate: Callable[[Circuit, Sequence[float]], np.ndarray],
+    nominal_circuit: Circuit,
+    variation: ProcessVariation,
+    bounds: np.ndarray,
+    tag: str,
+    points_per_axis: int = 3,
+    n_samples: int = 16,
+    seed: int = 20250610,
+    cache_dir: Path | str | None = None,
+) -> InterpolatedBoxFunction:
+    """Calibrate (or load from cache) a box function for one configuration.
+
+    Args:
+        evaluate: simulates one circuit at one parameter point and
+            returns the configuration's return values.
+        nominal_circuit: the fault-free macro circuit.
+        variation: process-spread specification to sample from.
+        bounds: (d, 2) parameter bounds of the configuration.
+        tag: unique cache tag, conventionally
+            ``"<macro>/<configuration>"``.
+        points_per_axis: calibration grid resolution.
+        n_samples: Monte-Carlo variants per grid point.
+        seed: RNG seed (cache key component; calibration is deterministic).
+        cache_dir: directory for the JSON cache; ``None`` disables caching.
+
+    Returns:
+        An interpolating box function over the calibrated grid.
+    """
+    bounds = np.atleast_2d(np.asarray(bounds, float))
+    key = _cache_key(tag, bounds, points_per_axis, n_samples, seed)
+    cache_path: Path | None = None
+    if cache_dir is not None:
+        safe_tag = tag.replace("/", "_").replace(":", "_")
+        cache_path = Path(cache_dir) / f"box_{safe_tag}_{key}.json"
+        if cache_path.exists():
+            data = json.loads(cache_path.read_text())
+            _LOG.debug("box cache hit for %s (%s)", tag, cache_path.name)
+            return InterpolatedBoxFunction(
+                np.array(data["grid"]), np.array(data["half_widths"]),
+                bounds)
+
+    rng = np.random.default_rng(seed)
+    grid = grid_points(bounds, points_per_axis)
+
+    # Sample the circuit variants once and reuse them across grid points:
+    # the box should reflect the *same* population of process corners at
+    # every parameter point, and compiling/sampling fewer circuits is
+    # also substantially cheaper.
+    variants = [variation.sample(nominal_circuit, rng)
+                for _ in range(n_samples)]
+
+    half_rows: list[np.ndarray] = []
+    for point in grid:
+        nominal = np.atleast_1d(np.asarray(
+            evaluate(nominal_circuit, point), float))
+        worst = np.zeros_like(nominal)
+        for variant in variants:
+            response = np.atleast_1d(np.asarray(
+                evaluate(variant, point), float))
+            worst = np.maximum(worst, np.abs(response - nominal))
+        floor = _RELATIVE_FLOOR * np.maximum(np.abs(nominal), 1.0)
+        half_rows.append(np.maximum(SAFETY_MARGIN * worst, floor))
+        _LOG.debug("calibrated %s at %s: %s", tag, point.tolist(),
+                   half_rows[-1].tolist())
+
+    half_widths = np.vstack(half_rows)
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text(json.dumps({
+            "tag": tag,
+            "grid": grid.tolist(),
+            "half_widths": half_widths.tolist(),
+            "n_samples": n_samples,
+            "seed": seed,
+        }, indent=1))
+        _LOG.info("calibrated box for %s (%d grid points, %d samples) -> %s",
+                  tag, len(grid), n_samples, cache_path.name)
+    return InterpolatedBoxFunction(grid, half_widths, bounds)

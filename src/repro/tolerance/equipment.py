@@ -1,0 +1,95 @@
+"""Test-equipment accuracy model.
+
+The paper extends the classic tolerance-box concept by folding in "the
+accuracy specifications of test equipment, as it would be useful to
+construct an envelope which boxes in an area where fault-detection can not
+be guaranteed" (§2.2).  An accuracy specification here follows datasheet
+convention: a reading-proportional term plus an absolute offset/floor,
+
+    error_bound(reading) = offset + relative * |reading|
+
+keyed by *measurement kind* (``"voltage"``, ``"current"``, ``"thd"``, ...),
+so one tester model serves every test configuration of a macro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ToleranceError
+
+__all__ = ["AccuracySpec", "EquipmentSpec", "DEFAULT_EQUIPMENT"]
+
+
+@dataclass(frozen=True)
+class AccuracySpec:
+    """Gain+offset accuracy of one measurement kind.
+
+    Attributes:
+        offset: absolute error floor, in the unit of the measurement.
+        relative: fraction-of-reading error term.
+    """
+
+    offset: float = 0.0
+    relative: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0.0 or self.relative < 0.0:
+            raise ToleranceError(
+                f"accuracy terms must be non-negative "
+                f"(offset={self.offset}, relative={self.relative})")
+        if self.offset == 0.0 and self.relative == 0.0:
+            raise ToleranceError(
+                "an exact instrument (offset=relative=0) is not physical; "
+                "specify at least a floor")
+
+    def error_bound(self, reading: float) -> float:
+        """Worst-case measurement error magnitude at *reading*."""
+        return self.offset + self.relative * abs(reading)
+
+
+@dataclass(frozen=True)
+class EquipmentSpec:
+    """Tester accuracy per measurement kind, with a defensive default.
+
+    Attributes:
+        accuracies: mapping from measurement kind to its accuracy.
+        default: accuracy used for kinds not in the mapping.
+    """
+
+    accuracies: Mapping[str, AccuracySpec] = field(default_factory=dict)
+    default: AccuracySpec = field(
+        default_factory=lambda: AccuracySpec(offset=1e-3, relative=1e-3))
+
+    def __post_init__(self) -> None:
+        # Defensive copy; treated as immutable by convention (and kept a
+        # plain dict so EquipmentSpec instances pickle cleanly into the
+        # worker processes of parallel generation runs).
+        object.__setattr__(self, "accuracies", dict(self.accuracies))
+
+    def accuracy(self, kind: str) -> AccuracySpec:
+        """Accuracy spec for a measurement *kind*."""
+        return self.accuracies.get(kind, self.default)
+
+    def error_bound(self, kind: str, reading: float) -> float:
+        """Worst-case error magnitude of a *kind* measurement at *reading*."""
+        return self.accuracy(kind).error_bound(reading)
+
+
+#: A representative mid-90s mixed-signal production tester:
+#: - DC voltmeter: 1 mV floor + 0.1 % of reading
+#: - DC ammeter: 100 nA floor + 0.2 % of reading
+#: - THD analyzer: 0.05 percentage-point floor + 2 % of reading
+#: - sampled-waveform deviations: 2 mV floor + 0.5 % of reading
+#: - AC gain (network option): 0.1 dB floor + 0.5 % of reading [dB]
+DEFAULT_EQUIPMENT = EquipmentSpec(
+    accuracies={
+        "voltage": AccuracySpec(offset=1e-3, relative=1e-3),
+        "current": AccuracySpec(offset=100e-9, relative=2e-3),
+        "thd": AccuracySpec(offset=0.05, relative=0.02),
+        "voltage_sample": AccuracySpec(offset=2e-3, relative=5e-3),
+        "gain_db": AccuracySpec(offset=0.1, relative=5e-3),
+    },
+    default=AccuracySpec(offset=1e-3, relative=1e-3),
+)

@@ -1,0 +1,135 @@
+"""Process-variation model: global (lot) skew plus local mismatch.
+
+"For the experiment with the IV-converter global and local [deviations
+have been taken into account]" (paper §3.4, sentence truncated in the
+scan).  We model exactly that two-level structure:
+
+* **global** variations shift a parameter identically in every device of a
+  sampled circuit (lot-to-lot / wafer-level skew);
+* **mismatch** variations add an independent per-device term
+  (local, Pelgrom-style).
+
+Sampling a :class:`ProcessVariation` against a circuit yields a new
+circuit whose resistors, capacitors and MOSFET model cards are perturbed.
+All randomness flows through an explicit ``numpy.random.Generator`` so
+tolerance-box calibration is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.elements import Capacitor, Resistor
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.errors import ToleranceError
+
+__all__ = ["Spread", "ProcessVariation", "DEFAULT_PROCESS"]
+
+
+@dataclass(frozen=True)
+class Spread:
+    """One parameter's variability.
+
+    Attributes:
+        global_sigma: standard deviation of the lot-level component.
+        mismatch_sigma: standard deviation of the per-device component.
+        relative: if True the sigmas are fractions of the nominal value,
+            otherwise absolute quantities in the parameter's unit.
+    """
+
+    global_sigma: float = 0.0
+    mismatch_sigma: float = 0.0
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.global_sigma < 0.0 or self.mismatch_sigma < 0.0:
+            raise ToleranceError("spread sigmas must be non-negative")
+
+    def perturb(self, nominal: float, global_draw: float,
+                mismatch_draw: float) -> float:
+        """Apply the two normalized draws (N(0,1)) to a nominal value."""
+        shift = (self.global_sigma * global_draw
+                 + self.mismatch_sigma * mismatch_draw)
+        if self.relative:
+            return nominal * (1.0 + shift)
+        return nominal + shift
+
+
+@dataclass(frozen=True)
+class ProcessVariation:
+    """Technology spread specification for sampling circuit variants.
+
+    Attributes:
+        mos_vto: threshold-voltage spread [V], absolute.
+        mos_kp: transconductance-parameter spread, relative.
+        resistor: sheet-resistance spread, relative.
+        capacitor: capacitance spread, relative.
+        clip_sigma: normalized draws are clipped to +-clip_sigma to keep
+            pathological tails out of box calibration.
+    """
+
+    mos_vto: Spread = field(default_factory=lambda: Spread(
+        global_sigma=0.030, mismatch_sigma=0.005, relative=False))
+    mos_kp: Spread = field(default_factory=lambda: Spread(
+        global_sigma=0.05, mismatch_sigma=0.01, relative=True))
+    resistor: Spread = field(default_factory=lambda: Spread(
+        global_sigma=0.05, mismatch_sigma=0.005, relative=True))
+    capacitor: Spread = field(default_factory=lambda: Spread(
+        global_sigma=0.05, mismatch_sigma=0.005, relative=True))
+    clip_sigma: float = 3.0
+
+    def _draw(self, rng: np.random.Generator) -> float:
+        return float(np.clip(rng.standard_normal(), -self.clip_sigma,
+                             self.clip_sigma))
+
+    def sample(self, circuit: Circuit,
+               rng: np.random.Generator) -> Circuit:
+        """Return a perturbed variant of *circuit*.
+
+        Global draws are taken once per parameter family (separately per
+        MOS polarity, since NMOS and PMOS process corners move
+        independently); mismatch draws are per element.
+        """
+        g_vto = {"nmos": self._draw(rng), "pmos": self._draw(rng)}
+        g_kp = {"nmos": self._draw(rng), "pmos": self._draw(rng)}
+        g_res = self._draw(rng)
+        g_cap = self._draw(rng)
+
+        variant = circuit.copy(name=f"{circuit.name}~mc")
+        for element in circuit:
+            if isinstance(element, Resistor):
+                new_r = self.resistor.perturb(
+                    element.resistance, g_res, self._draw(rng))
+                variant = variant.replace_element(
+                    Resistor(element.name, element.n1, element.n2,
+                             max(new_r, 1e-3)))
+            elif isinstance(element, Capacitor):
+                new_c = self.capacitor.perturb(
+                    element.capacitance, g_cap, self._draw(rng))
+                variant = variant.replace_element(
+                    Capacitor(element.name, element.n1, element.n2,
+                              max(new_c, 1e-18)))
+            elif isinstance(element, Mosfet):
+                kind = element.params.kind
+                # VTO moves away from zero for both polarities when the
+                # draw is positive: perturb magnitude, keep sign.
+                vto_mag = abs(element.params.vto)
+                new_vto_mag = self.mos_vto.perturb(
+                    vto_mag, g_vto[kind], self._draw(rng))
+                new_vto = float(np.copysign(max(new_vto_mag, 1e-3),
+                                            element.params.vto))
+                new_kp = max(self.mos_kp.perturb(
+                    element.params.kp, g_kp[kind], self._draw(rng)), 1e-9)
+                params = element.params.scaled(vto=new_vto, kp=new_kp)
+                variant = variant.replace_element(
+                    Mosfet(element.name, element.d, element.g, element.s,
+                           element.b, params, element.w, element.l,
+                           element.m))
+        return variant
+
+
+#: Default spread used by the macros in this repository.
+DEFAULT_PROCESS = ProcessVariation()

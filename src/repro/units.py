@@ -1,0 +1,117 @@
+"""Engineering-notation helpers shared across the library.
+
+Analog design tools conventionally express quantities with SPICE suffixes
+(``10k``, ``2.5u``, ``100meg``).  This module converts between such strings
+and floats, and pretty-prints floats back into engineering notation for
+reports and tables.
+
+The parser accepts the classic SPICE suffix set (case-insensitive):
+
+====== =======  ====== =======
+suffix factor   suffix factor
+====== =======  ====== =======
+``t``  1e12     ``m``  1e-3
+``g``  1e9      ``u``  1e-6
+``meg``1e6      ``n``  1e-9
+``k``  1e3      ``p``  1e-12
+``mil``25.4e-6  ``f``  1e-15
+====== =======  ====== =======
+
+Trailing unit letters after the suffix are ignored, as in SPICE
+(``10kohm``, ``5vdc``): ``parse_value("10kohm") == 10_000.0``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["parse_value", "format_value", "format_si", "ENG_SUFFIXES"]
+
+#: Suffix -> multiplication factor, longest-match-first where ambiguous
+#: (``meg`` and ``mil`` must win over ``m``).
+ENG_SUFFIXES: dict[str, float] = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "mil": 25.4e-6,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_NUMBER_RE = re.compile(
+    r"""^\s*
+        (?P<number>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?P<rest>[a-zA-Z]*)\s*$""",
+    re.VERBOSE,
+)
+
+# Order matters: check three-letter suffixes before their one-letter prefixes.
+_SUFFIX_ORDER = ("meg", "mil", "t", "g", "k", "m", "u", "n", "p", "f")
+
+# Mega is spelled "meg": SPICE suffixes are case-insensitive, so "M"
+# would read back as milli and break the format->parse round-trip.
+_SI_PREFIXES = (
+    (1e12, "T"), (1e9, "G"), (1e6, "meg"), (1e3, "k"), (1.0, ""),
+    (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+)
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style value string (or pass a number through).
+
+    >>> parse_value("10k")
+    10000.0
+    >>> round(parse_value("2.5u"), 9)
+    2.5e-06
+    >>> parse_value("100meg")
+    100000000.0
+    >>> parse_value(47.0)
+    47.0
+
+    Raises:
+        ValueError: if *text* is not a number with an optional suffix.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse engineering value: {text!r}")
+    number = float(match.group("number"))
+    rest = match.group("rest").lower()
+    if not rest:
+        return number
+    for suffix in _SUFFIX_ORDER:
+        if rest.startswith(suffix):
+            return number * ENG_SUFFIXES[suffix]
+    # No recognized suffix: the letters are a bare unit ("10ohm", "5v").
+    return number
+
+
+def format_value(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format *value* with a SPICE suffix, e.g. ``format_value(10400) == '10.4k'``.
+
+    Args:
+        value: the quantity to format.
+        unit: optional unit string appended after the suffix.
+        digits: significant digits to keep.
+    """
+    if value == 0.0 or not math.isfinite(value):
+        return f"{value:g}{unit}"
+    magnitude = abs(value)
+    for factor, prefix in _SI_PREFIXES:
+        if magnitude >= factor:
+            scaled = value / factor
+            text = f"{scaled:.{digits}g}"
+            return f"{text}{prefix}{unit}"
+    factor, prefix = _SI_PREFIXES[-1]
+    return f"{value / factor:.{digits}g}{prefix}{unit}"
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Alias of :func:`format_value`, reads better in reporting code."""
+    return format_value(value, unit=unit, digits=digits)

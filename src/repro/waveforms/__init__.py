@@ -1,0 +1,21 @@
+"""Stimulus waveform vocabulary used by sources and test configurations."""
+
+from repro.waveforms.sources import (
+    DCWave,
+    PWLWave,
+    PulseWave,
+    SineWave,
+    StepWave,
+    Waveform,
+    as_waveform,
+)
+
+__all__ = [
+    "Waveform",
+    "DCWave",
+    "SineWave",
+    "StepWave",
+    "PulseWave",
+    "PWLWave",
+    "as_waveform",
+]

@@ -1,0 +1,139 @@
+"""AC analysis and MNA compilation tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CompiledCircuit,
+    ac_analysis,
+    operating_point,
+)
+from repro.circuit import CircuitBuilder, NMOS_DEFAULT
+from repro.errors import AnalysisError, SingularMatrixError
+
+
+def rc_lowpass():
+    return (CircuitBuilder("rc")
+            .voltage_source("VIN", "in", "0", 1.0)
+            .resistor("R1", "in", "out", 1e3)
+            .capacitor("C1", "out", "0", 1e-6)
+            .build())
+
+
+class TestAC:
+    def test_corner_frequency_magnitude(self):
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-6)
+        ac = ac_analysis(rc_lowpass(), "VIN", np.array([fc]))
+        assert abs(ac.v("out")[0]) == pytest.approx(1 / np.sqrt(2), rel=1e-4)
+
+    def test_phase_at_corner(self):
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-6)
+        ac = ac_analysis(rc_lowpass(), "VIN", np.array([fc]))
+        assert ac.phase_deg("out")[0] == pytest.approx(-45.0, abs=0.1)
+
+    def test_rolloff_20db_per_decade(self):
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-6)
+        ac = ac_analysis(rc_lowpass(), "VIN",
+                         np.array([100 * fc, 1000 * fc]))
+        drop = ac.mag_db("out")[0] - ac.mag_db("out")[1]
+        assert drop == pytest.approx(20.0, abs=0.1)
+
+    def test_rl_highpass(self):
+        c = (CircuitBuilder("rl")
+             .voltage_source("VIN", "in", "0", 1.0)
+             .resistor("R1", "in", "out", 1e3)
+             .inductor("L1", "out", "0", 1e-3)
+             .build())
+        fc = 1e3 / (2 * np.pi * 1e-3)  # R/(2 pi L)
+        ac = ac_analysis(c, "VIN", np.array([fc]))
+        assert abs(ac.v("out")[0]) == pytest.approx(1 / np.sqrt(2), rel=1e-4)
+
+    def test_current_source_stimulus(self):
+        c = (CircuitBuilder("ic")
+             .current_source("I1", "0", "x", 0.0)
+             .resistor("R1", "x", "0", 1e3)
+             .build())
+        ac = ac_analysis(c, "I1", np.array([1e3]))
+        assert abs(ac.v("x")[0]) == pytest.approx(1e3, rel=1e-6)
+
+    def test_mos_common_source_gain(self):
+        c = (CircuitBuilder("cs")
+             .voltage_source("VDD", "vdd", "0", 5.0)
+             .voltage_source("VG", "g", "0", 1.5)
+             .resistor("RD", "vdd", "d", 1e4)
+             .mosfet("M1", "d", "g", "0", "0", NMOS_DEFAULT, "20u", "2u")
+             .build())
+        op = operating_point(c)
+        ac = ac_analysis(c, "VG", np.array([100.0]), op=op)
+        beta = NMOS_DEFAULT.kp * 10
+        vds = op.v("d")
+        gm = beta * 0.7 * (1 + NMOS_DEFAULT.lam * vds)
+        gds = 0.5 * beta * 0.7**2 * NMOS_DEFAULT.lam
+        expected = gm / (1e-4 + gds)  # gm * (RD || ro)
+        assert abs(ac.v("d")[0]) == pytest.approx(expected, rel=0.01)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(AnalysisError):
+            ac_analysis(rc_lowpass(), "VIN", np.array([0.0]))
+
+    def test_rejects_non_source(self):
+        with pytest.raises(AnalysisError):
+            ac_analysis(rc_lowpass(), "R1", np.array([1e3]))
+
+
+class TestCompiledCircuit:
+    def test_node_and_branch_indexing(self, divider_circuit):
+        compiled = CompiledCircuit(divider_circuit)
+        assert compiled.n_nodes == 2
+        assert compiled.size == 3  # 2 nodes + VIN branch
+        assert "VIN" in compiled.branch_index
+
+    def test_ground_slot_trimmed(self, divider_circuit):
+        compiled = CompiledCircuit(divider_circuit)
+        b = compiled.source_vector(None)
+        g, rhs = compiled.linearize(np.zeros(compiled.size), b, 1e-12)
+        assert g.shape == (3, 3)
+        assert rhs.shape == (3,)
+
+    def test_mosfet_bank_compiled(self):
+        c = (CircuitBuilder("m")
+             .voltage_source("VDD", "vdd", "0", 5.0)
+             .mosfet("M1", "vdd", "vdd", "0", "0", NMOS_DEFAULT,
+                     "10u", "2u")
+             .build())
+        compiled = CompiledCircuit(c)
+        assert compiled.n_mosfets == 1
+        assert compiled.n_caps == 2  # cgs + cgd of the MOSFET
+
+    def test_singular_circuit_raises(self):
+        # current source into a node with no DC path at gmin=0 would be
+        # singular; with a 0-gmin linearize call we expect the error.
+        c = (CircuitBuilder("s")
+             .current_source("I1", "0", "x", 1e-3)
+             .capacitor("C1", "x", "0", 1e-9)
+             .resistor("RREF", "y", "0", 1.0)
+             .voltage_source("V1", "y", "0", 1.0)
+             .build(validate=False))
+        compiled = CompiledCircuit(c)
+        b = compiled.source_vector(None)
+        g, rhs = compiled.linearize(np.zeros(compiled.size), b, 0.0)
+        with pytest.raises(SingularMatrixError):
+            compiled.solve_linear(g, rhs)
+
+    def test_small_signal_matrices_shapes(self, divider_circuit):
+        compiled = CompiledCircuit(divider_circuit)
+        op = operating_point(compiled)
+        g, c = compiled.small_signal_matrices(op.x, 1e-12)
+        assert g.shape == (3, 3)
+        assert c.shape == (3, 3)
+
+    def test_work_buffer_reuse_consistency(self, divider_circuit):
+        """Two consecutive linearize calls give identical systems."""
+        compiled = CompiledCircuit(divider_circuit)
+        b = compiled.source_vector(None)
+        x = np.zeros(compiled.size)
+        g1, r1 = compiled.linearize(x, b, 1e-12)
+        g1c, r1c = g1.copy(), r1.copy()
+        g2, r2 = compiled.linearize(x, b, 1e-12)
+        np.testing.assert_array_equal(g1c, g2)
+        np.testing.assert_array_equal(r1c, r2)

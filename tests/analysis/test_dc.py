@@ -1,0 +1,188 @@
+"""DC analysis tests against hand-solvable circuits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_sweep, operating_point, SimOptions
+from repro.circuit import CircuitBuilder, NMOS_DEFAULT, PMOS_DEFAULT
+from repro.errors import AnalysisError, ConvergenceError
+
+
+class TestLinearDC:
+    def test_divider(self, divider_circuit):
+        op = operating_point(divider_circuit)
+        assert op.v("mid") == pytest.approx(2.5, abs=1e-6)
+
+    def test_source_current_sign(self, divider_circuit):
+        # 5V across 20k: 0.25 mA flows out of the + terminal, so the
+        # branch current (defined + -> - through the source) is -0.25 mA.
+        op = operating_point(divider_circuit)
+        assert op.i("VIN") == pytest.approx(-2.5e-4, rel=1e-6)
+
+    def test_current_source_injection(self):
+        c = (CircuitBuilder("cs")
+             .current_source("I1", "0", "x", 1e-3)
+             .resistor("R1", "x", "0", 1e3)
+             .build())
+        op = operating_point(c)
+        assert op.v("x") == pytest.approx(1.0, rel=1e-6)
+
+    def test_superposition(self):
+        c = (CircuitBuilder("sp")
+             .voltage_source("V1", "a", "0", 2.0)
+             .current_source("I1", "0", "b", 1e-3)
+             .resistor("R1", "a", "b", 1e3)
+             .resistor("R2", "b", "0", 1e3)
+             .build())
+        op = operating_point(c)
+        # v_b = (2/1k + 1m) / (1/1k + 1/1k) = 1.5
+        assert op.v("b") == pytest.approx(1.5, rel=1e-6)
+
+    def test_vcvs_gain(self):
+        c = (CircuitBuilder("e")
+             .voltage_source("V1", "in", "0", 1.0)
+             .vcvs("E1", "out", "0", "in", "0", 10.0)
+             .resistor("RL", "out", "0", 1e3)
+             .build())
+        op = operating_point(c)
+        assert op.v("out") == pytest.approx(10.0, rel=1e-6)
+
+    def test_vccs_transconductance(self):
+        c = (CircuitBuilder("g")
+             .voltage_source("V1", "in", "0", 2.0)
+             .vccs("G1", "0", "out", "in", "0", 1e-3)
+             .resistor("RL", "out", "0", 1e3)
+             .build())
+        op = operating_point(c)
+        # 2 mA into 1k
+        assert op.v("out") == pytest.approx(2.0, rel=1e-6)
+
+    def test_inductor_is_dc_short(self):
+        c = (CircuitBuilder("l")
+             .voltage_source("V1", "a", "0", 1.0)
+             .inductor("L1", "a", "b", 1e-6)
+             .resistor("R1", "b", "0", 1e3)
+             .build())
+        op = operating_point(c)
+        assert op.v("b") == pytest.approx(1.0, rel=1e-6)
+        assert op.i("L1") == pytest.approx(1e-3, rel=1e-6)
+
+    def test_capacitor_is_dc_open(self):
+        c = (CircuitBuilder("c")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "b", 1e3)
+             .capacitor("C1", "b", "0", 1e-9)
+             .resistor("R2", "b", "0", 1e6)
+             .build())
+        op = operating_point(c)
+        # divider 1k/1M, cap irrelevant at DC
+        assert op.v("b") == pytest.approx(1e6 / (1e6 + 1e3), rel=1e-6)
+
+
+class TestNonlinearDC:
+    def test_diode_forward_drop(self):
+        c = (CircuitBuilder("d")
+             .voltage_source("V1", "a", "0", 5.0)
+             .resistor("R1", "a", "k", 1e3)
+             .diode("D1", "k", "0")
+             .build())
+        op = operating_point(c)
+        vd = op.v("k")
+        assert 0.5 < vd < 0.8
+        # KCL: diode current equals resistor current.
+        i_r = (5.0 - vd) / 1e3
+        i_d = 1e-14 * (np.exp(vd / 0.02585) - 1.0)
+        assert i_d == pytest.approx(i_r, rel=1e-3)
+
+    def test_nmos_saturation_current(self):
+        c = (CircuitBuilder("m")
+             .voltage_source("VDD", "vdd", "0", 5.0)
+             .voltage_source("VG", "g", "0", 1.5)
+             .resistor("RD", "vdd", "d", 1e4)
+             .mosfet("M1", "d", "g", "0", "0", NMOS_DEFAULT, "20u", "2u")
+             .build())
+        op = operating_point(c)
+        vd = op.v("d")
+        beta = NMOS_DEFAULT.kp * 10
+        i_model = 0.5 * beta * 0.7**2 * (1 + NMOS_DEFAULT.lam * vd)
+        i_circuit = (5.0 - vd) / 1e4
+        assert i_model == pytest.approx(i_circuit, rel=1e-6)
+
+    def test_pmos_diode_connected(self):
+        c = (CircuitBuilder("p")
+             .voltage_source("VDD", "vdd", "0", 5.0)
+             .resistor("RB", "nb", "0", 4e4)
+             .mosfet("M1", "nb", "nb", "vdd", "vdd", PMOS_DEFAULT,
+                     "20u", "2u")
+             .build())
+        op = operating_point(c)
+        assert 2.5 < op.v("nb") < 4.5
+
+    def test_cmos_inverter_transfer(self):
+        def inverter_out(vin):
+            c = (CircuitBuilder("inv")
+                 .voltage_source("VDD", "vdd", "0", 5.0)
+                 .voltage_source("VIN", "in", "0", vin)
+                 .mosfet("MN", "out", "in", "0", "0", NMOS_DEFAULT,
+                         "10u", "2u")
+                 .mosfet("MP", "out", "in", "vdd", "vdd", PMOS_DEFAULT,
+                         "25u", "2u")
+                 .resistor("RL", "out", "0", 1e9)
+                 .build())
+            return operating_point(c).v("out")
+
+        assert inverter_out(0.0) > 4.9
+        assert inverter_out(5.0) < 0.1
+        mid = inverter_out(2.4)
+        assert 0.3 < mid < 4.7  # transition region
+
+
+class TestSweep:
+    def test_sweep_voltage_source(self, divider_circuit):
+        values = np.linspace(0.0, 5.0, 6)
+        sweep = dc_sweep(divider_circuit, "VIN", values)
+        assert len(sweep) == 6
+        np.testing.assert_allclose(sweep.v("mid"), values / 2, atol=1e-6)
+
+    def test_sweep_current_source(self):
+        c = (CircuitBuilder("cs")
+             .current_source("I1", "0", "x", 0.0)
+             .resistor("R1", "x", "0", 2e3)
+             .build())
+        sweep = dc_sweep(c, "I1", np.array([0.0, 1e-3, 2e-3]))
+        np.testing.assert_allclose(sweep.v("x"), [0.0, 2.0, 4.0], atol=1e-6)
+
+    def test_sweep_rejects_non_source(self, divider_circuit):
+        with pytest.raises(AnalysisError):
+            dc_sweep(divider_circuit, "R1", np.array([1.0]))
+
+    def test_sweep_does_not_mutate(self, divider_circuit):
+        dc_sweep(divider_circuit, "VIN", np.array([1.0, 2.0]))
+        assert divider_circuit.element("VIN").dc_value == 5.0
+
+
+class TestRobustness:
+    def test_op_accepts_warm_start(self, divider_circuit):
+        op1 = operating_point(divider_circuit)
+        op2 = operating_point(divider_circuit, x0=op1.x)
+        assert op2.iterations <= op1.iterations
+
+    def test_unknown_node_raises(self, divider_circuit):
+        op = operating_point(divider_circuit)
+        with pytest.raises(AnalysisError):
+            op.v("nonexistent")
+
+    def test_unknown_branch_raises(self, divider_circuit):
+        op = operating_point(divider_circuit)
+        with pytest.raises(AnalysisError):
+            op.i("R1")
+
+    def test_ground_voltage_is_zero(self, divider_circuit):
+        op = operating_point(divider_circuit)
+        assert op.v("0") == 0.0
+        assert op.v("gnd") == 0.0
+
+    def test_tight_options(self, divider_circuit):
+        options = SimOptions(reltol=1e-9, vntol=1e-9)
+        op = operating_point(divider_circuit, options)
+        assert op.v("mid") == pytest.approx(2.5, abs=1e-6)

@@ -1,0 +1,103 @@
+"""Inductor-specific transient behaviour (RL, RLC)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SimOptions, operating_point, transient
+from repro.circuit import CircuitBuilder
+from repro.waveforms import SineWave, StepWave
+
+
+class TestRLC:
+    def test_underdamped_ringing_frequency(self):
+        """Series RLC step response rings at the damped natural
+        frequency."""
+        r, l, c = 10.0, 1e-3, 1e-9
+        circuit = (CircuitBuilder("rlc")
+                   .voltage_source("VIN", "in", "0",
+                                   StepWave(base=0.0, elev=1.0,
+                                            t_step=0.0, slew_rate=1e12))
+                   .resistor("R1", "in", "a", r)
+                   .inductor("L1", "a", "b", l)
+                   .capacitor("C1", "b", "0", c)
+                   .build())
+        w0 = 1.0 / np.sqrt(l * c)
+        f0 = w0 / (2 * np.pi)
+        result = transient(circuit, t_stop=8 / f0, dt=1 / (100 * f0))
+        v = result.v("b")
+        # count zero crossings of (v - 1) over the window
+        centred = v - 1.0
+        crossings = np.sum(np.diff(np.sign(centred)) != 0)
+        expected = 2 * 8  # two crossings per ring period, ~8 periods
+        assert crossings == pytest.approx(expected, abs=2)
+
+    def test_energy_decays_to_dc(self):
+        # zeta = (R/2)*sqrt(C/L) = 0.1, envelope tau = 2L/R = 10 us:
+        # 150 us = 15 envelope time constants kills the ringing.
+        r, l, c = 200.0, 1e-3, 1e-9
+        circuit = (CircuitBuilder("rlc2")
+                   .voltage_source("VIN", "in", "0",
+                                   StepWave(base=0.0, elev=1.0,
+                                            t_step=0.0, slew_rate=1e12))
+                   .resistor("R1", "in", "a", r)
+                   .inductor("L1", "a", "b", l)
+                   .capacitor("C1", "b", "0", c)
+                   .build())
+        result = transient(circuit, t_stop=150e-6, dt=50e-9)
+        assert result.v("b")[-1] == pytest.approx(1.0, abs=1e-3)
+        assert result.i("L1")[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_be_and_trap_agree_when_damped(self):
+        r, l, c = 2000.0, 1e-3, 1e-9
+        def run(method):
+            circuit = (CircuitBuilder("rlc3")
+                       .voltage_source("VIN", "in", "0",
+                                       StepWave(base=0.0, elev=1.0,
+                                                t_step=0.0,
+                                                slew_rate=1e12))
+                       .resistor("R1", "in", "a", r)
+                       .inductor("L1", "a", "b", l)
+                       .capacitor("C1", "b", "0", c)
+                       .build())
+            return transient(circuit, t_stop=20e-6, dt=20e-9,
+                             options=SimOptions(transient_method=method))
+        v_trap = run("trap").v("b")
+        v_be = run("be").v("b")
+        assert np.max(np.abs(v_trap - v_be)) < 0.02
+
+
+class TestInductorSine:
+    """The RL sine tests subtract the last-period mean: an inductor
+    switched on into a sine develops the classic decaying DC offset
+    (tau = L/R), which is physics, not an integration artifact."""
+
+    @staticmethod
+    def _run(freq=10e3, l=1e-3, r=1.0, spp=256):
+        circuit = (CircuitBuilder("l")
+                   .voltage_source("VIN", "in", "0",
+                                   SineWave(offset=0.0, amplitude=1.0,
+                                            freq=freq))
+                   .resistor("R1", "in", "a", r)
+                   .inductor("L1", "a", "0", l)
+                   .build())
+        result = transient(circuit, t_stop=8 / freq, dt=1 / (spp * freq))
+        i_last = result.i("L1")[-spp:]
+        v_last = result.v("in")[-spp:]
+        return v_last - v_last.mean(), i_last - i_last.mean()
+
+    def test_current_lags_voltage(self):
+        spp = 256
+        v_ac, i_ac = self._run(spp=spp)
+        # Fundamental-bin phase difference: V leads I by atan(wL/R),
+        # which is 89.1 degrees for wL = 62.8 ohm against R = 1 ohm.
+        v_bin = np.fft.rfft(v_ac)[1]
+        i_bin = np.fft.rfft(i_ac)[1]
+        phase_deg = np.angle(v_bin / i_bin, deg=True)
+        assert phase_deg == pytest.approx(89.1, abs=3.0)
+
+    def test_amplitude_matches_impedance(self):
+        freq, l, r = 10e3, 1e-3, 1.0
+        _, i_ac = self._run(freq=freq, l=l, r=r)
+        i_peak = 0.5 * (np.max(i_ac) - np.min(i_ac))
+        expected = 1.0 / np.hypot(r, 2 * np.pi * freq * l)
+        assert i_peak == pytest.approx(expected, rel=0.02)

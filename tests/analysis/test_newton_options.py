@@ -1,0 +1,150 @@
+"""Newton solver robustness and SimOptions tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CompiledCircuit,
+    DEFAULT_OPTIONS,
+    SimOptions,
+    operating_point,
+)
+from repro.analysis.newton import newton_solve, robust_solve
+from repro.circuit import CircuitBuilder, NMOS_DEFAULT, PMOS_DEFAULT
+from repro.errors import ConvergenceError
+
+
+class TestOptions:
+    def test_defaults_sane(self):
+        assert DEFAULT_OPTIONS.gmin == 1e-12
+        assert DEFAULT_OPTIONS.transient_method == "trap"
+
+    def test_rejects_bad_method(self):
+        with pytest.raises(ValueError):
+            SimOptions(transient_method="euler")
+
+    def test_rejects_tiny_max_iter(self):
+        with pytest.raises(ValueError):
+            SimOptions(max_iter=1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_OPTIONS.gmin = 1.0
+
+
+class TestNewton:
+    def test_linear_circuit_converges_in_two_iterations(self,
+                                                        divider_circuit):
+        compiled = CompiledCircuit(divider_circuit)
+        b = compiled.source_vector(None)
+        outcome = newton_solve(compiled, np.zeros(compiled.size), b,
+                               DEFAULT_OPTIONS)
+        assert outcome.converged
+        assert outcome.iterations <= 3
+
+    def test_warm_start_converges_immediately(self, divider_circuit):
+        compiled = CompiledCircuit(divider_circuit)
+        b = compiled.source_vector(None)
+        first = newton_solve(compiled, np.zeros(compiled.size), b,
+                             DEFAULT_OPTIONS)
+        second = newton_solve(compiled, first.x, b, DEFAULT_OPTIONS)
+        assert second.converged
+        assert second.iterations <= 2
+
+    def test_robust_solve_reports_strategy(self, divider_circuit):
+        compiled = CompiledCircuit(divider_circuit)
+        b = compiled.source_vector(None)
+        _, _, strategy = robust_solve(compiled, np.zeros(compiled.size), b,
+                                      DEFAULT_OPTIONS)
+        assert strategy == "direct"
+
+    def test_step_limit_only_affects_nonlinear_nodes(self,
+                                                     divider_circuit):
+        """Linear circuits converge fast even with a tiny vstep_limit."""
+        options = SimOptions(vstep_limit=0.01)
+        compiled = CompiledCircuit(divider_circuit)
+        b = compiled.source_vector(None)
+        outcome = newton_solve(compiled, np.zeros(compiled.size), b, options)
+        assert outcome.converged
+        assert outcome.iterations <= 3
+
+    def test_step_limit_throttles_nonlinear_nodes(self):
+        """A diode circuit with a small vstep_limit needs more iterations."""
+        def build():
+            return (CircuitBuilder("d")
+                    .voltage_source("V1", "a", "0", 5.0)
+                    .resistor("R1", "a", "k", 1e3)
+                    .diode("D1", "k", "0")
+                    .build())
+        fast = operating_point(build(), SimOptions(vstep_limit=0.8))
+        slow = operating_point(build(), SimOptions(vstep_limit=0.05))
+        assert slow.v("k") == pytest.approx(fast.v("k"), abs=1e-5)
+        assert slow.iterations > fast.iterations
+
+
+class TestHardCircuits:
+    def test_two_stage_opamp_converges(self, iv_macro):
+        """The full 10-MOSFET macro must solve from a cold start."""
+        op = operating_point(iv_macro.circuit)
+        assert 2.0 < op.v("vref") < 3.0
+        assert 0.1 < op.v("vout") < 4.9
+
+    def test_latch_like_circuit_with_gmin_ladder(self):
+        """Cross-coupled inverters (bistable): some homotopy must win."""
+        b = CircuitBuilder("latch")
+        b.voltage_source("VDD", "vdd", "0", 5.0)
+        for a, o in (("x", "y"), ("y", "x")):
+            b.mosfet(f"MN{a}", o, a, "0", "0", NMOS_DEFAULT, "10u", "2u")
+            b.mosfet(f"MP{a}", o, a, "vdd", "vdd", PMOS_DEFAULT,
+                     "25u", "2u")
+        b.resistor("RX", "x", "0", 1e9)
+        b.resistor("RY", "y", "vdd", 1e9)
+        op = operating_point(b.build())
+        # Any self-consistent solution is fine; nodes must be in-rail.
+        assert -0.1 <= op.v("x") <= 5.1
+        assert -0.1 <= op.v("y") <= 5.1
+
+    def test_bias_kill_fault_converges_via_breakdown_clamp(self):
+        """Regression: a defect that cuts the bias chain leaves driven
+        nodes floating; the breakdown clamp must give the circuit a
+        finite operating point instead of a convergence failure."""
+        from repro.faults import BridgingFault
+        from repro.macros import IVConverterMacro
+        from repro.circuit import CurrentSource
+        from repro.waveforms import DCWave
+
+        macro = IVConverterMacro()
+        fault = BridgingFault(node_a="nbias", node_b="0", impact=1e3)
+        circuit = fault.apply(macro.circuit).replace_element(
+            CurrentSource("IIN", "0", "iin", DCWave(20e-6)))
+        op = operating_point(circuit)
+        assert np.all(np.isfinite(op.x))
+        # The floating island pins at the breakdown clamp.
+        assert op.v("iin") <= DEFAULT_OPTIONS.breakdown_voltage * 1.5
+
+    def test_multi_loop_feedback_converges_via_ptran(self):
+        """Regression: the n3-vref bridge couples the second stage into
+        the reference divider; static Newton cycles, pseudo-transient
+        continuation must settle it."""
+        from repro.faults import BridgingFault
+        from repro.macros import IVConverterMacro
+
+        macro = IVConverterMacro()
+        fault = BridgingFault(node_a="n3", node_b="vref", impact=1e3)
+        op = operating_point(fault.apply(macro.circuit))
+        assert np.all(np.isfinite(op.x))
+        assert -1.0 < op.v("vout") < 6.0
+
+    def test_convergence_error_is_reported(self):
+        """A pathological circuit raises ConvergenceError, not garbage."""
+        # Ideal current source forcing current into a reverse diode can
+        # never satisfy KCL at any voltage the solver is allowed to
+        # reach; with tiny iteration budgets this must fail cleanly.
+        c = (CircuitBuilder("bad")
+             .current_source("I1", "0", "x", 1.0)
+             .diode("D1", "0", "x")
+             .build(validate=False))
+        options = SimOptions(max_iter=4, gmin_steps=(1e-3,),
+                             source_steps=2)
+        with pytest.raises(ConvergenceError):
+            operating_point(c, options)

@@ -1,0 +1,152 @@
+"""Physics-invariant property tests of the analysis engine.
+
+These check conservation laws and network-theory identities on randomly
+generated circuits — the kind of invariant that catches stamping-sign
+bugs that point tests miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import operating_point, transient
+from repro.circuit import (
+    CircuitBuilder,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.waveforms import SineWave
+
+
+@st.composite
+def random_resistor_network(draw):
+    """A random connected resistor network driven by one source."""
+    n_nodes = draw(st.integers(2, 6))
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    elements = [VoltageSource("V1", nodes[0], "0",
+                              draw(st.floats(0.5, 10.0)))]
+    # Spanning chain guarantees connectivity; extra edges add meshes.
+    for i in range(n_nodes - 1):
+        r = draw(st.floats(10.0, 1e5))
+        elements.append(Resistor(f"RC{i}", nodes[i], nodes[i + 1], r))
+    elements.append(Resistor("RG", nodes[-1], "0",
+                             draw(st.floats(10.0, 1e5))))
+    n_extra = draw(st.integers(0, 4))
+    for k in range(n_extra):
+        a = draw(st.sampled_from(nodes))
+        b = draw(st.sampled_from(nodes + ["0"]))
+        if a == b:
+            continue
+        elements.append(Resistor(f"RX{k}", a, b,
+                                 draw(st.floats(10.0, 1e5))))
+    return Circuit("random", elements)
+
+
+class TestKirchhoff:
+    @settings(max_examples=40, deadline=None)
+    @given(random_resistor_network())
+    def test_kcl_at_every_node(self, circuit):
+        """Element currents sum to zero at every non-ground node."""
+        op = operating_point(circuit)
+        for node in circuit.nodes():
+            total = 0.0
+            for element in circuit.elements_at(node):
+                if isinstance(element, Resistor):
+                    v1 = op.v(element.n1)
+                    v2 = op.v(element.n2)
+                    current = (v1 - v2) / element.resistance
+                    total += -current if element.n1 == node else current
+                elif isinstance(element, VoltageSource):
+                    branch = op.i(element.name)
+                    total += -branch if element.n1 == node else branch
+            assert total == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_resistor_network())
+    def test_passivity(self, circuit):
+        """A resistive network never produces voltages beyond the source."""
+        op = operating_point(circuit)
+        source = circuit.element("V1")
+        v_max = max(source.dc_value, 0.0)
+        v_min = min(source.dc_value, 0.0)
+        for node in circuit.nodes():
+            assert v_min - 1e-9 <= op.v(node) <= v_max + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_resistor_network(), st.floats(0.1, 5.0))
+    def test_linearity_scaling(self, circuit, scale):
+        """Scaling the only source scales every node voltage."""
+        op1 = operating_point(circuit)
+        source = circuit.element("V1")
+        scaled = circuit.replace_element(
+            VoltageSource("V1", source.n1, source.n2,
+                          source.dc_value * scale))
+        op2 = operating_point(scaled)
+        for node in circuit.nodes():
+            assert op2.v(node) == pytest.approx(op1.v(node) * scale,
+                                                rel=1e-6, abs=1e-9)
+
+
+class TestReciprocityAndSuperposition:
+    def test_superposition_two_sources(self):
+        def build(i1, i2):
+            return (CircuitBuilder("sp")
+                    .current_source("I1", "0", "a", i1)
+                    .current_source("I2", "0", "b", i2)
+                    .resistor("R1", "a", "b", 1e3)
+                    .resistor("R2", "a", "0", 2e3)
+                    .resistor("R3", "b", "0", 3e3)
+                    .build())
+        va_both = operating_point(build(1e-3, 2e-3)).v("a")
+        va_1 = operating_point(build(1e-3, 0.0)).v("a")
+        va_2 = operating_point(build(0.0, 2e-3)).v("a")
+        assert va_both == pytest.approx(va_1 + va_2, rel=1e-9)
+
+    def test_reciprocity(self):
+        """Transfer resistance a->b equals b->a in a reciprocal network."""
+        def build(inject_at):
+            b = (CircuitBuilder("rec")
+                 .resistor("R1", "a", "b", 1e3)
+                 .resistor("R2", "a", "0", 2e3)
+                 .resistor("R3", "b", "0", 3e3)
+                 .resistor("R4", "a", "c", 4e3)
+                 .resistor("R5", "c", "b", 5e3))
+            b.current_source("I1", "0", inject_at, 1e-3)
+            return b.build()
+        v_b_from_a = operating_point(build("a")).v("b")
+        v_a_from_b = operating_point(build("b")).v("a")
+        assert v_b_from_a == pytest.approx(v_a_from_b, rel=1e-9)
+
+
+class TestEnergyAndCharge:
+    def test_capacitor_charge_balance(self):
+        """In periodic steady state, average capacitor current is ~0."""
+        freq = 10e3
+        c = (CircuitBuilder("cb")
+             .voltage_source("VIN", "in", "0",
+                             SineWave(offset=1.0, amplitude=1.0, freq=freq))
+             .resistor("R1", "in", "out", 1e3)
+             .capacitor("C1", "out", "0", 10e-9)
+             .build())
+        spp = 64
+        tr = transient(c, t_stop=6 / freq, dt=1 / (spp * freq))
+        # cap current = (v_in - v_out)/R; average over last whole period
+        i_cap = (tr.v("in") - tr.v("out")) / 1e3
+        avg = np.mean(i_cap[-spp:])
+        assert abs(avg) < 2e-6
+
+    def test_resistive_power_balance(self):
+        """Source power equals dissipated power in a resistive circuit."""
+        c = (CircuitBuilder("pb")
+             .voltage_source("V1", "a", "0", 10.0)
+             .resistor("R1", "a", "b", 1e3)
+             .resistor("R2", "b", "0", 4e3)
+             .build())
+        op = operating_point(c)
+        p_source = -op.i("V1") * 10.0
+        p_r1 = (10.0 - op.v("b"))**2 / 1e3
+        p_r2 = op.v("b")**2 / 4e3
+        # rel 1e-7 leaves room for the engine's gmin leakage (~1e-10 W).
+        assert p_source == pytest.approx(p_r1 + p_r2, rel=1e-7)

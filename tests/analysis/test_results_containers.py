@@ -1,0 +1,66 @@
+"""Tests for analysis result containers (beyond their use in analyses)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_sweep, operating_point, ac_analysis
+from repro.circuit import CircuitBuilder
+from repro.errors import AnalysisError
+
+
+class TestOperatingPointContainer:
+    def test_branch_current_case_insensitive(self, divider_circuit):
+        op = operating_point(divider_circuit)
+        assert op.i("vin") == op.i("VIN")
+
+    def test_x_vector_matches_named_voltages(self, divider_circuit):
+        op = operating_point(divider_circuit)
+        assert op.x[1] == pytest.approx(op.v("mid"))
+
+    def test_strategy_recorded(self, divider_circuit):
+        assert operating_point(divider_circuit).strategy in (
+            "direct", "damped", "gmin", "source", "ptran")
+
+
+class TestSweepContainer:
+    def test_len_and_vectors(self, divider_circuit):
+        sweep = dc_sweep(divider_circuit, "VIN", np.array([1.0, 2.0]))
+        assert len(sweep) == 2
+        assert sweep.v("mid").shape == (2,)
+        assert sweep.i("VIN").shape == (2,)
+
+    def test_sweep_name(self, divider_circuit):
+        sweep = dc_sweep(divider_circuit, "VIN", np.array([1.0]))
+        assert sweep.sweep_name == "VIN"
+
+
+class TestACContainer:
+    @pytest.fixture()
+    def ac_result(self):
+        circuit = (CircuitBuilder("rc")
+                   .voltage_source("VIN", "in", "0", 1.0)
+                   .resistor("R1", "in", "out", 1e3)
+                   .capacitor("C1", "out", "0", 1e-6)
+                   .build())
+        return ac_analysis(circuit, "VIN",
+                           np.array([10.0, 159.155, 10e3]))
+
+    def test_complex_phasors(self, ac_result):
+        assert ac_result.v("out").dtype == complex
+
+    def test_ground_phasor_zero(self, ac_result):
+        np.testing.assert_array_equal(ac_result.v("0"),
+                                      np.zeros(3, dtype=complex))
+
+    def test_mag_db_monotone_rolloff(self, ac_result):
+        mags = ac_result.mag_db("out")
+        assert mags[0] > mags[1] > mags[2]
+
+    def test_phase_deg_range(self, ac_result):
+        phases = ac_result.phase_deg("out")
+        assert np.all(phases <= 0.0)
+        assert np.all(phases >= -90.1)
+
+    def test_unknown_node_raises(self, ac_result):
+        with pytest.raises(AnalysisError):
+            ac_result.v("nothing")

@@ -1,0 +1,178 @@
+"""Transient analysis tests against analytic first/second-order responses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SimOptions, transient, operating_point
+from repro.circuit import CircuitBuilder, NMOS_DEFAULT
+from repro.waveforms import PulseWave, SineWave, StepWave
+
+
+def rc_circuit(r=1e3, c=1e-6, wave=None):
+    wave = wave if wave is not None else StepWave(
+        base=0.0, elev=1.0, t_step=0.0, slew_rate=1e12)
+    return (CircuitBuilder("rc")
+            .voltage_source("VIN", "in", "0", wave)
+            .resistor("R1", "in", "out", r)
+            .capacitor("C1", "out", "0", c)
+            .build())
+
+
+class TestRCStep:
+    def test_exponential_charge(self):
+        tr = transient(rc_circuit(), t_stop=5e-3, dt=5e-6)
+        tau = 1e-3
+        expected = 1.0 - np.exp(-tr.t / tau)
+        np.testing.assert_allclose(tr.v("out"), expected, atol=5e-3)
+
+    def test_backward_euler_also_converges(self):
+        options = SimOptions(transient_method="be")
+        tr = transient(rc_circuit(), t_stop=5e-3, dt=2e-6, options=options)
+        tau = 1e-3
+        v_tau = np.interp(tau, tr.t, tr.v("out"))
+        assert v_tau == pytest.approx(1 - np.exp(-1), abs=2e-3)
+
+    def test_trap_more_accurate_than_be_on_smooth_input(self):
+        """2nd-order trap beats 1st-order BE once start-up has decayed.
+
+        (At a hard discontinuity trap rings while BE damps, so the
+        comparison uses a smooth sine and its analytic steady state.)
+        """
+        r, c = 1e3, 1e-6
+        freq = 500.0
+        wave = SineWave(offset=0.0, amplitude=1.0, freq=freq)
+        h = 1j * 2 * np.pi * freq * r * c
+        gain = 1.0 / (1.0 + h)
+
+        def steady(t):
+            return np.abs(gain) * np.sin(2 * np.pi * freq * t
+                                         + np.angle(gain))
+
+        errors = {}
+        for method in ("trap", "be"):
+            tr = transient(rc_circuit(wave=wave), t_stop=10e-3, dt=50e-6,
+                           options=SimOptions(transient_method=method))
+            last_period = slice(-int(1 / freq / 50e-6), None)
+            errors[method] = np.max(np.abs(
+                tr.v("out")[last_period] - steady(tr.t[last_period])))
+        assert errors["trap"] < errors["be"]
+
+    def test_initial_condition_from_op(self):
+        # base level 1 V: the transient must start at the settled value.
+        wave = StepWave(base=1.0, elev=1.0, t_step=1e-3, slew_rate=1e12)
+        tr = transient(rc_circuit(wave=wave), t_stop=2e-3, dt=10e-6)
+        assert tr.v("out")[0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_time_grid(self):
+        tr = transient(rc_circuit(), t_stop=1e-3, dt=1e-5)
+        assert len(tr.t) == 101
+        assert tr.dt == pytest.approx(1e-5)
+        assert tr.t[0] == 0.0
+        assert tr.t[-1] == pytest.approx(1e-3)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            transient(rc_circuit(), t_stop=0.0, dt=1e-6)
+        with pytest.raises(ValueError):
+            transient(rc_circuit(), t_stop=1e-3, dt=-1e-6)
+
+
+class TestRLStep:
+    def test_inductor_current_rise(self):
+        # V -> R -> L to ground: i(t) = V/R (1 - exp(-t R/L))
+        c = (CircuitBuilder("rl")
+             .voltage_source("VIN", "in", "0",
+                             StepWave(base=0.0, elev=1.0, t_step=0.0,
+                                      slew_rate=1e12))
+             .resistor("R1", "in", "x", 1e3)
+             .inductor("L1", "x", "0", 1e-3)
+             .build())
+        tr = transient(c, t_stop=5e-6, dt=5e-9)
+        tau = 1e-3 / 1e3
+        expected = 1e-3 * (1.0 - np.exp(-tr.t / tau))
+        np.testing.assert_allclose(tr.i("L1"), expected, atol=2e-5)
+
+
+class TestSine:
+    def test_amplitude_attenuation_at_corner(self):
+        # RC low-pass driven at its corner frequency: |H| = 1/sqrt(2).
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-6)
+        wave = SineWave(offset=0.0, amplitude=1.0, freq=fc)
+        tr = transient(rc_circuit(wave=wave), t_stop=8 / fc, dt=1 / (200 * fc))
+        # analyze the last 2 periods
+        n = int(2 * 200)
+        peak = 0.5 * (np.max(tr.v("out")[-n:]) - np.min(tr.v("out")[-n:]))
+        assert peak == pytest.approx(1 / np.sqrt(2), rel=0.02)
+
+    def test_pulse_waveform_reaches_levels(self):
+        wave = PulseWave(v1=0.0, v2=2.0, td=0.0, tr=1e-6, tf=1e-6,
+                         pw=40e-6, per=100e-6)
+        tr = transient(rc_circuit(c=1e-9, wave=wave), t_stop=100e-6, dt=1e-7)
+        assert np.max(tr.v("out")) == pytest.approx(2.0, abs=0.05)
+        assert np.min(tr.v("out")[len(tr) // 2:]) == pytest.approx(
+            0.0, abs=0.05)
+
+
+class TestNonlinearTransient:
+    def test_mos_follower_tracks_slow_ramp(self):
+        c = (CircuitBuilder("sf")
+             .voltage_source("VDD", "vdd", "0", 5.0)
+             .voltage_source("VG", "g", "0",
+                             StepWave(base=2.0, elev=1.0, t_step=1e-6,
+                                      slew_rate=2e6))
+             .mosfet("M1", "vdd", "g", "out", "0", NMOS_DEFAULT,
+                     "100u", "2u")
+             .resistor("RS", "out", "0", 10e3)
+             .build())
+        tr = transient(c, t_stop=5e-6, dt=10e-9)
+        # Follower: out tracks gate minus vgs; the step is 1 V, so the
+        # output must rise by roughly 1 V too (body effect reduces a bit).
+        rise = tr.v("out")[-1] - tr.v("out")[0]
+        assert 0.7 < rise < 1.05
+
+    def test_newton_iterations_reported(self):
+        tr = transient(rc_circuit(), t_stop=1e-4, dt=1e-6)
+        assert tr.newton_iterations >= len(tr.t) - 1
+
+    def test_precomputed_op_reused(self):
+        circuit = rc_circuit()
+        op = operating_point(circuit)
+        tr = transient(circuit, t_stop=1e-4, dt=1e-6, x0=op)
+        assert tr.v("out")[0] == pytest.approx(op.v("out"), abs=1e-9)
+
+
+class TestHardTransients:
+    def test_faulted_macro_near_clipping_converges(self):
+        """Regression: the n3-vdd 75 kOhm bridge at full sine drive needs
+        deep sub-stepping (dt/64) around the clipping corner."""
+        from repro.faults import BridgingFault
+        from repro.macros import IVConverterMacro
+
+        macro = IVConverterMacro()
+        fault = BridgingFault(node_a="n3", node_b="vdd", impact=75e3)
+        circuit = fault.apply(macro.circuit)
+        freq = 1e3
+        wave = SineWave(offset=40e-6, amplitude=18e-6, freq=freq)
+        circuit = circuit.replace_element(
+            type(circuit.element("IIN"))("IIN", "0", "iin", wave))
+        result = transient(circuit, t_stop=4 / freq, dt=1 / (64 * freq))
+        assert np.all(np.isfinite(result.v("vout")))
+
+
+class TestResultContainer:
+    def test_branch_current_waveform(self):
+        tr = transient(rc_circuit(), t_stop=1e-3, dt=1e-5)
+        i_vin = tr.i("VIN")
+        assert len(i_vin) == len(tr.t)
+        # at t=0+ the cap is empty: current ~ -1V/1k (out of the source)
+        assert i_vin[1] == pytest.approx(-1e-3, rel=0.1)
+
+    def test_ground_waveform_is_zero(self):
+        tr = transient(rc_circuit(), t_stop=1e-4, dt=1e-6)
+        assert np.all(tr.v("0") == 0.0)
+
+    def test_unknown_node_raises(self):
+        from repro.errors import AnalysisError
+        tr = transient(rc_circuit(), t_stop=1e-4, dt=1e-6)
+        with pytest.raises(AnalysisError):
+            tr.v("zz")

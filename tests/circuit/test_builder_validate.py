@@ -1,0 +1,114 @@
+"""Unit tests for CircuitBuilder and structural validation."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    NMOS_DEFAULT,
+    validate_circuit,
+)
+from repro.errors import NetlistError
+
+
+class TestBuilder:
+    def test_engineering_values(self):
+        c = (CircuitBuilder("b")
+             .voltage_source("V1", "a", "0", 5.0)
+             .resistor("R1", "a", "b", "10k")
+             .capacitor("C1", "b", "0", "2.2n")
+             .build())
+        assert c.element("R1").resistance == 10e3
+        assert c.element("C1").capacitance == pytest.approx(2.2e-9)
+
+    def test_chaining_returns_builder(self):
+        b = CircuitBuilder("b")
+        assert b.resistor("R1", "a", "0", 1.0) is b
+
+    def test_mosfet_geometry_strings(self):
+        c = (CircuitBuilder("m")
+             .voltage_source("VDD", "d", "0", 5.0)
+             .voltage_source("VG", "g", "0", 2.0)
+             .mosfet("M1", "d", "g", "0", "0", NMOS_DEFAULT, "20u", "2u")
+             .build())
+        assert c.element("M1").w == pytest.approx(20e-6)
+
+    def test_validation_on_build(self):
+        b = CircuitBuilder("floating").resistor("R1", "a", "b", 1.0)
+        with pytest.raises(NetlistError):
+            b.build()  # no ground anywhere
+
+    def test_validation_can_be_skipped(self):
+        b = CircuitBuilder("floating").resistor("R1", "a", "b", 1.0)
+        c = b.build(validate=False)
+        assert len(c) == 1
+
+    def test_all_element_kinds(self):
+        c = (CircuitBuilder("all")
+             .voltage_source("V1", "in", "0", 1.0)
+             .current_source("I1", "0", "x", "1u")
+             .resistor("R1", "in", "x", "1k")
+             .capacitor("C1", "x", "0", "1p")
+             .inductor("L1", "x", "y", "1n")
+             .resistor("RY", "y", "0", "1k")
+             .vcvs("E1", "e", "0", "x", "0", 2.0)
+             .resistor("RE", "e", "0", "1k")
+             .vccs("G1", "0", "x", "in", "0", "1m")
+             .diode("D1", "x", "0")
+             .mosfet("M1", "in", "x", "0", "0", NMOS_DEFAULT, "10u", "2u")
+             .build())
+        assert len(c) == 11
+
+
+class TestValidation:
+    def test_empty_circuit_rejected(self):
+        from repro.circuit import Circuit
+        with pytest.raises(NetlistError):
+            validate_circuit(Circuit("empty"))
+
+    def test_missing_ground_rejected(self):
+        c = (CircuitBuilder("ng")
+             .resistor("R1", "a", "b", 1.0)
+             .build(validate=False))
+        with pytest.raises(NetlistError):
+            validate_circuit(c)
+
+    def test_clean_circuit_no_warnings(self, divider_circuit):
+        assert validate_circuit(divider_circuit) == []
+
+    def test_dangling_node_warns(self):
+        c = (CircuitBuilder("d")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "b", 1.0)
+             .build(validate=False))
+        warnings = validate_circuit(c)
+        assert any("dangling" in w for w in warnings)
+
+    def test_cap_only_node_warns_dc_float(self):
+        c = (CircuitBuilder("c")
+             .voltage_source("V1", "a", "0", 1.0)
+             .capacitor("C1", "a", "x", 1e-12)
+             .capacitor("C2", "x", "0", 1e-12)
+             .build(validate=False))
+        warnings = validate_circuit(c)
+        assert any("no DC path" in w for w in warnings)
+
+    def test_mos_channel_counts_as_dc_path(self):
+        c = (CircuitBuilder("m")
+             .voltage_source("VDD", "vdd", "0", 5.0)
+             .voltage_source("VG", "g", "0", 2.0)
+             .resistor("RD", "vdd", "d", 1e3)
+             .mosfet("M1", "d", "g", "s", "0", NMOS_DEFAULT, "10u", "2u")
+             .resistor("RS", "s", "0", 1e3)
+             .build(validate=False))
+        warnings = validate_circuit(c)
+        assert not any("no DC path" in w for w in warnings)
+
+    def test_current_source_into_open_node_warns(self):
+        c = (CircuitBuilder("i")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "0", 1e3)
+             .current_source("I1", "0", "x", 1e-6)
+             .capacitor("CX", "x", "0", 1e-12)
+             .build(validate=False))
+        warnings = validate_circuit(c)
+        assert any("I1" in w for w in warnings)

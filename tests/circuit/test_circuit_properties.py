@@ -1,0 +1,100 @@
+"""Property-based tests of the netlist layer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    Circuit,
+    CircuitBuilder,
+    Resistor,
+    VoltageSource,
+    parse_netlist,
+)
+from repro.units import format_value, parse_value
+
+
+names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789_",
+                min_size=1, max_size=8).filter(
+                    lambda s: s[0].isalpha())
+
+
+@st.composite
+def resistor_decks(draw):
+    """A random connected resistor deck as netlist text."""
+    n = draw(st.integers(1, 8))
+    values = [draw(st.floats(1.0, 1e6)) for _ in range(n)]
+    lines = ["VS n0 0 DC 1"]
+    for i, value in enumerate(values):
+        lines.append(f"R{i} n{i} n{i + 1} {value:.6g}")
+    lines.append(f"RL n{n} 0 1k")
+    return "\n".join(lines) + "\n"
+
+
+class TestParserProperties:
+    @settings(max_examples=40)
+    @given(resistor_decks())
+    def test_parse_serialize_reparse_fixpoint(self, deck):
+        """parse -> serialize -> parse preserves structure and values."""
+        first = parse_netlist(deck)
+        second = parse_netlist(first.to_netlist())
+        assert len(second) == len(first)
+        assert set(second.nodes()) == set(first.nodes())
+        firsts = {e.name.lower(): e for e in first
+                  if isinstance(e, Resistor)}
+        for element in second:
+            if isinstance(element, Resistor):
+                # serialized names gain the R prefix once
+                key = element.name.lower().removeprefix("r")
+                match = firsts.get(key) or firsts.get("r" + key)
+                assert match is not None
+                assert element.resistance == pytest.approx(
+                    match.resistance, rel=1e-6)
+
+    @settings(max_examples=40)
+    @given(st.floats(1e-12, 1e9))
+    def test_value_formatting_reparses(self, value):
+        assert parse_value(format_value(value, digits=12)) == \
+            pytest.approx(value, rel=1e-9)
+
+
+class TestCircuitDerivationProperties:
+    @settings(max_examples=30)
+    @given(st.integers(1, 10))
+    def test_with_without_roundtrip(self, n):
+        circuit = Circuit("c", [
+            VoltageSource("V1", "a", "0", 1.0),
+            Resistor("R1", "a", "0", 1e3)])
+        grown = circuit
+        for i in range(n):
+            grown = grown.with_element(Resistor(f"RX{i}", "a", "0", 1e3))
+        shrunk = grown
+        for i in range(n):
+            shrunk = shrunk.without_element(f"RX{i}")
+        assert len(shrunk) == len(circuit)
+        assert {e.name for e in shrunk} == {e.name for e in circuit}
+
+    @settings(max_examples=30)
+    @given(st.floats(1.0, 1e9))
+    def test_replace_preserves_order(self, new_value):
+        circuit = Circuit("c", [
+            VoltageSource("V1", "a", "0", 1.0),
+            Resistor("R1", "a", "b", 1e3),
+            Resistor("R2", "b", "0", 1e3)])
+        swapped = circuit.replace_element(Resistor("R1", "a", "b",
+                                                   new_value))
+        assert [e.name for e in swapped] == ["V1", "R1", "R2"]
+
+
+class TestBuilderEquivalence:
+    def test_builder_and_parser_agree(self):
+        built = (CircuitBuilder("x")
+                 .voltage_source("V1", "in", "0", 5.0)
+                 .resistor("R1", "in", "out", "10k")
+                 .capacitor("C1", "out", "0", "1n")
+                 .build())
+        parsed = parse_netlist(
+            "V1 in 0 DC 5\nR1 in out 10k\nC1 out 0 1n\n")
+        from repro.analysis import operating_point
+        assert operating_point(built).v("out") == pytest.approx(
+            operating_point(parsed).v("out"))

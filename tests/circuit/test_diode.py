@@ -1,0 +1,79 @@
+"""Dedicated tests of the diode model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Diode
+from repro.circuit.diode import THERMAL_VOLTAGE, diode_eval
+from repro.errors import NetlistError
+
+
+def eval_single(vd, i_s=1e-14, n=1.0):
+    i, g = diode_eval(np.array([vd]), np.array([i_s]), np.array([n]))
+    return float(i[0]), float(g[0])
+
+
+class TestConstruction:
+    def test_nodes(self):
+        d = Diode("D1", "a", "k")
+        assert d.nodes == ("a", "k")
+
+    def test_rejects_bad_is(self):
+        with pytest.raises(NetlistError):
+            Diode("D1", "a", "k", i_s=0.0)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(NetlistError):
+            Diode("D1", "a", "k", n=-1.0)
+
+
+class TestShockley:
+    def test_zero_bias_zero_current(self):
+        i, g = eval_single(0.0)
+        assert i == 0.0
+        assert g == pytest.approx(1e-14 / THERMAL_VOLTAGE)
+
+    def test_forward_exponential(self):
+        i1, _ = eval_single(0.6)
+        i2, _ = eval_single(0.6 + THERMAL_VOLTAGE * np.log(10))
+        assert i2 / i1 == pytest.approx(10.0, rel=1e-6)
+
+    def test_reverse_saturation(self):
+        i, _ = eval_single(-1.0)
+        assert i == pytest.approx(-1e-14, rel=1e-3)
+
+    def test_emission_coefficient_slows_exponential(self):
+        i_n1, _ = eval_single(0.6, n=1.0)
+        i_n2, _ = eval_single(0.6, n=2.0)
+        assert i_n2 < i_n1
+
+    def test_high_bias_linear_continuation_finite(self):
+        i, g = eval_single(5.0)
+        assert np.isfinite(i)
+        assert np.isfinite(g)
+        assert i > 0.0
+
+    @settings(max_examples=50)
+    @given(st.floats(-2.0, 3.0))
+    def test_conductance_matches_finite_difference(self, vd):
+        h = 1e-7
+        i_minus, _ = eval_single(vd - h)
+        i_plus, _ = eval_single(vd + h)
+        _, g = eval_single(vd)
+        fd = (i_plus - i_minus) / (2 * h)
+        assert g == pytest.approx(fd, rel=1e-3, abs=1e-18)
+
+    @settings(max_examples=50)
+    @given(st.floats(-5.0, 5.0), st.floats(-5.0, 5.0))
+    def test_monotone_current(self, va, vb):
+        ia, _ = eval_single(min(va, vb))
+        ib, _ = eval_single(max(va, vb))
+        assert ia <= ib + 1e-18
+
+    def test_continuity_at_crit_voltage(self):
+        nvt = THERMAL_VOLTAGE
+        vcrit = 40.0 * nvt
+        below, _ = eval_single(vcrit - 1e-9)
+        above, _ = eval_single(vcrit + 1e-9)
+        assert above == pytest.approx(below, rel=1e-6)

@@ -1,0 +1,98 @@
+"""Unit tests for circuit elements."""
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    is_ground,
+)
+from repro.errors import NetlistError
+from repro.waveforms import DCWave, SineWave
+
+
+class TestGround:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "Gnd"])
+    def test_ground_aliases(self, name):
+        assert is_ground(name)
+
+    @pytest.mark.parametrize("name", ["vss", "ground", "00", "n0"])
+    def test_non_ground(self, name):
+        assert not is_ground(name)
+
+
+class TestResistor:
+    def test_nodes_and_conductance(self):
+        r = Resistor("R1", "a", "b", 100.0)
+        assert r.nodes == ("a", "b")
+        assert r.conductance == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("value", [0.0, -5.0])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", value)
+
+    def test_rename_preserves_value(self):
+        r = Resistor("R1", "a", "b", 100.0).renamed("R2")
+        assert r.name == "R2"
+        assert r.resistance == 100.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_frozen(self):
+        r = Resistor("R1", "a", "b", 100.0)
+        with pytest.raises(AttributeError):
+            r.resistance = 5.0
+
+
+class TestCapacitorInductor:
+    def test_capacitor_rejects_non_positive(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C1", "a", "b", 0.0)
+
+    def test_inductor_rejects_non_positive(self):
+        with pytest.raises(NetlistError):
+            Inductor("L1", "a", "b", -1e-9)
+
+    def test_nodes(self):
+        assert Capacitor("C1", "x", "0", 1e-12).nodes == ("x", "0")
+
+
+class TestSources:
+    def test_voltage_source_float_waveform(self):
+        v = VoltageSource("V1", "p", "n", 5.0)
+        assert v.dc_value == 5.0
+        assert v.value_at(1.0) == 5.0
+
+    def test_voltage_source_wave(self):
+        v = VoltageSource("V1", "p", "n", SineWave(offset=1.0, amplitude=2.0,
+                                                   freq=1e3))
+        assert v.dc_value == 1.0
+        assert v.value_at(0.25e-3) == pytest.approx(3.0)
+
+    def test_current_source_dcwave(self):
+        i = CurrentSource("I1", "0", "x", DCWave(1e-6))
+        assert i.dc_value == pytest.approx(1e-6)
+
+    def test_source_nodes(self):
+        v = VoltageSource("V1", "p", "n", 1.0)
+        assert v.nodes == ("p", "n")
+
+
+class TestControlledSources:
+    def test_vcvs_nodes(self):
+        e = VCVS("E1", np="a", nn="b", cp="c", cn="d", gain=10.0)
+        assert e.nodes == ("a", "b", "c", "d")
+        assert e.gain == 10.0
+
+    def test_vccs_nodes(self):
+        g = VCCS("G1", np="a", nn="b", cp="c", cn="d", gm=1e-3)
+        assert g.nodes == ("a", "b", "c", "d")
+        assert g.gm == pytest.approx(1e-3)

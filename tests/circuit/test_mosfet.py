@@ -1,0 +1,193 @@
+"""Unit and property tests for the level-1 MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Mosfet, MosfetParams, NMOS_DEFAULT, PMOS_DEFAULT
+from repro.circuit.mosfet import mos_level1
+from repro.errors import NetlistError
+
+
+def eval_single(vgs, vds, vbs=0.0, params=NMOS_DEFAULT, w=10e-6, l=2e-6):
+    """Evaluate one device; returns (ids, gm, gds, gmb) scalars."""
+    m = Mosfet("M1", "d", "g", "s", "b", params, w, l)
+    out = mos_level1(
+        np.array([vgs]), np.array([vds]), np.array([vbs]),
+        np.array([params.sign]), np.array([m.beta]),
+        np.array([params.vto]), np.array([params.lam]),
+        np.array([params.gamma]), np.array([params.phi]))
+    return tuple(float(x[0]) for x in out)
+
+
+class TestParams:
+    def test_sign(self):
+        assert NMOS_DEFAULT.sign == 1.0
+        assert PMOS_DEFAULT.sign == -1.0
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(NetlistError):
+            MosfetParams(kind="jfet")
+
+    def test_rejects_inconsistent_vto_sign(self):
+        with pytest.raises(NetlistError):
+            MosfetParams(kind="nmos", vto=-0.5)
+        with pytest.raises(NetlistError):
+            MosfetParams(kind="pmos", vto=0.5)
+
+    def test_scaled_override(self):
+        p = NMOS_DEFAULT.scaled(vto=0.9)
+        assert p.vto == 0.9
+        assert p.kp == NMOS_DEFAULT.kp
+
+    def test_rejects_non_positive_kp(self):
+        with pytest.raises(NetlistError):
+            MosfetParams(kp=0.0)
+
+
+class TestInstance:
+    def test_beta(self):
+        m = Mosfet("M1", "d", "g", "s", "b", NMOS_DEFAULT, 20e-6, 2e-6)
+        assert m.beta == pytest.approx(NMOS_DEFAULT.kp * 10)
+
+    def test_multiplier_scales_beta(self):
+        m1 = Mosfet("M1", "d", "g", "s", "b", NMOS_DEFAULT, 20e-6, 2e-6)
+        m2 = Mosfet("M2", "d", "g", "s", "b", NMOS_DEFAULT, 20e-6, 2e-6, m=4)
+        assert m2.beta == pytest.approx(4 * m1.beta)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(NetlistError):
+            Mosfet("M1", "d", "g", "s", "b", NMOS_DEFAULT, 0.0, 2e-6)
+
+    def test_with_geometry(self):
+        m = Mosfet("M1", "d", "g", "s", "b", NMOS_DEFAULT, 20e-6, 2e-6)
+        half = m.with_geometry(l=1e-6)
+        assert half.l == 1e-6
+        assert half.w == m.w
+
+    def test_gate_caps_positive(self):
+        m = Mosfet("M1", "d", "g", "s", "b", NMOS_DEFAULT, 20e-6, 2e-6)
+        assert m.cgs > 0.0
+        assert m.cgd > 0.0
+
+    def test_nodes_order(self):
+        m = Mosfet("M1", "nd", "ng", "ns", "nb", NMOS_DEFAULT, 20e-6, 2e-6)
+        assert m.nodes == ("nd", "ng", "ns", "nb")
+
+
+class TestRegions:
+    def test_cutoff(self):
+        ids, gm, gds, gmb = eval_single(vgs=0.5, vds=2.0)
+        assert ids == 0.0 and gm == 0.0 and gds == 0.0 and gmb == 0.0
+
+    def test_saturation_square_law(self):
+        # vov = 0.7, sat: ids = beta/2 * vov^2 * (1 + lam*vds)
+        ids, gm, gds, _ = eval_single(vgs=1.5, vds=3.0)
+        beta = NMOS_DEFAULT.kp * 5
+        expected = 0.5 * beta * 0.7**2 * (1 + NMOS_DEFAULT.lam * 3.0)
+        assert ids == pytest.approx(expected)
+        assert gm == pytest.approx(beta * 0.7 * (1 + NMOS_DEFAULT.lam * 3.0))
+
+    def test_triode_small_vds(self):
+        ids, gm, gds, _ = eval_single(vgs=1.5, vds=0.1)
+        beta = NMOS_DEFAULT.kp * 5
+        vov = 0.7
+        expected = beta * (vov - 0.05) * 0.1 * (1 + NMOS_DEFAULT.lam * 0.1)
+        assert ids == pytest.approx(expected)
+        lam = NMOS_DEFAULT.lam
+        expected_gds = beta * ((vov - 0.1) * (1 + lam * 0.1)
+                               + (vov - 0.05) * 0.1 * lam)
+        assert gds == pytest.approx(expected_gds)
+
+    def test_pmos_mirror_symmetry(self):
+        """PMOS at mirrored voltages carries the mirrored current."""
+        nmos = MosfetParams(kind="nmos", vto=0.8, kp=50e-6, lam=0.02,
+                            gamma=0.0, phi=0.7)
+        pmos = MosfetParams(kind="pmos", vto=-0.8, kp=50e-6, lam=0.02,
+                            gamma=0.0, phi=0.7)
+        ids_n, gm_n, gds_n, _ = eval_single(1.5, 2.0, 0.0, nmos)
+        ids_p, gm_p, gds_p, _ = eval_single(-1.5, -2.0, 0.0, pmos)
+        assert ids_p == pytest.approx(-ids_n)
+        assert gm_p == pytest.approx(gm_n)
+        assert gds_p == pytest.approx(gds_n)
+
+    def test_source_drain_inversion_antisymmetric(self):
+        """Without body effect, swapping D and S negates the current."""
+        params = MosfetParams(kind="nmos", vto=0.8, kp=50e-6, lam=0.0,
+                              gamma=0.0, phi=0.7)
+        # Device with vg=2, vd=1, vs=0  vs  the same with vd=0, vs=1.
+        ids_fwd, *_ = eval_single(vgs=2.0, vds=1.0, params=params)
+        ids_rev, *_ = eval_single(vgs=1.0, vds=-1.0, params=params)
+        assert ids_rev == pytest.approx(-ids_fwd)
+
+    def test_body_effect_raises_threshold(self):
+        low_vbs, *_ = eval_single(vgs=1.2, vds=2.0, vbs=0.0)
+        high_vbs, *_ = eval_single(vgs=1.2, vds=2.0, vbs=-2.0)
+        assert high_vbs < low_vbs  # higher vth -> less current
+
+    def test_gmb_positive_when_on(self):
+        _, _, _, gmb = eval_single(vgs=1.5, vds=2.0, vbs=-1.0)
+        assert gmb > 0.0
+
+
+class TestContinuity:
+    @settings(max_examples=60)
+    @given(vgs=st.floats(0.0, 4.0), vbs=st.floats(-3.0, 0.0))
+    def test_continuity_at_sat_triode_boundary(self, vgs, vbs):
+        """ids is continuous across vds = vov."""
+        params = NMOS_DEFAULT
+        # Find vov from the model's own threshold math.
+        phi_vbs = max(params.phi - vbs, 1e-4)
+        vth = params.vto + params.gamma * (np.sqrt(phi_vbs)
+                                           - np.sqrt(params.phi))
+        vov = vgs - vth
+        if vov <= 1e-3:
+            return
+        below, *_ = eval_single(vgs, vov - 1e-9, vbs)
+        above, *_ = eval_single(vgs, vov + 1e-9, vbs)
+        assert below == pytest.approx(above, rel=1e-5, abs=1e-15)
+
+    @settings(max_examples=60)
+    @given(vds=st.floats(0.01, 4.0), vbs=st.floats(-3.0, 0.0))
+    def test_continuity_at_cutoff_boundary(self, vds, vbs):
+        """ids -> 0 as vgs -> vth from above."""
+        params = NMOS_DEFAULT
+        phi_vbs = max(params.phi - vbs, 1e-4)
+        vth = params.vto + params.gamma * (np.sqrt(phi_vbs)
+                                           - np.sqrt(params.phi))
+        just_on, *_ = eval_single(vth + 1e-6, vds, vbs)
+        assert abs(just_on) < 1e-12
+
+    @settings(max_examples=60)
+    @given(vgs=st.floats(1.0, 3.0), vds=st.floats(0.1, 4.0))
+    def test_monotonic_in_vgs(self, vgs, vds):
+        """More gate drive, more current (NMOS, fixed vds)."""
+        lo, *_ = eval_single(vgs, vds)
+        hi, *_ = eval_single(vgs + 0.1, vds)
+        assert hi >= lo
+
+    @settings(max_examples=60)
+    @given(vgs=st.floats(1.0, 3.0), vds=st.floats(0.05, 3.9))
+    def test_gm_matches_finite_difference(self, vgs, vds):
+        """Analytic gm agrees with a central difference of ids."""
+        h = 1e-5
+        ids_m, *_ = eval_single(vgs - h, vds)
+        ids_p, *_ = eval_single(vgs + h, vds)
+        _, gm, _, _ = eval_single(vgs, vds)
+        fd = (ids_p - ids_m) / (2 * h)
+        assert gm == pytest.approx(fd, rel=1e-3, abs=1e-12)
+
+    @settings(max_examples=60)
+    @given(vgs=st.floats(1.0, 3.0), vds=st.floats(0.05, 3.9))
+    def test_gds_matches_finite_difference(self, vgs, vds):
+        h = 1e-5
+        # Keep clear of the triode/sat kink where gds is discontinuous
+        # (level-1 is only C0 there).
+        vov = vgs - NMOS_DEFAULT.vto
+        if abs(vds - vov) < 1e-3:
+            return
+        ids_m, *_ = eval_single(vgs, vds - h)
+        ids_p, *_ = eval_single(vgs, vds + h)
+        _, _, gds, _ = eval_single(vgs, vds)
+        fd = (ids_p - ids_m) / (2 * h)
+        assert gds == pytest.approx(fd, rel=1e-3, abs=1e-12)

@@ -1,0 +1,161 @@
+"""Unit tests for the SPICE-flavoured netlist parser."""
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Diode,
+    Mosfet,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    parse_netlist,
+)
+from repro.errors import ParseError
+from repro.waveforms import DCWave, PWLWave, PulseWave, SineWave, StepWave
+
+
+class TestBasicElements:
+    def test_divider(self):
+        c = parse_netlist("""
+        * a divider
+        VIN in 0 DC 5
+        R1 in mid 10k
+        R2 mid 0 10k
+        .end
+        """)
+        assert len(c) == 3
+        assert c.element("R1").resistance == 10e3
+
+    def test_rc_values(self):
+        c = parse_netlist("C1 a 0 2.2n\nR1 a 0 1meg\n")
+        assert c.element("C1").capacitance == pytest.approx(2.2e-9)
+        assert c.element("R1").resistance == pytest.approx(1e6)
+
+    def test_inductor(self):
+        c = parse_netlist("L1 a 0 10u\nR1 a 0 1\n")
+        assert c.element("L1").inductance == pytest.approx(10e-6)
+
+    def test_comments_and_blank_lines(self):
+        c = parse_netlist("""
+
+        * full-line comment
+        R1 a 0 1k  ; trailing comment
+        R2 a 0 2k  $ other comment style
+        """)
+        assert len(c) == 2
+
+    def test_continuation_lines(self):
+        c = parse_netlist("R1 a\n+ 0\n+ 5k\n")
+        assert c.element("R1").resistance == 5e3
+
+    def test_bare_value_source(self):
+        c = parse_netlist("V1 a 0 3.3\nR1 a 0 1k\n")
+        assert c.element("V1").dc_value == pytest.approx(3.3)
+
+
+class TestWaveforms:
+    def test_sin(self):
+        c = parse_netlist("I1 0 x SIN(1u 0.5u 10k)\nR1 x 0 1k\n")
+        wave = c.element("I1").waveform
+        assert isinstance(wave, SineWave)
+        assert wave.offset == pytest.approx(1e-6)
+        assert wave.freq == pytest.approx(10e3)
+
+    def test_pulse(self):
+        c = parse_netlist(
+            "V1 a 0 PULSE(0 5 0 1n 1n 1u 2u)\nR1 a 0 1k\n")
+        assert isinstance(c.element("V1").waveform, PulseWave)
+
+    def test_pwl(self):
+        c = parse_netlist("V1 a 0 PWL(0 0 1u 5 2u 0)\nR1 a 0 1k\n")
+        wave = c.element("V1").waveform
+        assert isinstance(wave, PWLWave)
+        assert wave.value_at(1e-6) == pytest.approx(5.0)
+
+    def test_step(self):
+        c = parse_netlist("I1 0 x STEP(1u 4u 10n 0.8)\nR1 x 0 1k\n")
+        wave = c.element("I1").waveform
+        assert isinstance(wave, StepWave)
+        assert wave.elev == pytest.approx(4e-6)
+
+    def test_malformed_sin_raises(self):
+        with pytest.raises(ParseError):
+            parse_netlist("V1 a 0 SIN(1)\nR1 a 0 1k\n")
+
+
+class TestDevices:
+    def test_mosfet_with_model(self):
+        c = parse_netlist("""
+        M1 d g 0 0 nch W=20u L=2u
+        VDD d 0 5
+        VG g 0 2
+        .model nch NMOS(VTO=0.7 KP=100u LAMBDA=0.01)
+        """)
+        m = c.element("M1")
+        assert isinstance(m, Mosfet)
+        assert m.params.vto == pytest.approx(0.7)
+        assert m.w == pytest.approx(20e-6)
+
+    def test_model_after_use_site(self):
+        c = parse_netlist(
+            "M1 d g 0 0 pch\nVD d 0 -5\nVG g 0 -2\n"
+            ".model pch PMOS(VTO=-0.9)\n")
+        assert c.element("M1").params.kind == "pmos"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ParseError):
+            parse_netlist("M1 d g 0 0 ghost W=1u L=1u\n")
+
+    def test_diode_with_model(self):
+        c = parse_netlist(
+            "D1 a 0 dmod\nV1 a 0 1\n.model dmod D(IS=1e-15 N=1.5)\n")
+        d = c.element("D1")
+        assert isinstance(d, Diode)
+        assert d.n == pytest.approx(1.5)
+
+    def test_diode_inline_params(self):
+        c = parse_netlist("D1 a 0 IS=2e-14\nV1 a 0 1\n")
+        assert c.element("D1").i_s == pytest.approx(2e-14)
+
+    def test_controlled_sources(self):
+        c = parse_netlist(
+            "E1 o 0 a b 10\nG1 o 0 a b 1m\nR1 o 0 1k\n"
+            "V1 a 0 1\nR2 b 0 1k\n")
+        assert isinstance(c.element("E1"), VCVS)
+        assert isinstance(c.element("G1"), VCCS)
+        assert c.element("G1").gm == pytest.approx(1e-3)
+
+
+class TestErrors:
+    def test_unknown_element_letter(self):
+        with pytest.raises(ParseError):
+            parse_netlist("Q1 a b c model\n")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(ParseError):
+            parse_netlist(".tran 1n 1u\nR1 a 0 1\n")
+
+    def test_missing_value(self):
+        with pytest.raises(ParseError):
+            parse_netlist("R1 a 0\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as err:
+            parse_netlist("R1 a 0 1k\nR2 b 0\n")
+        assert err.value.line_no == 2
+
+    def test_orphan_continuation(self):
+        with pytest.raises(ParseError):
+            parse_netlist("+ 5k\n")
+
+
+class TestRoundTrip:
+    def test_serialized_circuit_reparses(self, divider_circuit):
+        deck = divider_circuit.to_netlist()
+        # Serialized names keep the original card name; reparse and
+        # compare structure.
+        reparsed = parse_netlist(deck)
+        assert len(reparsed) == len(divider_circuit)
+        assert set(reparsed.nodes()) == set(divider_circuit.nodes())

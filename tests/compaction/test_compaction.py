@@ -1,0 +1,205 @@
+"""Tests for grouping, collapse and coverage (RC-ladder scale)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compaction import (
+    CompactionSettings,
+    collapse_test_set,
+    evaluate_coverage,
+    farthest_pair_split,
+    single_linkage_groups,
+)
+from repro.errors import CompactionError
+
+
+class TestSingleLinkage:
+    def test_empty(self):
+        assert single_linkage_groups(np.zeros((0, 2)), 0.1) == []
+
+    def test_all_isolated(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        groups = single_linkage_groups(points, 0.5)
+        assert groups == [[0], [1], [2]]
+
+    def test_all_merged(self):
+        points = np.array([[0.0], [0.1], [0.2]])
+        groups = single_linkage_groups(points, 0.15)
+        assert groups == [[0, 1, 2]]
+
+    def test_chain_merging(self):
+        """Single linkage: a...b...c merge even if a-c exceed threshold."""
+        points = np.array([[0.0], [0.4], [0.8]])
+        groups = single_linkage_groups(points, 0.45)
+        assert groups == [[0, 1, 2]]
+
+    def test_two_clusters(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        groups = single_linkage_groups(points, 0.5)
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(CompactionError):
+            single_linkage_groups(np.zeros((2, 1)), -1.0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.floats(-5, 5), st.floats(-5, 5)),
+                    min_size=1, max_size=20),
+           st.floats(0.0, 3.0))
+    def test_partition_property(self, point_list, threshold):
+        """Groups form a partition: every index exactly once."""
+        points = np.array(point_list)
+        groups = single_linkage_groups(points, threshold)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(len(points)))
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(
+        st.floats(-5, 5).map(lambda v: round(v, 6)),
+        st.floats(-5, 5).map(lambda v: round(v, 6))),
+        min_size=2, max_size=20))
+    def test_zero_threshold_keeps_distinct_points_apart(self, point_list):
+        """At threshold 0 only exact duplicates merge.
+
+        Coordinates are rounded to avoid subnormal distances whose
+        squares underflow to exactly zero.
+        """
+        points = np.array(point_list)
+        unique = len({tuple(p) for p in point_list})
+        groups = single_linkage_groups(points, 0.0)
+        assert len(groups) == unique
+        for group in groups:
+            first = points[group[0]]
+            for index in group[1:]:
+                np.testing.assert_array_equal(points[index], first)
+
+
+class TestFarthestPairSplit:
+    def test_splits_two_obvious_clusters(self):
+        points = np.array([[0.0], [0.1], [5.0], [5.1]])
+        left, right = farthest_pair_split(points, [0, 1, 2, 3])
+        assert sorted(map(sorted, (left, right))) == [[0, 1], [2, 3]]
+
+    def test_rejects_singleton(self):
+        with pytest.raises(CompactionError):
+            farthest_pair_split(np.zeros((2, 1)), [0])
+
+    def test_identical_points_split_arbitrarily(self):
+        points = np.zeros((4, 2))
+        left, right = farthest_pair_split(points, [0, 1, 2, 3])
+        assert len(left) + len(right) == 4
+        assert left and right
+
+
+class TestCollapse:
+    def test_compact_set_smaller(self, rc_generation, rc_bench):
+        result = collapse_test_set(rc_generation, rc_bench,
+                                   CompactionSettings(delta=0.1))
+        assert 0 < result.n_compact_tests <= result.n_original_tests
+
+    def test_groups_partition_detectable_faults(self, rc_generation,
+                                                rc_bench):
+        result = collapse_test_set(rc_generation, rc_bench)
+        grouped = sorted(fid for g in result.groups for fid in g.fault_ids)
+        detectable = sorted(t.fault.fault_id for t in rc_generation.tests
+                            if t.test is not None)
+        assert grouped == detectable
+
+    def test_undetectable_listed(self, rc_generation, rc_bench):
+        result = collapse_test_set(rc_generation, rc_bench)
+        assert "bridge:0:vin" in result.undetectable_fault_ids
+
+    def test_delta_zero_collapses_least(self, rc_generation, rc_bench):
+        strict = collapse_test_set(rc_generation, rc_bench,
+                                   CompactionSettings(delta=0.0))
+        loose = collapse_test_set(rc_generation, rc_bench,
+                                  CompactionSettings(delta=0.5))
+        assert strict.n_compact_tests >= loose.n_compact_tests
+
+    def test_zero_radius_merges_only_identical_params(self, rc_generation,
+                                                      rc_bench):
+        result = collapse_test_set(
+            rc_generation, rc_bench,
+            CompactionSettings(delta=0.1, grouping_radius=0.0))
+        for group in result.groups:
+            first = group.members[0].test.values
+            for member in group.members[1:]:
+                np.testing.assert_allclose(member.test.values, first)
+
+    def test_screenings_satisfy_delta(self, rc_generation, rc_bench):
+        delta = 0.1
+        result = collapse_test_set(rc_generation, rc_bench,
+                                   CompactionSettings(delta=delta))
+        for group in result.groups:
+            if group.size == 1:
+                continue
+            for s in group.screenings:
+                limit = s.sensitivity_optimal + delta * (
+                    1.0 - s.sensitivity_optimal)
+                assert s.sensitivity_collapsed <= limit + 1e-9
+
+    def test_collapsed_params_inside_bounds(self, rc_generation, rc_bench):
+        result = collapse_test_set(rc_generation, rc_bench)
+        for group in result.groups:
+            config = rc_bench.configuration(group.config_name)
+            bounds = config.parameters.bounds
+            assert np.all(group.collapsed_test.values >= bounds[:, 0])
+            assert np.all(group.collapsed_test.values <= bounds[:, 1])
+
+    def test_compaction_ratio(self, rc_generation, rc_bench):
+        result = collapse_test_set(rc_generation, rc_bench)
+        assert result.compaction_ratio == pytest.approx(
+            result.n_original_tests / result.n_compact_tests)
+
+    def test_settings_validation(self):
+        with pytest.raises(CompactionError):
+            CompactionSettings(delta=1.5)
+        with pytest.raises(CompactionError):
+            CompactionSettings(grouping_radius=-0.1)
+
+
+class TestCoverage:
+    def test_coverage_of_original_tests(self, rc_generation, rc_bench):
+        """Faults detected at dictionary impact stay covered by their
+        own optimal tests."""
+        detected = [t for t in rc_generation.tests
+                    if t.detected_at_dictionary]
+        report = evaluate_coverage(
+            rc_bench, [t.fault for t in detected],
+            [t.test for t in detected])
+        assert report.fraction == 1.0
+
+    def test_uncovered_lists_misses(self, rc_generation, rc_bench):
+        """Tests that only fire above dictionary impact are misses."""
+        hard = [t for t in rc_generation.tests
+                if t.required_impact_increase]
+        if not hard:
+            pytest.skip("no impact-increase faults in this run")
+        report = evaluate_coverage(
+            rc_bench, [t.fault for t in hard],
+            [t.test for t in hard if t.test is not None])
+        assert report.fraction < 1.0
+        assert len(report.uncovered()) >= 1
+
+    def test_by_type_histogram(self, rc_generation, rc_bench):
+        detected = [t for t in rc_generation.tests if t.test is not None]
+        report = evaluate_coverage(
+            rc_bench, [t.fault for t in detected],
+            [t.test for t in detected])
+        covered, total = report.by_type()["bridge"]
+        assert total == len(detected)
+        assert covered == report.n_covered
+
+    def test_stop_at_first_vs_full_enumeration(self, rc_generation,
+                                               rc_bench):
+        detected = [t for t in rc_generation.tests
+                    if t.detected_at_dictionary]
+        tests = [t.test for t in detected]
+        fast = evaluate_coverage(rc_bench, [detected[0].fault], tests,
+                                 stop_at_first=True)
+        full = evaluate_coverage(rc_bench, [detected[0].fault], tests,
+                                 stop_at_first=False)
+        assert fast.entries[0].covered == full.entries[0].covered
+        assert len(full.entries[0].detecting_tests) >= len(
+            fast.entries[0].detecting_tests)

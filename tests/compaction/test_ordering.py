@@ -1,0 +1,120 @@
+"""Tests for the detection matrix and greedy test ordering."""
+
+import numpy as np
+import pytest
+
+from repro.compaction import (
+    DetectionMatrix,
+    detection_matrix,
+    greedy_order,
+)
+from repro.errors import CompactionError
+
+
+def make_matrix(detects, sensitivities=None, n_tests=None):
+    detects = np.asarray(detects, dtype=bool)
+    if sensitivities is None:
+        sensitivities = np.where(detects, -1.0, 0.5)
+    fault_ids = tuple(f"f{i}" for i in range(detects.shape[0]))
+    tests = tuple(f"t{j}" for j in range(detects.shape[1]))  # stubs
+    return DetectionMatrix(fault_ids=fault_ids, tests=tests,
+                           detects=detects,
+                           sensitivities=np.asarray(sensitivities, float))
+
+
+class TestGreedyOrder:
+    def test_picks_biggest_detector_first(self):
+        matrix = make_matrix([
+            [True, False],
+            [True, False],
+            [False, True],
+        ])
+        plan = greedy_order(matrix)
+        assert plan.order[0] == 0  # detects 2 of 3 faults
+        assert plan.cumulative_coverage[0] == pytest.approx(2 / 3)
+        assert plan.final_coverage == pytest.approx(1.0)
+
+    def test_weighted_priority_flips_order(self):
+        matrix = make_matrix([
+            [True, False],
+            [False, True],
+        ])
+        plan = greedy_order(matrix, weights={"f0": 1.0, "f1": 10.0})
+        assert plan.order[0] == 1  # the heavy fault's detector first
+
+    def test_redundant_tests_appended_last(self):
+        matrix = make_matrix([
+            [True, True],
+            [True, False],
+        ])
+        plan = greedy_order(matrix)
+        assert plan.order == (0, 1)
+        assert plan.incremental_coverage[1] == 0.0
+
+    def test_cumulative_curve_monotone(self):
+        rng = np.random.default_rng(5)
+        matrix = make_matrix(rng.uniform(size=(12, 6)) > 0.6)
+        plan = greedy_order(matrix)
+        curve = np.array(plan.cumulative_coverage)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_greedy_increments_sum_to_final(self):
+        rng = np.random.default_rng(7)
+        matrix = make_matrix(rng.uniform(size=(10, 5)) > 0.5)
+        plan = greedy_order(matrix)
+        assert sum(plan.incremental_coverage) == pytest.approx(
+            plan.final_coverage)
+
+    def test_tests_for_coverage(self):
+        matrix = make_matrix([
+            [True, False],
+            [False, True],
+        ])
+        plan = greedy_order(matrix)
+        assert plan.tests_for_coverage(0.5) == 1
+        assert plan.tests_for_coverage(1.0) == 2
+        with pytest.raises(CompactionError):
+            # impossible target when not all faults are detectable
+            undetectable = make_matrix([[False]])
+            greedy_order(undetectable).tests_for_coverage(0.9)
+
+    def test_negative_weights_rejected(self):
+        matrix = make_matrix([[True]])
+        with pytest.raises(CompactionError):
+            greedy_order(matrix, weights={"f0": -1.0})
+
+    def test_tie_broken_by_decisiveness(self):
+        # Both tests detect the single fault; t1 with stronger margin.
+        matrix = make_matrix(
+            [[True, True]],
+            sensitivities=[[-0.5, -5.0]])
+        plan = greedy_order(matrix)
+        assert plan.order[0] == 1
+
+
+class TestDetectionMatrixLive:
+    def test_matrix_against_rc_ladder(self, rc_generation, rc_bench):
+        detected = [t for t in rc_generation.tests
+                    if t.detected_at_dictionary]
+        faults = [t.fault for t in detected]
+        tests = [t.test for t in detected]
+        matrix = detection_matrix(rc_bench, faults, tests)
+        assert matrix.detects.shape == (len(faults), len(tests))
+        # every fault is detected by its own optimal test (diagonal)
+        assert np.all(np.diag(matrix.detects))
+
+    def test_plan_covers_everything_detected(self, rc_generation,
+                                             rc_bench):
+        detected = [t for t in rc_generation.tests
+                    if t.detected_at_dictionary]
+        matrix = detection_matrix(rc_bench,
+                                  [t.fault for t in detected],
+                                  [t.test for t in detected])
+        plan = greedy_order(matrix)
+        assert plan.final_coverage == pytest.approx(1.0)
+        # Greedy never needs more tests than faults.
+        assert plan.tests_for_coverage(1.0) <= len(detected)
+
+    def test_empty_inputs_rejected(self, rc_bench):
+        with pytest.raises(CompactionError):
+            detection_matrix(rc_bench, [], [])

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (macros, testbenches, generation runs) are
+session-scoped: the RC ladder pipeline runs once and many tests inspect
+it.  IV-converter fixtures stay cheap (operating points, single faults);
+the heavy 55-fault run lives in the benchmark harness, not here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.macros import IVConverterMacro, RCLadderMacro
+from repro.testgen import GenerationSettings, generate_tests
+
+
+@pytest.fixture(scope="session")
+def rc_macro():
+    """The fast RC-ladder macro."""
+    return RCLadderMacro()
+
+@pytest.fixture(scope="session")
+def rc_bench(rc_macro):
+    """Testbench of the RC ladder (fast boxes)."""
+    return rc_macro.testbench()
+
+
+@pytest.fixture(scope="session")
+def rc_generation(rc_macro):
+    """A full generation run over the RC ladder's 6 bridging faults."""
+    return generate_tests(
+        rc_macro.circuit, rc_macro.test_configurations(),
+        rc_macro.fault_dictionary(), GenerationSettings())
+
+
+@pytest.fixture(scope="session")
+def iv_macro():
+    """The IV-converter macro (fast boxes)."""
+    return IVConverterMacro()
+
+
+@pytest.fixture(scope="session")
+def iv_bench(iv_macro):
+    """Testbench of the IV-converter (fast boxes)."""
+    return iv_macro.testbench()
+
+
+@pytest.fixture()
+def divider_circuit():
+    """5 V source into a 10k/10k divider (analytic reference)."""
+    b = CircuitBuilder("divider")
+    b.voltage_source("VIN", "in", "0", 5.0)
+    b.resistor("R1", "in", "mid", "10k")
+    b.resistor("R2", "mid", "0", "10k")
+    return b.build()
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic RNG for randomized tests."""
+    return np.random.default_rng(20250610)

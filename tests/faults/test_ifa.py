@@ -1,0 +1,114 @@
+"""Tests for the IFA-style weighted fault extraction."""
+
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faults import exhaustive_fault_dictionary
+from repro.faults.ifa import (
+    IfaWeights,
+    bridge_likelihood,
+    ifa_fault_dictionary,
+    pinhole_likelihood,
+    weighted_coverage,
+)
+
+
+class TestLikelihoodProxies:
+    def test_shared_device_nets_more_likely(self, iv_macro):
+        """n2 and n3 share the second stage / compensation path; n2 and
+        vout share nothing -> the former bridge is more likely."""
+        circuit = iv_macro.circuit
+        close = bridge_likelihood(circuit, "n2", "n3")
+        far = bridge_likelihood(circuit, "ntail", "vout")
+        assert close > far
+
+    def test_big_nets_more_likely(self, iv_macro):
+        """The supply net touches nearly everything: bridges onto vdd
+        outrank bridges between two small internal nets."""
+        circuit = iv_macro.circuit
+        supply = bridge_likelihood(circuit, "vdd", "n1")
+        internal = bridge_likelihood(circuit, "ncomp", "iin")
+        assert supply > internal
+
+    def test_weights_validated(self):
+        with pytest.raises(FaultModelError):
+            IfaWeights(shared_device=-1.0)
+        with pytest.raises(FaultModelError):
+            IfaWeights(shared_device=0.0, net_size=0.0)
+
+    def test_pinhole_likelihood_is_gate_area(self, iv_macro):
+        m1 = iv_macro.circuit.element("M1")    # 40u x 2u
+        m9 = iv_macro.circuit.element("M9")    # 100u x 2u
+        assert pinhole_likelihood(m9) > pinhole_likelihood(m1)
+        assert pinhole_likelihood(m1) == pytest.approx(40e-6 * 2e-6)
+
+
+class TestIfaDictionary:
+    def test_same_universe_as_exhaustive(self, iv_macro):
+        weighted = ifa_fault_dictionary(iv_macro.circuit,
+                                        nodes=iv_macro.standard_nodes)
+        exhaustive = exhaustive_fault_dictionary(
+            iv_macro.circuit, nodes=iv_macro.standard_nodes)
+        assert {f.fault_id for f in weighted} == \
+            {f.fault_id for f in exhaustive}
+
+    def test_sorted_by_likelihood(self, iv_macro):
+        weighted = ifa_fault_dictionary(iv_macro.circuit,
+                                        nodes=iv_macro.standard_nodes)
+        likelihoods = [f.likelihood for f in weighted]
+        assert likelihoods == sorted(likelihoods, reverse=True)
+
+    def test_normalized_mean_one_per_family(self, iv_macro):
+        weighted = ifa_fault_dictionary(iv_macro.circuit,
+                                        nodes=iv_macro.standard_nodes)
+        bridges = weighted.of_type("bridge")
+        pinholes = weighted.of_type("pinhole")
+        assert sum(f.likelihood for f in bridges) / len(bridges) == \
+            pytest.approx(1.0)
+        assert sum(f.likelihood for f in pinholes) / len(pinholes) == \
+            pytest.approx(1.0)
+
+    def test_top_n_filter(self, iv_macro):
+        top = ifa_fault_dictionary(iv_macro.circuit,
+                                   nodes=iv_macro.standard_nodes,
+                                   top_n=10)
+        assert len(top) == 10
+
+    def test_min_likelihood_filter(self, iv_macro):
+        filtered = ifa_fault_dictionary(iv_macro.circuit,
+                                        nodes=iv_macro.standard_nodes,
+                                        min_likelihood=1.0)
+        assert 0 < len(filtered) < 55
+        assert all(f.likelihood >= 1.0 for f in filtered)
+
+    def test_top_n_validation(self, iv_macro):
+        with pytest.raises(FaultModelError):
+            ifa_fault_dictionary(iv_macro.circuit, top_n=0)
+
+    def test_impacts_are_paper_defaults(self, iv_macro):
+        weighted = ifa_fault_dictionary(iv_macro.circuit,
+                                        nodes=iv_macro.standard_nodes)
+        assert all(f.impact == 10e3 for f in weighted.of_type("bridge"))
+        assert all(f.impact == 2e3 for f in weighted.of_type("pinhole"))
+
+
+class TestWeightedCoverage:
+    def test_full_coverage_is_one(self, iv_macro):
+        faults = ifa_fault_dictionary(iv_macro.circuit,
+                                      nodes=iv_macro.standard_nodes)
+        all_ids = {f.fault_id for f in faults}
+        assert weighted_coverage(all_ids, faults) == pytest.approx(1.0)
+
+    def test_empty_coverage_is_zero(self, iv_macro):
+        faults = ifa_fault_dictionary(iv_macro.circuit,
+                                      nodes=iv_macro.standard_nodes)
+        assert weighted_coverage(set(), faults) == 0.0
+
+    def test_likely_faults_weigh_more(self, iv_macro):
+        faults = ifa_fault_dictionary(iv_macro.circuit,
+                                      nodes=iv_macro.standard_nodes)
+        ordered = list(faults)
+        top_id = {ordered[0].fault_id}
+        bottom_id = {ordered[-1].fault_id}
+        assert weighted_coverage(top_id, faults) > \
+            weighted_coverage(bottom_id, faults)

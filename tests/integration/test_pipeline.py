@@ -1,0 +1,98 @@
+"""Integration tests: the complete ATPG pipeline end to end.
+
+The RC ladder exercises every stage at full fidelity in milliseconds; the
+IV-converter integration stays at smoke scale here (single faults, DC
+configurations) — the full 55-fault evaluation lives in the benchmark
+harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compaction import (
+    CompactionSettings,
+    collapse_test_set,
+    evaluate_coverage,
+)
+from repro.faults import BridgingFault, PinholeFault
+from repro.macros import IVConverterMacro
+from repro.testgen import (
+    GenerationSettings,
+    MacroTestbench,
+    generate_test_for_fault,
+    generate_tests,
+)
+
+
+class TestRCLadderPipeline:
+    """Generation -> compaction -> coverage on the fast macro."""
+
+    def test_full_flow(self, rc_macro, rc_generation, rc_bench):
+        compaction = collapse_test_set(rc_generation, rc_bench,
+                                       CompactionSettings(delta=0.1))
+        assert compaction.n_compact_tests <= compaction.n_original_tests
+
+        # Every fault that was detected at dictionary impact must remain
+        # covered by the *compact* set.
+        detected = [t for t in rc_generation.tests
+                    if t.detected_at_dictionary]
+        report = evaluate_coverage(rc_bench,
+                                   [t.fault for t in detected],
+                                   list(compaction.tests))
+        assert report.fraction == 1.0
+
+    def test_generation_deterministic(self, rc_macro, rc_generation):
+        repeat = generate_tests(
+            rc_macro.circuit, rc_macro.test_configurations(),
+            rc_macro.fault_dictionary(), GenerationSettings())
+        for a, b in zip(rc_generation.tests, repeat.tests):
+            assert a.config_name == b.config_name
+            assert a.critical_impact == pytest.approx(b.critical_impact)
+            if a.test is not None:
+                np.testing.assert_allclose(a.test.values, b.test.values)
+
+
+class TestIVConverterSmoke:
+    """Single-fault pipeline runs on the paper's macro (DC configs only,
+    which keeps each test at a few dozen operating-point solves)."""
+
+    @pytest.fixture(scope="class")
+    def dc_bench(self, iv_macro):
+        configs = [c for c in iv_macro.test_configurations()
+                   if c.name.startswith("dc-")]
+        return MacroTestbench(iv_macro.circuit, configs, iv_macro.options)
+
+    def test_bridge_fault_generates(self, dc_bench):
+        fault = BridgingFault(node_a="n1", node_b="n2", impact=10e3)
+        generated = generate_test_for_fault(dc_bench, fault)
+        assert generated.test is not None
+        assert generated.sensitivity_at_critical < 0.0
+
+    def test_pinhole_fault_generates(self, dc_bench):
+        fault = PinholeFault(device="M4", impact=2e3)
+        generated = generate_test_for_fault(dc_bench, fault)
+        assert generated.test is not None
+
+    def test_supply_bridge_prefers_idd(self, dc_bench):
+        """A vdd-gnd bridge burns current but barely moves vout: the
+        supply-current configuration must win."""
+        fault = BridgingFault(node_a="vdd", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(dc_bench, fault)
+        assert generated.config_name == "dc-supply-current"
+
+    def test_output_bridge_detected(self, dc_bench):
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(dc_bench, fault)
+        assert generated.detected_at_dictionary
+
+    def test_thd_config_detects_distortion_fault(self, iv_macro):
+        """The paper's Figs 2-4 fault (bridge n2-n3) must be strongly
+        visible to the THD configuration at 10 kOhm."""
+        configs = [c for c in iv_macro.test_configurations()
+                   if c.name == "thd"]
+        bench = MacroTestbench(iv_macro.circuit, configs,
+                               iv_macro.options)
+        fault = BridgingFault(node_a="n2", node_b="n3", impact=10e3)
+        report = bench.sensitivity(fault, "thd", [20e-6, 20e3])
+        assert report.detected
+        assert report.value < -1.0

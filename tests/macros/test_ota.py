@@ -1,0 +1,133 @@
+"""Tests for the OTA macro (second macro type)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_sweep, operating_point
+from repro.circuit import Mosfet
+from repro.compaction import CompactionSettings, collapse_test_set
+from repro.faults import BridgingFault
+from repro.macros import OTAMacro, get_macro
+from repro.testgen import GenerationSettings, generate_tests
+
+
+@pytest.fixture(scope="module")
+def ota():
+    return OTAMacro()
+
+
+class TestStructure:
+    def test_registered(self):
+        assert isinstance(get_macro("ota"), OTAMacro)
+
+    def test_fault_universe(self, ota):
+        faults = ota.fault_dictionary()
+        # C(8,2) = 28 bridges + 6 pinholes
+        assert faults.counts_by_type() == {"bridge": 28, "pinhole": 6}
+
+    def test_four_configurations(self, ota):
+        names = [c.name for c in ota.test_configurations()]
+        assert names == ["dc-transfer", "dc-supply-current",
+                         "step-settle", "ac-gain"]
+
+    def test_descriptions_carry_macro_type(self, ota):
+        for description in ota.configuration_descriptions():
+            assert description.macro_type == "ota"
+
+    def test_six_mosfets(self, ota):
+        assert len(ota.circuit.elements_of_type(Mosfet)) == 6
+
+
+class TestBringUp:
+    def test_operating_point(self, ota):
+        op = operating_point(ota.circuit)
+        assert 0.9 < op.v("nbias") < 1.2
+        assert 1.0 < op.v("ntail") < 1.7
+        assert 0.5 < op.v("vout") < 4.5
+
+    def test_transfer_has_gain(self, ota):
+        sweep = dc_sweep(ota.circuit, "VINP",
+                         np.linspace(2.45, 2.55, 11))
+        gain = np.gradient(sweep.v("vout"), sweep.values)
+        assert np.max(np.abs(gain)) > 20.0
+
+    def test_transfer_monotone_rising(self, ota):
+        """Positive input raised -> output rises (M1 steals tail
+        current, mirror pushes more into vout)."""
+        sweep = dc_sweep(ota.circuit, "VINP",
+                         np.linspace(2.45, 2.55, 11))
+        assert sweep.v("vout")[-1] > sweep.v("vout")[0]
+
+
+class TestACGainConfiguration:
+    def test_nominal_gain_sensible(self, ota):
+        """At the balanced bias the output sits near M2's triode edge,
+        so the small-signal gain is modest (a few dB) — the DC sweep's
+        61 V/V slope lives a few tens of mV off-balance."""
+        config = [c for c in ota.test_configurations()
+                  if c.name == "ac-gain"][0]
+        gain_db = config.procedure.simulate(ota.circuit, {"freq": 10e3})
+        assert 2.0 < gain_db[0] < 20.0
+
+    def test_gain_rolls_off(self, ota):
+        config = [c for c in ota.test_configurations()
+                  if c.name == "ac-gain"][0]
+        low = config.procedure.simulate(ota.circuit, {"freq": 1e3})[0]
+        high = config.procedure.simulate(ota.circuit, {"freq": 1e6})[0]
+        assert high < low  # CL pole inside the band
+
+    def test_detects_load_fault(self, ota):
+        """A bridge loading the mirror gate kills gain -> detected."""
+        from repro.testgen import MacroTestbench
+        config = [c for c in ota.test_configurations()
+                  if c.name == "ac-gain"]
+        bench = MacroTestbench(ota.circuit, config, ota.options)
+        fault = BridgingFault(node_a="n1", node_b="vdd", impact=10e3)
+        report = bench.sensitivity(fault, "ac-gain", [10e3])
+        assert report.detected
+
+    def test_dead_output_is_finite(self, ota):
+        """A hard output-to-ground short floors the dB reading instead
+        of producing -inf."""
+        from repro.testgen import MacroTestbench
+        config = [c for c in ota.test_configurations()
+                  if c.name == "ac-gain"]
+        bench = MacroTestbench(ota.circuit, config, ota.options)
+        fault = BridgingFault(node_a="vout", node_b="0", impact=1.0)
+        report = bench.sensitivity(fault, "ac-gain", [10e3])
+        assert np.isfinite(report.value)
+        assert report.detected
+
+
+class TestPipeline:
+    def test_dc_generation_subset(self, ota):
+        """The full pipeline runs on the OTA type (DC configs, a few
+        faults) — the macro-type-generality claim of paper §2.1."""
+        configs = [c for c in ota.test_configurations()
+                   if c.name.startswith("dc-")]
+        faults = [
+            BridgingFault(node_a="n1", node_b="vout", impact=10e3),
+            BridgingFault(node_a="vdd", node_b="0", impact=10e3),
+            BridgingFault(node_a="ntail", node_b="0", impact=10e3),
+        ]
+        generation = generate_tests(ota.circuit, configs, faults,
+                                    GenerationSettings())
+        assert generation.n_detected == 3
+        # supply short must be owned by the IDD configuration
+        by_fault = {t.fault.fault_id: t for t in generation.tests}
+        assert by_fault["bridge:0:vdd"].config_name == "dc-supply-current"
+
+    def test_compaction_runs(self, ota):
+        from repro.testgen import MacroTestbench
+        configs = [c for c in ota.test_configurations()
+                   if c.name.startswith("dc-")]
+        faults = [
+            BridgingFault(node_a="n1", node_b="vout", impact=10e3),
+            BridgingFault(node_a="ntail", node_b="0", impact=10e3),
+        ]
+        generation = generate_tests(ota.circuit, configs, faults,
+                                    GenerationSettings())
+        bench = MacroTestbench(ota.circuit, configs, ota.options)
+        result = collapse_test_set(generation, bench,
+                                   CompactionSettings(delta=0.1))
+        assert result.n_compact_tests <= result.n_original_tests

@@ -1,0 +1,163 @@
+"""Unit tests for measurement post-processing (sampling, THD, metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.measure import (
+    accumulated_deviation,
+    harmonic_amplitudes,
+    max_abs_deviation,
+    overshoot,
+    peak_to_peak,
+    resample,
+    rms,
+    settling_time,
+    steady_state_periods,
+    thd_percent,
+    window,
+)
+
+
+def sine_samples(freq=1e3, spp=64, periods=4, amplitude=1.0, offset=0.0,
+                 harmonics=()):
+    t = np.arange(spp * periods) / (spp * freq)
+    v = offset + amplitude * np.sin(2 * np.pi * freq * t)
+    for order, amp in harmonics:
+        v += amp * np.sin(2 * np.pi * order * freq * t)
+    return t, v
+
+
+class TestSampling:
+    def test_window_inclusive(self):
+        t = np.linspace(0, 1, 11)
+        v = t.copy()
+        tw, vw = window(t, v, 0.2, 0.5)
+        assert tw[0] == pytest.approx(0.2)
+        assert tw[-1] == pytest.approx(0.5)
+        assert len(tw) == 4
+
+    def test_resample_doubles_rate(self):
+        t = np.linspace(0, 1e-3, 11)
+        v = np.linspace(0, 1, 11)
+        t2, v2 = resample(t, v, 20e3)
+        assert len(t2) == 21
+        np.testing.assert_allclose(v2, np.linspace(0, 1, 21), atol=1e-12)
+
+    def test_steady_state_periods(self):
+        t, v = sine_samples(freq=1e3, spp=10, periods=5)
+        tw, vw = steady_state_periods(t, v, 1e3, 2)
+        assert tw[0] >= t[-1] - 2e-3 - 1e-9
+
+    def test_steady_state_too_short_raises(self):
+        t, v = sine_samples(freq=1e3, spp=10, periods=2)
+        with pytest.raises(ValueError):
+            steady_state_periods(t, v, 1e3, 5)
+
+
+class TestTHD:
+    def test_pure_sine_has_zero_thd(self):
+        _, v = sine_samples()
+        assert thd_percent(v, 64, 4) == pytest.approx(0.0, abs=1e-10)
+
+    def test_known_second_harmonic(self):
+        _, v = sine_samples(harmonics=((2, 0.1),))
+        assert thd_percent(v, 64, 4) == pytest.approx(10.0, rel=1e-6)
+
+    def test_multiple_harmonics_rss(self):
+        _, v = sine_samples(harmonics=((2, 0.03), (3, 0.04)))
+        assert thd_percent(v, 64, 4) == pytest.approx(5.0, rel=1e-6)
+
+    def test_dc_offset_ignored(self):
+        _, v = sine_samples(offset=3.0, harmonics=((2, 0.1),))
+        assert thd_percent(v, 64, 4) == pytest.approx(10.0, rel=1e-6)
+
+    def test_dead_output_returns_inf(self):
+        assert thd_percent(np.zeros(256), 64, 4) == float("inf")
+
+    def test_harmonic_amplitudes_values(self):
+        _, v = sine_samples(amplitude=2.0, harmonics=((3, 0.5),))
+        amps = harmonic_amplitudes(v, 64, 4, 4)
+        assert amps[0] == pytest.approx(2.0, rel=1e-9)
+        assert amps[2] == pytest.approx(0.5, rel=1e-9)
+        assert amps[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            thd_percent(np.zeros(10), 64, 4)
+
+    def test_harmonics_beyond_nyquist_raise(self):
+        _, v = sine_samples(spp=8)
+        with pytest.raises(ValueError):
+            harmonic_amplitudes(v, 8, 4, n_harmonics=6)
+
+    def test_uses_last_periods_only(self):
+        """Leading garbage (start-up transient) must not affect THD."""
+        _, clean = sine_samples(periods=2)
+        noisy_head = np.concatenate([np.random.default_rng(1).normal(
+            0, 1, 128), clean])
+        assert thd_percent(noisy_head, 64, 2) == pytest.approx(0.0,
+                                                               abs=1e-10)
+
+
+class TestMetrics:
+    def test_max_abs_deviation(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.1, 1.5, 3.0])
+        assert max_abs_deviation(a, b) == pytest.approx(0.5)
+
+    def test_accumulated_deviation_normalized(self):
+        a = np.zeros(4)
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert accumulated_deviation(a, b) == pytest.approx(1.0)
+        assert accumulated_deviation(a, b, normalize=False) == pytest.approx(
+            4.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            max_abs_deviation(np.zeros(3), np.zeros(4))
+
+    def test_rms_of_sine(self):
+        _, v = sine_samples(amplitude=2.0)
+        assert rms(v) == pytest.approx(2.0 / np.sqrt(2), rel=1e-6)
+
+    def test_peak_to_peak(self):
+        _, v = sine_samples(amplitude=1.5)
+        assert peak_to_peak(v) == pytest.approx(3.0, rel=1e-3)
+
+    def test_settling_time_exponential(self):
+        t = np.linspace(0, 5, 501)
+        v = 1 - np.exp(-t)
+        ts = settling_time(t, v, final_value=1.0, tolerance=0.05)
+        assert ts == pytest.approx(3.0, abs=0.05)  # ln(20) ~ 3
+
+    def test_settling_time_already_settled(self):
+        t = np.linspace(0, 1, 11)
+        assert settling_time(t, np.ones(11), 1.0, 0.01) == 0.0
+
+    def test_overshoot_positive_step(self):
+        v = np.array([0.0, 0.5, 1.2, 1.0, 1.0])
+        assert overshoot(v, 0.0, 1.0) == pytest.approx(0.2)
+
+    def test_overshoot_monotonic_is_zero(self):
+        v = np.array([0.0, 0.5, 0.9, 1.0])
+        assert overshoot(v, 0.0, 1.0) == 0.0
+
+    def test_overshoot_negative_step(self):
+        v = np.array([1.0, 0.4, -0.1, 0.0])
+        assert overshoot(v, 1.0, 0.0) == pytest.approx(0.1)
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=50))
+    def test_deviation_metrics_nonnegative(self, values):
+        observed = np.array(values)
+        nominal = np.zeros_like(observed)
+        assert max_abs_deviation(nominal, observed) >= 0.0
+        assert accumulated_deviation(nominal, observed) >= 0.0
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=50))
+    def test_max_bounds_mean(self, values):
+        """max |d| >= mean |d| always."""
+        observed = np.array(values)
+        nominal = np.zeros_like(observed)
+        assert (max_abs_deviation(nominal, observed) + 1e-12
+                >= accumulated_deviation(nominal, observed))

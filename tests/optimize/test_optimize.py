@@ -1,0 +1,189 @@
+"""Unit and property tests for the Brent and Powell optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OptimizationError
+from repro.optimize import (
+    BudgetExhausted,
+    CountedObjective,
+    brent_minimize,
+    powell_minimize,
+)
+
+
+class TestCountedObjective:
+    def test_counts_and_tracks_best(self):
+        counted = CountedObjective(lambda x: float(x[0]**2), max_evals=10)
+        counted(np.array([3.0]))
+        counted(np.array([1.0]))
+        counted(np.array([2.0]))
+        assert counted.nfev == 3
+        assert counted.best_f == 1.0
+        assert counted.best_x[0] == 1.0
+
+    def test_budget_exhaustion_raises(self):
+        counted = CountedObjective(lambda x: 0.0, max_evals=2)
+        counted(np.array([0.0]))
+        counted(np.array([0.0]))
+        with pytest.raises(BudgetExhausted):
+            counted(np.array([0.0]))
+
+    def test_nan_treated_as_inf(self):
+        counted = CountedObjective(lambda x: float("nan"), max_evals=5)
+        assert counted(np.array([0.0])) == float("inf")
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(OptimizationError):
+            CountedObjective(lambda x: 0.0, max_evals=0)
+
+
+class TestBrent:
+    def test_quadratic(self):
+        r = brent_minimize(lambda x: (x[0] - 2.3)**2, 0.0, 10.0, xtol=1e-6)
+        assert r.converged
+        assert r.x[0] == pytest.approx(2.3, abs=1e-4)
+
+    def test_minimum_at_bound(self):
+        r = brent_minimize(lambda x: x[0], 1.0, 5.0, xtol=1e-6)
+        assert r.x[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_seed_respected(self):
+        r = brent_minimize(lambda x: np.cos(x[0]), 0.0, 6.28, xtol=1e-5,
+                           seed=3.0)
+        assert r.x[0] == pytest.approx(np.pi, abs=1e-3)
+
+    def test_seed_outside_interval_rejected(self):
+        with pytest.raises(OptimizationError):
+            brent_minimize(lambda x: 0.0, 0.0, 1.0, seed=2.0)
+
+    def test_budget_returns_incumbent(self):
+        r = brent_minimize(lambda x: (x[0] - 2.0)**2, 0.0, 10.0,
+                           xtol=1e-12, max_evals=5)
+        assert r.nfev == 5
+        assert not r.converged
+        assert np.isfinite(r.fun)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(OptimizationError):
+            brent_minimize(lambda x: 0.0, 5.0, 1.0)
+
+    def test_rejects_bad_xtol(self):
+        with pytest.raises(OptimizationError):
+            brent_minimize(lambda x: 0.0, 0.0, 1.0, xtol=0.0)
+
+    def test_history_non_increasing(self):
+        r = brent_minimize(lambda x: (x[0] - 1.0)**4, -4.0, 6.0, xtol=1e-6)
+        assert all(b <= a + 1e-15 for a, b in zip(r.history, r.history[1:]))
+
+    @settings(max_examples=40)
+    @given(center=st.floats(-4.0, 4.0), scale=st.floats(0.1, 10.0))
+    def test_finds_minimum_of_random_quadratics(self, center, scale):
+        r = brent_minimize(lambda x: scale * (x[0] - center)**2,
+                           -5.0, 5.0, xtol=1e-6, max_evals=60)
+        assert r.x[0] == pytest.approx(center, abs=1e-3)
+
+    @settings(max_examples=25)
+    @given(seed=st.floats(-4.9, 4.9))
+    def test_seed_never_hurts_correctness(self, seed):
+        r = brent_minimize(lambda x: abs(x[0] - 1.5), -5.0, 5.0,
+                           xtol=1e-5, seed=seed, max_evals=60)
+        assert r.x[0] == pytest.approx(1.5, abs=1e-2)
+
+
+class TestPowell:
+    BOUNDS = np.array([[-5.0, 5.0], [-5.0, 5.0]])
+
+    def test_quadratic_with_cross_term(self):
+        def f(x):
+            return (x[0] - 1.0)**2 + 2 * (x[1] + 0.5)**2 + 0.5 * x[0] * x[1]
+        r = powell_minimize(f, np.array([4.0, 4.0]), self.BOUNDS,
+                            max_evals=200, max_iters=10)
+        assert r.x[0] == pytest.approx(36 / 31, abs=0.02)
+        assert r.x[1] == pytest.approx(-20 / 31, abs=0.02)
+
+    def test_solution_respects_bounds(self):
+        r = powell_minimize(lambda x: -(x[0] + x[1]), np.array([0.0, 0.0]),
+                            np.array([[0, 1], [0, 2]]), max_evals=100)
+        assert r.x[0] <= 1.0 + 1e-9
+        assert r.x[1] <= 2.0 + 1e-9
+        assert r.fun == pytest.approx(-3.0, abs=1e-3)
+
+    def test_rosenbrock_with_tight_tolerances(self):
+        def rb(x):
+            return (1 - x[0])**2 + 100 * (x[1] - x[0]**2)**2
+        r = powell_minimize(rb, np.array([-1.5, 2.0]),
+                            np.array([[-2, 2], [-1, 3]]), max_evals=3000,
+                            max_iters=60, line_evals=40, ftol=1e-10,
+                            xtol_frac=1e-6)
+        assert r.fun < 1e-4
+
+    def test_x0_clipped_into_box(self):
+        r = powell_minimize(lambda x: float(np.sum(x**2)),
+                            np.array([10.0, -10.0]), self.BOUNDS,
+                            max_evals=100)
+        assert r.fun == pytest.approx(0.0, abs=1e-4)
+
+    def test_budget_cap_respected(self):
+        calls = []
+
+        def f(x):
+            calls.append(1)
+            return float(np.sum(x**2))
+        powell_minimize(f, np.array([4.0, 4.0]), self.BOUNDS, max_evals=30)
+        assert len(calls) <= 30
+
+    def test_rejects_malformed_bounds(self):
+        with pytest.raises(OptimizationError):
+            powell_minimize(lambda x: 0.0, np.array([0.0]),
+                            np.array([[1.0, 0.0]]))
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(OptimizationError):
+            powell_minimize(lambda x: 0.0, np.array([0.0, 0.0, 0.0]),
+                            self.BOUNDS)
+
+    def test_three_dimensional(self):
+        bounds = np.array([[-3, 3]] * 3)
+        target = np.array([0.5, -1.0, 2.0])
+
+        def f(x):
+            return float(np.sum((x - target)**2))
+        r = powell_minimize(f, np.zeros(3), bounds, max_evals=300,
+                            max_iters=12)
+        np.testing.assert_allclose(r.x, target, atol=0.02)
+
+    def test_single_dimension_works_too(self):
+        r = powell_minimize(lambda x: (x[0] - 2.0)**2, np.array([0.0]),
+                            np.array([[-5.0, 5.0]]), max_evals=60)
+        assert r.x[0] == pytest.approx(2.0, abs=0.01)
+
+    @settings(max_examples=20, deadline=None)
+    @given(cx=st.floats(-3.0, 3.0), cy=st.floats(-3.0, 3.0))
+    def test_random_separable_quadratics(self, cx, cy):
+        def f(x):
+            return (x[0] - cx)**2 + (x[1] - cy)**2
+        r = powell_minimize(f, np.array([0.0, 0.0]), self.BOUNDS,
+                            max_evals=200, max_iters=10)
+        assert r.x[0] == pytest.approx(cx, abs=0.05)
+        assert r.x[1] == pytest.approx(cy, abs=0.05)
+
+    def test_nested_budget_exhaustion_returns_incumbent(self):
+        """Regression: when the Powell total budget runs dry exactly as
+        an inner Brent line search starts, the incumbent must be
+        returned instead of an assertion failure propagating."""
+        def f(x):
+            return float(np.sum((x - 0.3)**2))
+        for budget in range(2, 40):
+            r = powell_minimize(f, np.array([4.0, -4.0]), self.BOUNDS,
+                                max_evals=budget, max_iters=10,
+                                line_evals=7)
+            assert np.isfinite(r.fun)
+            assert r.nfev <= budget
+
+    def test_result_repr_mentions_status(self):
+        r = powell_minimize(lambda x: float(np.sum(x**2)),
+                            np.array([1.0, 1.0]), self.BOUNDS,
+                            max_evals=100)
+        assert "OptimizationResult" in repr(r)

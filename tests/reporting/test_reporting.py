@@ -1,0 +1,113 @@
+"""Tests for tables, heatmaps and experiment records."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import (
+    ExperimentRecord,
+    default_buckets,
+    load_records,
+    render_table,
+    render_tps_graph,
+    write_records,
+)
+from repro.testgen.tps import TpsGraph
+
+
+class TestTable:
+    def test_basic_render(self):
+        text = render_table(["name", "count"], [["a", 1], ["bb", 22]])
+        assert "| name | count |" in text
+        assert "| bb   |    22 |" in text
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment_override(self):
+        text = render_table(["l", "r"], [["a", "b"]], align=["r", "l"])
+        lines = text.splitlines()
+        assert "| a | b |" in lines[3]
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_rejects_bad_align(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x"]], align=["l", "r"])
+
+
+def graph_1d():
+    return TpsGraph(config_name="cfg", fault_id="bridge:a:b", impact=1e4,
+                    param_names=("p",), axes=(np.linspace(0, 1, 5),),
+                    values=np.array([1.0, 0.5, -0.2, -1.0, -0.4]))
+
+
+def graph_2d():
+    x = np.linspace(0, 1, 4)
+    y = np.linspace(0, 2, 3)
+    values = np.outer(np.linspace(1, -1, 4), np.ones(3))
+    return TpsGraph(config_name="cfg", fault_id="bridge:a:b", impact=1e4,
+                    param_names=("px", "py"), axes=(x, y), values=values)
+
+
+class TestHeatmap:
+    def test_1d_render(self):
+        text = render_tps_graph(graph_1d())
+        assert "bridge:a:b" in text
+        assert "legend" in text
+
+    def test_2d_render_has_rows_per_y(self):
+        text = render_tps_graph(graph_2d())
+        # one raster row per y-axis point
+        raster_rows = [ln for ln in text.splitlines() if "|" in ln]
+        assert len(raster_rows) == 3
+
+    def test_min_reported_in_header(self):
+        text = render_tps_graph(graph_1d())
+        assert "min S = -1" in text
+
+    def test_buckets_span_range(self):
+        buckets = default_buckets(graph_1d().values, 4)
+        assert buckets[0] == pytest.approx(1.0)
+        assert buckets[-1] == pytest.approx(-1.0)
+
+    def test_constant_graph_renders(self):
+        graph = TpsGraph(config_name="c", fault_id="f", impact=1.0,
+                         param_names=("p",), axes=(np.linspace(0, 1, 3),),
+                         values=np.ones(3))
+        assert "legend" in render_tps_graph(graph)
+
+
+class TestRecords:
+    def test_markdown_rendering(self):
+        record = ExperimentRecord(
+            experiment_id="Table 2", description="distribution",
+            paper="#1 wins 22 bridges", measured="#1 wins 24 bridges",
+            agreement="qualitative", note="OCR-damaged cells")
+        text = record.to_markdown()
+        assert "### Table 2" in text
+        assert "**Paper:** #1 wins 22 bridges" in text
+        assert "OCR-damaged" in text
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        records = [
+            ExperimentRecord("Fig. 2", "tps graph", "a", "b"),
+            ExperimentRecord("Fig. 3", "tps graph", "c", "d",
+                             agreement="matches"),
+        ]
+        write_records(records, path)
+        loaded = load_records(path)
+        assert len(loaded) == 2
+        assert loaded[1].agreement == "matches"
+
+    def test_append_semantics(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        write_records([ExperimentRecord("A", "x", "p", "m")], path)
+        write_records([ExperimentRecord("B", "y", "p", "m")], path)
+        assert len(load_records(path)) == 2
+
+    def test_load_missing_file(self, tmp_path):
+        assert load_records(tmp_path / "nope.jsonl") == []

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_macro_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "--macro", "warp-core"])
+
+    @pytest.mark.parametrize("command", ["describe", "faults", "generate",
+                                         "compact"])
+    def test_commands_parse(self, command):
+        args = build_parser().parse_args([command, "--macro", "rc-ladder"])
+        assert args.command == command
+
+
+class TestDescribe:
+    def test_prints_cards(self, capsys):
+        assert main(["describe", "--macro", "rc-ladder"]) == 0
+        out = capsys.readouterr().out
+        assert "standard nodes: vin, n1, vout, 0" in out
+        assert "Test configuration:" in out
+
+    def test_iv_converter(self, capsys):
+        assert main(["describe", "--macro", "iv-converter"]) == 0
+        out = capsys.readouterr().out
+        assert "Macro type: iv-converter" in out
+        assert "thd" in out
+
+
+class TestFaults:
+    def test_exhaustive_list(self, capsys):
+        assert main(["faults", "--macro", "rc-ladder"]) == 0
+        out = capsys.readouterr().out
+        assert "bridge:n1:vin" in out
+        assert "6 faults" in out
+
+    def test_ifa_top(self, capsys):
+        assert main(["faults", "--macro", "iv-converter", "--ifa",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("bridge:") + out.count("pinhole:") == 5
+
+
+class TestTps:
+    def test_renders_graph(self, capsys):
+        assert main(["tps", "--macro", "rc-ladder", "--config", "dc-out",
+                     "--fault", "bridge:0:vout", "--grid", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "tps-graph: dc-out / bridge:0:vout" in out
+        assert "detection fraction" in out
+
+    def test_impact_override(self, capsys):
+        assert main(["tps", "--macro", "rc-ladder", "--config", "dc-out",
+                     "--fault", "bridge:0:vout", "--impact", "100k",
+                     "--grid", "3"]) == 0
+        assert "100kohm" in capsys.readouterr().out
+
+    def test_unknown_config_is_error(self, capsys):
+        assert main(["tps", "--macro", "rc-ladder", "--config", "nope",
+                     "--fault", "bridge:0:vout"]) == 2
+
+    def test_unknown_fault_is_error(self, capsys):
+        assert main(["tps", "--macro", "rc-ladder", "--config", "dc-out",
+                     "--fault", "bridge:a:b"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGenerateCompact:
+    def test_generate_with_json(self, capsys, tmp_path):
+        out_path = tmp_path / "gen.json"
+        assert main(["generate", "--macro", "rc-ladder", "--faults", "2",
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Generated tests" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["tests"]) == 2
+
+    def test_compact_flow(self, capsys):
+        assert main(["compact", "--macro", "rc-ladder",
+                     "--delta", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out
+        assert "coverage at dictionary impact" in out

@@ -1,0 +1,14 @@
+"""Doctest runner: keeps docstring examples executable."""
+
+import doctest
+
+import pytest
+
+import repro.units
+
+
+@pytest.mark.parametrize("module", [repro.units])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0

@@ -1,0 +1,51 @@
+"""Tests of the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CompactionError,
+    ConvergenceError,
+    FaultModelError,
+    NetlistError,
+    OptimizationError,
+    ParseError,
+    ReproError,
+    SingularMatrixError,
+    TestGenerationError,
+    ToleranceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        NetlistError, ParseError, AnalysisError, ConvergenceError,
+        SingularMatrixError, FaultModelError, ToleranceError,
+        OptimizationError, TestGenerationError, CompactionError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parse_error_is_netlist_error(self):
+        assert issubclass(ParseError, NetlistError)
+
+    def test_convergence_and_singular_are_analysis_errors(self):
+        assert issubclass(ConvergenceError, AnalysisError)
+        assert issubclass(SingularMatrixError, AnalysisError)
+
+    def test_one_except_clause_fences_the_library(self):
+        with pytest.raises(ReproError):
+            raise CompactionError("boom")
+
+
+class TestParseErrorLocation:
+    def test_carries_line_info(self):
+        err = ParseError("bad card", line_no=7, line="R1 a")
+        assert err.line_no == 7
+        assert "line 7" in str(err)
+        assert "R1 a" in str(err)
+
+    def test_location_optional(self):
+        err = ParseError("bad card")
+        assert err.line_no is None
+        assert str(err) == "bad card"

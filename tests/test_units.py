@@ -1,0 +1,109 @@
+"""Unit tests for engineering-notation parsing/formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import ENG_SUFFIXES, format_value, parse_value
+
+
+class TestParseValue:
+    def test_plain_number(self):
+        assert parse_value("42") == 42.0
+
+    def test_float_passthrough(self):
+        assert parse_value(3.5) == 3.5
+
+    def test_int_passthrough(self):
+        assert parse_value(7) == 7.0
+
+    def test_kilo(self):
+        assert parse_value("10k") == 10_000.0
+
+    def test_micro(self):
+        assert parse_value("2.5u") == pytest.approx(2.5e-6)
+
+    def test_meg_beats_milli(self):
+        assert parse_value("100meg") == 100e6
+
+    def test_mil(self):
+        assert parse_value("1mil") == pytest.approx(25.4e-6)
+
+    def test_milli(self):
+        assert parse_value("5m") == pytest.approx(5e-3)
+
+    def test_nano_pico_femto(self):
+        assert parse_value("3n") == pytest.approx(3e-9)
+        assert parse_value("3p") == pytest.approx(3e-12)
+        assert parse_value("3f") == pytest.approx(3e-15)
+
+    def test_tera_giga(self):
+        assert parse_value("1t") == 1e12
+        assert parse_value("2g") == 2e9
+
+    def test_case_insensitive(self):
+        assert parse_value("10K") == 10_000.0
+        assert parse_value("100MEG") == 100e6
+
+    def test_trailing_unit_letters_ignored(self):
+        assert parse_value("10kohm") == 10_000.0
+        assert parse_value("5vdc") == 5.0
+
+    def test_bare_unit_letters(self):
+        assert parse_value("10ohm") == 10.0
+
+    def test_scientific_notation(self):
+        assert parse_value("1.5e-6") == pytest.approx(1.5e-6)
+
+    def test_scientific_with_suffix(self):
+        assert parse_value("1e3k") == pytest.approx(1e6)
+
+    def test_negative(self):
+        assert parse_value("-4.7u") == pytest.approx(-4.7e-6)
+
+    def test_leading_dot(self):
+        assert parse_value(".5k") == 500.0
+
+    @pytest.mark.parametrize("bad", ["", "abc", "k10", "--5", "1..2"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_value(bad)
+
+
+class TestFormatValue:
+    def test_kilo(self):
+        assert format_value(10_400) == "10.4k"
+
+    def test_unit_suffix(self):
+        assert format_value(10_000, "ohm") == "10kohm"
+
+    def test_micro(self):
+        assert format_value(2.5e-6) == "2.5u"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_negative(self):
+        assert format_value(-3300) == "-3.3k"
+
+    def test_infinity_passthrough(self):
+        assert "inf" in format_value(math.inf)
+
+    def test_unity_range(self):
+        assert format_value(2.5) == "2.5"
+
+
+class TestRoundTrip:
+    @given(st.floats(min_value=1e-14, max_value=1e13,
+                     allow_nan=False, allow_infinity=False))
+    def test_format_parse_roundtrip(self, value):
+        text = format_value(value, digits=12)
+        assert parse_value(text) == pytest.approx(value, rel=1e-9)
+
+    @given(st.sampled_from(sorted(ENG_SUFFIXES)),
+           st.floats(min_value=0.1, max_value=999.0,
+                     allow_nan=False, allow_infinity=False))
+    def test_every_suffix_parses(self, suffix, mantissa):
+        expected = mantissa * ENG_SUFFIXES[suffix]
+        assert parse_value(f"{mantissa}{suffix}") == pytest.approx(expected)

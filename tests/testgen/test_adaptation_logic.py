@@ -1,0 +1,197 @@
+"""Precision tests of the impact-adaptation logic with a synthetic macro.
+
+The RC-ladder tests exercise the generator against a real simulator; here
+we build a *synthetic* testbench whose sensitivity behaviour is an exact
+analytic function of the fault impact, so the adaptation loop's
+convergence properties can be asserted precisely:
+
+* the returned critical impact brackets the analytic crossover point;
+* exactly-one-detector termination picks the analytically stronger
+  configuration;
+* undetectable faults strengthen to the bound and are reported;
+* faults detectable only above dictionary impact set the
+  ``required_impact_increase`` flag.
+
+The synthetic macro routes a fault's impact parameter into the circuit
+as a bridge resistor across the output of a linear divider, so the
+deviation (and hence S) is a closed-form function of impact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.faults import BridgingFault
+from repro.macros import Macro
+from repro.testgen import (
+    BoundParameter,
+    DCProcedure,
+    GenerationSettings,
+    MacroTestbench,
+    ParameterSpec,
+    Probe,
+    ReturnValueSpec,
+    TestConfiguration,
+    TestConfigurationDescription,
+    generate_test_for_fault,
+)
+from repro.tolerance import ConstantBoxFunction
+
+
+class DividerMacro(Macro):
+    """1 V source, R1=R2=1k divider; the DUT of the synthetic tests.
+
+    A bridge ``out``-``0`` with resistance ``R`` moves the output from
+    0.5 V to ``(R || 1k) / (1k + R || 1k)``; the deviation is a clean
+    monotone function of the impact parameter.
+    """
+
+    name = "divider"
+    macro_type = "synthetic-divider"
+    STANDARD_NODES = ("in", "out", "0")
+
+    def build_circuit(self):
+        return (CircuitBuilder(self.name)
+                .voltage_source("VIN", "in", "0", 1.0)
+                .resistor("R1", "in", "out", 1e3)
+                .resistor("R2", "out", "0", 1e3)
+                .build())
+
+    @property
+    def standard_nodes(self):
+        return self.STANDARD_NODES
+
+    def test_configurations(self, box_mode="fast", cache_dir=None):
+        raise NotImplementedError("tests build configurations directly")
+
+
+def divider_deviation(impact: float) -> float:
+    """Analytic output shift of the bridged divider (negative)."""
+    parallel = impact * 1e3 / (impact + 1e3)
+    return parallel / (1e3 + parallel) - 0.5
+
+
+def make_config(name: str, box: float, macro: DividerMacro):
+    """A DC configuration detecting |deviation| > box + equipment term."""
+    description = TestConfigurationDescription(
+        name=name, macro_type=macro.macro_type, title=name,
+        control_nodes=("in",), observe_nodes=("out",),
+        stimulus_template="dc(level) at in", parameters=("level",),
+        return_values=(ReturnValueSpec("dv", "voltage"),))
+    parameters = (BoundParameter(ParameterSpec("level", "V"),
+                                 0.999, 1.001, 1.0),)
+    procedure = DCProcedure("VIN", "level", (Probe("v", "out"),))
+    return TestConfiguration(description, parameters, procedure,
+                             ConstantBoxFunction([box]), macro.equipment)
+
+
+@pytest.fixture()
+def macro():
+    return DividerMacro()
+
+
+def total_box(config, bench, vector=(1.0,)):
+    """Box half-width including the equipment term the executor adds."""
+    return float(bench.executor(config.name).boxes(np.array(vector))[0])
+
+
+class TestCriticalImpactPrecision:
+    def test_critical_impact_brackets_crossover(self, macro):
+        """With two boxes 10 mV and 40 mV, the tight-box configuration
+        must win, and the critical impact must land where only it still
+        detects: between the 40 mV and 10 mV crossover impacts."""
+        tight = make_config("tight", 0.010, macro)
+        loose = make_config("loose", 0.040, macro)
+        bench = MacroTestbench(macro.circuit, [tight, loose],
+                               macro.options)
+
+        fault = BridgingFault(node_a="out", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(
+            bench, fault, GenerationSettings(
+                adaptation_factor=4.0,
+                adaptation_shrink_threshold=1.01))
+
+        assert generated.config_name == "tight"
+        # Analytic crossovers |deviation(R)| = box_total.
+        def crossover(box_total):
+            # |dev| decreasing in R; bisect.
+            lo, hi = 1e3, 1e9
+            for _ in range(200):
+                mid = np.sqrt(lo * hi)
+                if abs(divider_deviation(mid)) > box_total:
+                    lo = mid
+                else:
+                    hi = mid
+            return lo
+        loose_edge = crossover(total_box(loose, bench))
+        tight_edge = crossover(total_box(tight, bench))
+        assert loose_edge < tight_edge
+        assert loose_edge <= generated.critical_impact <= tight_edge
+
+    def test_sensitivity_at_critical_is_negative(self, macro):
+        tight = make_config("tight", 0.010, macro)
+        loose = make_config("loose", 0.040, macro)
+        bench = MacroTestbench(macro.circuit, [tight, loose],
+                               macro.options)
+        fault = BridgingFault(node_a="out", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert generated.sensitivity_at_critical < 0.0
+
+
+class TestUndetectable:
+    def test_insensitive_everywhere_reports_undetectable(self, macro):
+        """A bridge across the stiff input node changes nothing; the
+        adaptation must strengthen to the bound and give up."""
+        config = make_config("only", 0.010, macro)
+        bench = MacroTestbench(macro.circuit, [config], macro.options)
+        fault = BridgingFault(node_a="in", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert generated.undetectable
+        assert generated.test is None
+        assert not generated.detected_at_dictionary
+
+    def test_huge_box_makes_fault_undetectable(self, macro):
+        """Even a hard short hides inside a 1 V tolerance box."""
+        config = make_config("blind", 1.0, macro)
+        bench = MacroTestbench(macro.circuit, [config], macro.options)
+        fault = BridgingFault(node_a="out", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert generated.undetectable
+
+
+class TestImpactIncrease:
+    def test_weak_dictionary_impact_sets_flag(self, macro):
+        """Dictionary impact too weak to detect, but strengthening
+        finds the defect: required_impact_increase must be set."""
+        config = make_config("cfg", 0.010, macro)
+        bench = MacroTestbench(macro.circuit, [config], macro.options)
+        # At 1 Mohm the divider shifts ~0.25 mV: inside the box.
+        fault = BridgingFault(node_a="out", node_b="0", impact=1e6)
+        generated = generate_test_for_fault(bench, fault)
+        assert not generated.detected_at_dictionary
+        assert generated.required_impact_increase
+        assert generated.test is not None
+        assert generated.critical_impact < 1e6
+
+    def test_detected_at_dictionary_never_sets_flag(self, macro):
+        config = make_config("cfg", 0.010, macro)
+        bench = MacroTestbench(macro.circuit, [config], macro.options)
+        fault = BridgingFault(node_a="out", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert generated.detected_at_dictionary
+        assert not generated.required_impact_increase
+
+
+class TestTieBreaking:
+    def test_identical_configs_resolve_to_most_sensitive(self, macro):
+        """Two equal configurations never leave the >1 detector state;
+        the oscillation fallback must pick the (equal) minimum without
+        crashing and still report a usable test."""
+        a = make_config("a", 0.010, macro)
+        b = make_config("b", 0.010, macro)
+        bench = MacroTestbench(macro.circuit, [a, b], macro.options)
+        fault = BridgingFault(node_a="out", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert generated.test is not None
+        assert generated.config_name in ("a", "b")
+        assert generated.sensitivity_at_critical < 0.0

@@ -1,0 +1,82 @@
+"""Tests for GenerationResult containers and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.testgen import GenerationResult, GenerationSettings
+
+
+class TestDistribution:
+    def test_counts_sum_to_fault_count(self, rc_generation):
+        table = rc_generation.distribution()
+        total = sum(v for row in table.values() for v in row.values())
+        assert total == len(rc_generation.tests)
+
+    def test_undetectable_bucket_present(self, rc_generation):
+        table = rc_generation.distribution()
+        assert "<undetectable>" in table
+        assert table["<undetectable>"]["bridge"] >= 1
+
+    def test_n_detected_consistent(self, rc_generation):
+        assert rc_generation.n_detected == sum(
+            1 for t in rc_generation.tests if t.test is not None)
+
+    def test_undetectable_faults_listed(self, rc_generation):
+        ids = {f.fault_id for f in rc_generation.undetectable_faults()}
+        assert "bridge:0:vin" in ids
+
+
+class TestSerialization:
+    def test_json_preserves_flags(self, rc_generation, rc_macro):
+        rebuilt = GenerationResult.from_json(
+            rc_generation.to_json(), rc_macro.fault_dictionary(),
+            rc_macro.test_configurations())
+        for a, b in zip(rebuilt.tests, rc_generation.tests):
+            assert a.undetectable == b.undetectable
+            assert a.detected_at_dictionary == b.detected_at_dictionary
+            assert a.required_impact_increase == b.required_impact_increase
+
+    def test_json_preserves_per_config(self, rc_generation, rc_macro):
+        rebuilt = GenerationResult.from_json(
+            rc_generation.to_json(), rc_macro.fault_dictionary(),
+            rc_macro.test_configurations())
+        for a, b in zip(rebuilt.tests, rc_generation.tests):
+            assert len(a.per_config) == len(b.per_config)
+            for ca, cb in zip(a.per_config, b.per_config):
+                assert ca.config_name == cb.config_name
+                np.testing.assert_allclose(ca.params, cb.params)
+                assert ca.nfev == cb.nfev
+
+    def test_json_preserves_totals(self, rc_generation, rc_macro):
+        rebuilt = GenerationResult.from_json(
+            rc_generation.to_json(), rc_macro.fault_dictionary(),
+            rc_macro.test_configurations())
+        assert rebuilt.total_simulations == \
+            rc_generation.total_simulations
+        assert rebuilt.circuit_name == rc_generation.circuit_name
+
+
+class TestGeneratedTest:
+    def test_config_name_for_undetectable(self, rc_generation):
+        undetectable = [t for t in rc_generation.tests if t.undetectable]
+        assert undetectable
+        assert undetectable[0].config_name == "<undetectable>"
+
+    def test_adaptation_rounds_positive(self, rc_generation):
+        assert all(t.adaptation_rounds >= 1 for t in rc_generation.tests)
+
+    def test_per_config_covers_all_configurations(self, rc_generation):
+        for t in rc_generation.tests:
+            assert {c.config_name for c in t.per_config} == \
+                {"dc-out", "step-mean"}
+
+
+class TestSettings:
+    def test_defaults_reasonable(self):
+        settings = GenerationSettings()
+        assert settings.soft_weaken_factor > 1.0
+        assert not settings.reoptimize_each_impact
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GenerationSettings().brent_evals = 5

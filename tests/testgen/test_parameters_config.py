@@ -1,0 +1,195 @@
+"""Unit tests for parameter sets and test configurations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TestGenerationError
+from repro.testgen import (
+    BoundParameter,
+    ParameterSet,
+    ParameterSpec,
+    ReturnValueSpec,
+    Test,
+    TestConfiguration,
+    TestConfigurationDescription,
+)
+from repro.testgen.procedures import DCProcedure, Probe
+from repro.tolerance import ConstantBoxFunction
+
+
+def make_config(n_params=1):
+    names = ("base", "elev")[:n_params]
+    description = TestConfigurationDescription(
+        name="cfg", macro_type="t", title="Test",
+        control_nodes=("in",), observe_nodes=("out",),
+        stimulus_template="dc(base)", parameters=names,
+        return_values=(ReturnValueSpec("dv", "voltage"),))
+    parameters = tuple(
+        BoundParameter(ParameterSpec(name, "A"), 0.0, 10.0, 2.0)
+        for name in names)
+    return TestConfiguration(
+        description, parameters,
+        DCProcedure("VIN", "base", (Probe("v", "out"),)),
+        ConstantBoxFunction([0.1]))
+
+
+class TestParameterSpec:
+    def test_rejects_non_identifier(self):
+        with pytest.raises(TestGenerationError):
+            ParameterSpec("bad name")
+
+    def test_bound_parameter_validation(self):
+        spec = ParameterSpec("p")
+        with pytest.raises(TestGenerationError):
+            BoundParameter(spec, 5.0, 1.0, 2.0)  # lower >= upper
+        with pytest.raises(TestGenerationError):
+            BoundParameter(spec, 0.0, 1.0, 2.0)  # seed outside
+
+    def test_clip_normalize(self):
+        p = BoundParameter(ParameterSpec("p"), 0.0, 4.0, 1.0)
+        assert p.clip(-1.0) == 0.0
+        assert p.clip(9.0) == 4.0
+        assert p.normalize(3.0) == pytest.approx(0.75)
+        assert p.denormalize(0.25) == pytest.approx(1.0)
+        assert p.span == 4.0
+
+
+class TestParameterSet:
+    def setup_method(self):
+        self.params = ParameterSet([
+            BoundParameter(ParameterSpec("a"), 0.0, 1.0, 0.5),
+            BoundParameter(ParameterSpec("b"), 10.0, 20.0, 15.0),
+        ])
+
+    def test_names_bounds_seeds(self):
+        assert self.params.names == ("a", "b")
+        np.testing.assert_allclose(self.params.bounds,
+                                   [[0, 1], [10, 20]])
+        np.testing.assert_allclose(self.params.seeds, [0.5, 15.0])
+
+    def test_dict_vector_roundtrip(self):
+        d = self.params.to_dict([0.3, 12.0])
+        assert d == {"a": 0.3, "b": 12.0}
+        np.testing.assert_allclose(self.params.to_vector(d), [0.3, 12.0])
+
+    def test_to_vector_missing_key_raises(self):
+        with pytest.raises(TestGenerationError):
+            self.params.to_vector({"a": 1.0})
+
+    def test_to_dict_wrong_shape_raises(self):
+        with pytest.raises(TestGenerationError):
+            self.params.to_dict([1.0])
+
+    def test_normalize(self):
+        np.testing.assert_allclose(
+            self.params.normalize([0.5, 15.0]), [0.5, 0.5])
+
+    def test_quantized_key_stable(self):
+        k1 = self.params.quantized_key([0.5, 15.0])
+        k2 = self.params.quantized_key([0.5 + 1e-9, 15.0])
+        assert k1 == k2
+
+    def test_quantized_key_distinguishes(self):
+        k1 = self.params.quantized_key([0.5, 15.0])
+        k2 = self.params.quantized_key([0.6, 15.0])
+        assert k1 != k2
+
+    def test_duplicate_names_rejected(self):
+        p = BoundParameter(ParameterSpec("a"), 0.0, 1.0, 0.5)
+        with pytest.raises(TestGenerationError):
+            ParameterSet([p, p])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TestGenerationError):
+            ParameterSet([])
+
+    def test_getitem(self):
+        assert self.params["b"].upper == 20.0
+        with pytest.raises(TestGenerationError):
+            self.params["zz"]
+
+
+class TestDescription:
+    def test_describe_renders_card(self):
+        config = make_config()
+        card = config.description.describe()
+        assert "Macro type: t" in card
+        assert "stimulus: dc(base)" in card
+        assert "dv [voltage]" in card
+
+    def test_requires_return_values(self):
+        with pytest.raises(TestGenerationError):
+            TestConfigurationDescription(
+                name="x", macro_type="t", title="T",
+                control_nodes=("in",), observe_nodes=("out",),
+                stimulus_template="", parameters=("p",),
+                return_values=())
+
+    def test_requires_nodes(self):
+        with pytest.raises(TestGenerationError):
+            TestConfigurationDescription(
+                name="x", macro_type="t", title="T",
+                control_nodes=(), observe_nodes=("out",),
+                stimulus_template="", parameters=("p",),
+                return_values=(ReturnValueSpec("r", "voltage"),))
+
+
+class TestConfigurationImpl:
+    def test_parameter_name_mismatch_rejected(self):
+        description = TestConfigurationDescription(
+            name="cfg", macro_type="t", title="T",
+            control_nodes=("in",), observe_nodes=("out",),
+            stimulus_template="", parameters=("declared",),
+            return_values=(ReturnValueSpec("dv", "voltage"),))
+        wrong = (BoundParameter(ParameterSpec("other"), 0, 1, 0.5),)
+        with pytest.raises(TestGenerationError):
+            TestConfiguration(description, wrong,
+                              DCProcedure("V", "other", (Probe("v", "o"),)),
+                              ConstantBoxFunction([0.1]))
+
+    def test_return_value_count_mismatch_rejected(self):
+        description = TestConfigurationDescription(
+            name="cfg", macro_type="t", title="T",
+            control_nodes=("in",), observe_nodes=("out",),
+            stimulus_template="", parameters=("base",),
+            return_values=(ReturnValueSpec("dv", "voltage"),
+                           ReturnValueSpec("di", "current")))
+        params = (BoundParameter(ParameterSpec("base"), 0, 1, 0.5),)
+        with pytest.raises(TestGenerationError):
+            TestConfiguration(description, params,
+                              DCProcedure("V", "base", (Probe("v", "o"),)),
+                              ConstantBoxFunction([0.1, 0.1]))
+
+    def test_seed_test(self):
+        config = make_config()
+        test = config.seed_test()
+        np.testing.assert_allclose(test.values, [2.0])
+
+    def test_make_test_from_dict(self):
+        config = make_config(2)
+        test = config.make_test({"base": 1.0, "elev": 3.0})
+        np.testing.assert_allclose(test.values, [1.0, 3.0])
+
+    def test_return_kinds(self):
+        assert make_config().return_kinds == ("voltage",)
+
+
+class TestTest:
+    def test_bounds_enforced(self):
+        config = make_config()
+        with pytest.raises(TestGenerationError):
+            Test(config, np.array([99.0]))
+
+    def test_shape_enforced(self):
+        config = make_config(2)
+        with pytest.raises(TestGenerationError):
+            Test(config, np.array([1.0]))
+
+    def test_str_mentions_values(self):
+        config = make_config()
+        assert "base=2" in str(config.seed_test())
+
+    def test_as_dict(self):
+        config = make_config(2)
+        test = config.make_test([1.0, 2.0])
+        assert test.as_dict() == {"base": 1.0, "elev": 2.0}

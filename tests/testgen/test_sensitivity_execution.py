@@ -1,0 +1,154 @@
+"""Tests for the sensitivity cost function and the execution engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TestGenerationError
+from repro.faults import BridgingFault
+from repro.testgen import (
+    MacroTestbench,
+    sensitivity,
+    sensitivity_components,
+)
+from repro.testgen.sensitivity import SensitivityReport
+
+
+class TestSensitivityMath:
+    def test_zero_deviation_is_one(self):
+        assert sensitivity(np.array([0.0]), np.array([0.5])) == 1.0
+
+    def test_deviation_at_box_edge_is_zero(self):
+        assert sensitivity(np.array([0.5]), np.array([0.5])) == \
+            pytest.approx(0.0)
+
+    def test_detection_is_negative(self):
+        assert sensitivity(np.array([1.0]), np.array([0.5])) < 0.0
+
+    def test_min_over_return_values(self):
+        s = sensitivity(np.array([0.1, 0.9]), np.array([1.0, 1.0]))
+        assert s == pytest.approx(0.1)  # 1 - 0.9
+
+    def test_sign_of_deviation_irrelevant(self):
+        pos = sensitivity(np.array([0.3]), np.array([1.0]))
+        neg = sensitivity(np.array([-0.3]), np.array([1.0]))
+        assert pos == neg
+
+    def test_rejects_non_positive_box(self):
+        with pytest.raises(TestGenerationError):
+            sensitivity(np.array([0.1]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(TestGenerationError):
+            sensitivity_components(np.zeros(2), np.ones(3))
+
+    @given(st.floats(-100, 100), st.floats(0.01, 100))
+    def test_detection_iff_outside_box(self, deviation, box):
+        s = sensitivity(np.array([deviation]), np.array([box]))
+        assert (s < 0.0) == (abs(deviation) > box)
+
+    @given(st.floats(0.0, 10.0), st.floats(0.01, 10.0))
+    def test_bounded_above_by_one(self, deviation, box):
+        assert sensitivity(np.array([deviation]),
+                           np.array([box])) <= 1.0
+
+    def test_report_detected_flag(self):
+        report = SensitivityReport(
+            value=-0.5, components=np.array([-0.5]),
+            deviations=np.array([1.0]), boxes=np.array([0.5]),
+            params=np.array([1.0]))
+        assert report.detected
+        assert "DETECTED" in repr(report)
+
+
+class TestExecutor:
+    def test_nominal_cache_hit(self, rc_bench):
+        executor = rc_bench.executor("dc-out")
+        executor.stats.nominal_simulations = 0
+        executor.stats.nominal_cache_hits = 0
+        executor.nominal_raw([2.0])
+        hits_before = executor.stats.nominal_cache_hits
+        executor.nominal_raw([2.0])
+        assert executor.stats.nominal_cache_hits == hits_before + 1
+
+    def test_sensitivity_of_healthy_circuit_is_one(self, rc_macro):
+        """The nominal circuit 'faulted' with a no-op has S = 1."""
+        bench = rc_macro.testbench()
+        executor = bench.executor("dc-out")
+        # A very weak bridge across vin-n1 (1 Gohm) ~ no-op.
+        fault = BridgingFault(node_a="vin", node_b="n1", impact=1e9)
+        report = executor.sensitivity(fault, [2.0])
+        assert report.value == pytest.approx(1.0, abs=0.05)
+
+    def test_hard_bridge_detected(self, rc_macro):
+        bench = rc_macro.testbench()
+        executor = bench.executor("dc-out")
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10.0)
+        report = executor.sensitivity(fault, [3.0])
+        assert report.detected
+
+    def test_vector_clipped_into_bounds(self, rc_bench):
+        executor = rc_bench.executor("dc-out")
+        fault = BridgingFault(node_a="vout", node_b="0", impact=100.0)
+        report = executor.sensitivity(fault, [99.0])  # above 5 V bound
+        assert report.params[0] == pytest.approx(5.0)
+
+    def test_boxes_include_equipment_term(self, rc_bench):
+        executor = rc_bench.executor("dc-out")
+        boxes = executor.boxes([2.0])
+        # fast box is 0.12; equipment adds 2 * (1 mV + 0.1 %).
+        assert boxes[0] > 0.12
+
+    def test_evaluate_test_config_ownership(self, rc_bench):
+        config_dc = rc_bench.configuration("dc-out")
+        config_step = rc_bench.configuration("step-mean")
+        fault = BridgingFault(node_a="vout", node_b="0", impact=100.0)
+        test = config_dc.seed_test()
+        report = rc_bench.executor("dc-out").evaluate_test(fault, test)
+        assert isinstance(report.value, float)
+        with pytest.raises(TestGenerationError):
+            rc_bench.executor("step-mean").evaluate_test(fault, test)
+
+
+class TestFaultyCircuitCache:
+    def test_pinhole_positions_not_conflated(self, iv_bench):
+        """Regression: two pinholes differing only in position must give
+        different sensitivities (the faulty-circuit cache once keyed on
+        fault_id+impact only)."""
+        from repro.faults import PinholeFault
+        executor = iv_bench.executor("dc-output")
+        near = PinholeFault(device="M6", impact=50e3, position=0.1)
+        deep = PinholeFault(device="M6", impact=50e3, position=0.5)
+        s_near = executor.sensitivity(near, [20e-6]).value
+        s_deep = executor.sensitivity(deep, [20e-6]).value
+        assert s_near != s_deep
+
+    def test_drain_proximal_pinhole_less_detectable(self, iv_bench):
+        """The Eckersall observation the paper cites with Fig. 7."""
+        from repro.faults import PinholeFault
+        executor = iv_bench.executor("dc-output")
+        near = PinholeFault(device="M6", impact=50e3, position=0.1)
+        deep = PinholeFault(device="M6", impact=50e3, position=0.5)
+        assert executor.sensitivity(near, [20e-6]).value > \
+            executor.sensitivity(deep, [20e-6]).value
+
+
+class TestTestbench:
+    def test_configuration_names(self, rc_bench):
+        assert rc_bench.configuration_names == ("dc-out", "step-mean")
+
+    def test_unknown_configuration_raises(self, rc_bench):
+        with pytest.raises(TestGenerationError):
+            rc_bench.executor("nope")
+
+    def test_duplicate_configurations_rejected(self, rc_macro):
+        configs = rc_macro.test_configurations()
+        with pytest.raises(TestGenerationError):
+            MacroTestbench(rc_macro.circuit, configs + configs[:1])
+
+    def test_stats_aggregate(self, rc_macro):
+        bench = rc_macro.testbench()
+        fault = BridgingFault(node_a="vout", node_b="0", impact=100.0)
+        bench.sensitivity(fault, "dc-out", [2.0])
+        bench.sensitivity(fault, "step-mean", [0.5, 2.0])
+        assert bench.stats.total_simulations >= 4  # 2 nominal + 2 faulty

@@ -1,0 +1,203 @@
+"""Tests for tps-graphs and the generation algorithm (RC-ladder scale)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TestGenerationError
+from repro.faults import BridgingFault
+from repro.testgen import (
+    GenerationSettings,
+    TpsGraph,
+    classify_impact_regions,
+    compute_tps_graph,
+    generate_test_for_fault,
+    generate_tests,
+    optimum_drift,
+    shape_correlation,
+)
+
+
+@pytest.fixture(scope="module")
+def dc_graph(rc_macro):
+    bench = rc_macro.testbench()
+    fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+    return compute_tps_graph(bench.executor("dc-out"), fault,
+                             points_per_axis=9)
+
+
+class TestTpsGraph:
+    def test_shape_1d(self, dc_graph):
+        assert dc_graph.values.shape == (9,)
+        assert dc_graph.param_names == ("level",)
+
+    def test_min_and_argmin_consistent(self, dc_graph):
+        i = int(np.argmin(dc_graph.values))
+        assert dc_graph.min_value == dc_graph.values[i]
+        assert dc_graph.argmin_params[0] == dc_graph.axes[0][i]
+
+    def test_detection_fraction_in_unit_range(self, dc_graph):
+        assert 0.0 <= dc_graph.detection_fraction <= 1.0
+
+    def test_sensitivity_grows_with_stimulus(self, dc_graph):
+        """A vout-gnd bridge diverts more current at higher drive."""
+        assert dc_graph.values[-1] < dc_graph.values[1]
+
+    def test_explicit_axes(self, rc_bench):
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+        graph = compute_tps_graph(rc_bench.executor("dc-out"), fault,
+                                  axes=[np.array([1.0, 3.0, 5.0])])
+        assert graph.values.shape == (3,)
+
+    def test_axes_count_mismatch_raises(self, rc_bench):
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+        with pytest.raises(TestGenerationError):
+            compute_tps_graph(rc_bench.executor("step-mean"), fault,
+                              axes=[np.array([1.0])])
+
+    def test_2d_graph(self, rc_bench):
+        fault = BridgingFault(node_a="n1", node_b="vout", impact=1e3)
+        graph = compute_tps_graph(rc_bench.executor("step-mean"), fault,
+                                  points_per_axis=5)
+        assert graph.values.shape == (5, 5)
+        assert len(graph.argmin_params) == 2
+
+    def test_values_shape_validated(self):
+        with pytest.raises(TestGenerationError):
+            TpsGraph(config_name="c", fault_id="f", impact=1.0,
+                     param_names=("p",), axes=(np.arange(5.0),),
+                     values=np.zeros(4))
+
+
+class TestGraphComparison:
+    def test_drift_zero_for_same_graph(self, dc_graph):
+        assert optimum_drift(dc_graph, dc_graph) == 0.0
+
+    def test_correlation_one_for_same_graph(self, dc_graph):
+        assert shape_correlation(dc_graph, dc_graph) == pytest.approx(1.0)
+
+    def test_different_parameters_rejected(self, rc_bench, dc_graph):
+        fault = BridgingFault(node_a="n1", node_b="vout", impact=1e3)
+        other = compute_tps_graph(rc_bench.executor("step-mean"), fault,
+                                  points_per_axis=9)
+        with pytest.raises(TestGenerationError):
+            optimum_drift(dc_graph, other)
+
+    def test_soft_region_classification(self, rc_macro):
+        """Weak impacts stabilize: the last sweep entries come out soft."""
+        bench = rc_macro.testbench()
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+        regions = classify_impact_regions(
+            bench.executor("dc-out"), fault,
+            impacts=[1e3, 1e4, 1e5, 1e6], points_per_axis=7)
+        assert regions[-1].region == "terminal"
+        assert regions[-2].region == "soft"
+        # shape correlation between the two weakest graphs is high
+        corr = shape_correlation(regions[-2].graph, regions[-1].graph)
+        assert corr > 0.9
+
+
+class TestGeneratorSingleFault:
+    def test_detectable_fault_gets_test(self, rc_macro):
+        bench = rc_macro.testbench()
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert generated.test is not None
+        assert generated.detected_at_dictionary
+        assert not generated.undetectable
+        assert generated.sensitivity_at_critical < 0.0
+
+    def test_critical_impact_weaker_than_dictionary(self, rc_macro):
+        """A strongly detected fault is weakened during adaptation."""
+        bench = rc_macro.testbench()
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert generated.critical_impact >= fault.impact
+
+    def test_stiff_node_fault_undetectable(self, rc_macro):
+        """vin is driven by an ideal source: a vin-gnd bridge changes
+        nothing observable -> reported undetectable, not crashed."""
+        bench = rc_macro.testbench()
+        fault = BridgingFault(node_a="vin", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert generated.undetectable
+        assert generated.test is None
+        assert generated.config_name == "<undetectable>"
+
+    def test_per_config_summaries_present(self, rc_macro):
+        bench = rc_macro.testbench()
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert {c.config_name for c in generated.per_config} == \
+            {"dc-out", "step-mean"}
+        assert all(c.nfev > 0 for c in generated.per_config)
+
+    def test_simulation_accounting(self, rc_macro):
+        bench = rc_macro.testbench()
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+        generated = generate_test_for_fault(bench, fault)
+        assert generated.n_simulations > 0
+
+
+class TestGeneratorDictionary:
+    def test_all_faults_get_entries(self, rc_generation):
+        assert len(rc_generation.tests) == 6
+
+    def test_distribution_counts_sum(self, rc_generation):
+        table = rc_generation.distribution()
+        total = sum(v for row in table.values() for v in row.values())
+        assert total == 6
+
+    def test_tests_for_config_partition(self, rc_generation):
+        names = set()
+        count = 0
+        for t in rc_generation.tests:
+            names.add(t.config_name)
+            count += 1
+        listed = sum(len(rc_generation.tests_for_config(n)) for n in names)
+        assert listed == count
+
+    def test_json_roundtrip(self, rc_generation, rc_macro):
+        text = rc_generation.to_json()
+        from repro.testgen import GenerationResult
+        rebuilt = GenerationResult.from_json(
+            text, rc_macro.fault_dictionary(),
+            rc_macro.test_configurations())
+        assert len(rebuilt.tests) == len(rc_generation.tests)
+        for a, b in zip(rebuilt.tests, rc_generation.tests):
+            assert a.fault.fault_id == b.fault.fault_id
+            assert a.config_name == b.config_name
+            if b.test is not None:
+                np.testing.assert_allclose(a.test.values, b.test.values)
+
+    def test_parallel_matches_serial(self, rc_macro, rc_generation):
+        parallel = generate_tests(
+            rc_macro.circuit, rc_macro.test_configurations(),
+            rc_macro.fault_dictionary(), GenerationSettings(), n_jobs=2)
+        for serial_t, parallel_t in zip(rc_generation.tests,
+                                        parallel.tests):
+            assert serial_t.fault.fault_id == parallel_t.fault.fault_id
+            assert serial_t.config_name == parallel_t.config_name
+            assert serial_t.critical_impact == pytest.approx(
+                parallel_t.critical_impact)
+
+    def test_settings_validation(self):
+        with pytest.raises(TestGenerationError):
+            GenerationSettings(soft_weaken_factor=1.0)
+        with pytest.raises(TestGenerationError):
+            GenerationSettings(adaptation_factor=1.0)
+
+
+class TestNaiveMode:
+    def test_naive_costs_more_simulations(self, rc_macro):
+        """Re-optimizing at every impact level must burn more sims
+        while agreeing on the winning configuration (soft region)."""
+        fault = BridgingFault(node_a="vout", node_b="0", impact=10e3)
+        bench_eff = rc_macro.testbench()
+        efficient = generate_test_for_fault(
+            bench_eff, fault, GenerationSettings())
+        bench_naive = rc_macro.testbench()
+        naive = generate_test_for_fault(
+            bench_naive, fault,
+            GenerationSettings(reoptimize_each_impact=True))
+        assert naive.n_simulations > efficient.n_simulations
+        assert naive.config_name == efficient.config_name

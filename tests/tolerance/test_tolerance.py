@@ -1,0 +1,243 @@
+"""Unit tests for the tolerance layer (equipment, process, boxes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit import Mosfet, Resistor
+from repro.errors import ToleranceError
+from repro.tolerance import (
+    AccuracySpec,
+    ConstantBoxFunction,
+    CallableBoxFunction,
+    DEFAULT_EQUIPMENT,
+    DEFAULT_PROCESS,
+    EquipmentSpec,
+    InterpolatedBoxFunction,
+    ProcessVariation,
+    Spread,
+    ToleranceBox,
+    calibrate_box_function,
+    grid_points,
+)
+
+
+class TestAccuracy:
+    def test_error_bound_gain_offset(self):
+        spec = AccuracySpec(offset=1e-3, relative=0.01)
+        assert spec.error_bound(0.0) == pytest.approx(1e-3)
+        assert spec.error_bound(2.0) == pytest.approx(1e-3 + 0.02)
+        assert spec.error_bound(-2.0) == pytest.approx(1e-3 + 0.02)
+
+    def test_rejects_exact_instrument(self):
+        with pytest.raises(ToleranceError):
+            AccuracySpec(offset=0.0, relative=0.0)
+
+    def test_rejects_negative_terms(self):
+        with pytest.raises(ToleranceError):
+            AccuracySpec(offset=-1.0, relative=0.0)
+
+    def test_equipment_lookup_with_default(self):
+        spec = EquipmentSpec(
+            accuracies={"voltage": AccuracySpec(offset=1e-3)},
+            default=AccuracySpec(offset=5e-3))
+        assert spec.error_bound("voltage", 0.0) == pytest.approx(1e-3)
+        assert spec.error_bound("unknown-kind", 0.0) == pytest.approx(5e-3)
+
+    def test_default_equipment_kinds(self):
+        for kind in ("voltage", "current", "thd", "voltage_sample"):
+            assert DEFAULT_EQUIPMENT.error_bound(kind, 1.0) > 0.0
+
+    def test_equipment_is_picklable(self):
+        import pickle
+        clone = pickle.loads(pickle.dumps(DEFAULT_EQUIPMENT))
+        assert clone.error_bound("voltage", 1.0) == \
+            DEFAULT_EQUIPMENT.error_bound("voltage", 1.0)
+
+
+class TestProcessVariation:
+    def test_sample_perturbs_resistors(self, divider_circuit, rng):
+        variant = DEFAULT_PROCESS.sample(divider_circuit, rng)
+        r_nom = divider_circuit.element("R1").resistance
+        r_var = variant.element("R1").resistance
+        assert r_var != r_nom
+        assert abs(r_var / r_nom - 1.0) < 0.25  # 3 sigma clip
+
+    def test_sample_perturbs_mosfets(self, iv_macro, rng):
+        variant = DEFAULT_PROCESS.sample(iv_macro.circuit, rng)
+        m_nom = iv_macro.circuit.element("M1")
+        m_var = variant.element("M1")
+        assert isinstance(m_var, Mosfet)
+        assert m_var.params.vto != m_nom.params.vto
+        assert m_var.params.kp != m_nom.params.kp
+
+    def test_vto_sign_preserved(self, iv_macro, rng):
+        for _ in range(5):
+            variant = DEFAULT_PROCESS.sample(iv_macro.circuit, rng)
+            assert variant.element("M3").params.vto < 0.0  # PMOS
+            assert variant.element("M1").params.vto > 0.0  # NMOS
+
+    def test_deterministic_with_seed(self, divider_circuit):
+        a = DEFAULT_PROCESS.sample(divider_circuit,
+                                   np.random.default_rng(7))
+        b = DEFAULT_PROCESS.sample(divider_circuit,
+                                   np.random.default_rng(7))
+        assert a.element("R1").resistance == b.element("R1").resistance
+
+    def test_global_component_moves_all_resistors_together(self,
+                                                           divider_circuit):
+        variation = ProcessVariation(
+            resistor=Spread(global_sigma=0.1, mismatch_sigma=0.0))
+        variant = variation.sample(divider_circuit,
+                                   np.random.default_rng(3))
+        f1 = variant.element("R1").resistance / 10e3
+        f2 = variant.element("R2").resistance / 10e3
+        assert f1 == pytest.approx(f2, rel=1e-12)
+
+    def test_mismatch_component_differs_per_element(self, divider_circuit):
+        variation = ProcessVariation(
+            resistor=Spread(global_sigma=0.0, mismatch_sigma=0.05))
+        variant = variation.sample(divider_circuit,
+                                   np.random.default_rng(3))
+        assert variant.element("R1").resistance != \
+            variant.element("R2").resistance
+
+    def test_spread_rejects_negative_sigma(self):
+        with pytest.raises(ToleranceError):
+            Spread(global_sigma=-0.1)
+
+    def test_original_untouched(self, divider_circuit, rng):
+        DEFAULT_PROCESS.sample(divider_circuit, rng)
+        assert divider_circuit.element("R1").resistance == 10e3
+
+
+class TestToleranceBox:
+    def test_contains(self):
+        box = ToleranceBox(nominal=[1.0, 2.0], half_width=[0.1, 0.2])
+        assert box.contains([1.05, 1.9])
+        assert not box.contains([1.2, 2.0])
+
+    def test_corners(self):
+        box = ToleranceBox(nominal=[1.0], half_width=[0.1])
+        assert box.lower[0] == pytest.approx(0.9)
+        assert box.upper[0] == pytest.approx(1.1)
+
+    def test_exceedance(self):
+        box = ToleranceBox(nominal=[0.0], half_width=[0.5])
+        assert box.exceedance([1.0])[0] == pytest.approx(2.0)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ToleranceError):
+            ToleranceBox(nominal=[0.0], half_width=[0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ToleranceError):
+            ToleranceBox(nominal=[0.0, 1.0], half_width=[0.1])
+
+
+class TestBoxFunctions:
+    def test_constant(self):
+        fn = ConstantBoxFunction([0.1, 0.2])
+        np.testing.assert_allclose(fn([5.0]), [0.1, 0.2])
+
+    def test_constant_rejects_non_positive(self):
+        with pytest.raises(ToleranceError):
+            ConstantBoxFunction([0.0])
+
+    def test_callable_validates_output(self):
+        fn = CallableBoxFunction(lambda p: [-1.0])
+        with pytest.raises(ToleranceError):
+            fn([0.0])
+
+    def test_interpolated_exact_at_grid(self):
+        grid = np.array([[0.0], [1.0]])
+        widths = np.array([[0.1], [0.3]])
+        fn = InterpolatedBoxFunction(grid, widths, np.array([[0.0, 1.0]]))
+        assert fn([0.0])[0] == pytest.approx(0.1)
+        assert fn([1.0])[0] == pytest.approx(0.3)
+
+    def test_interpolated_between_grid(self):
+        grid = np.array([[0.0], [1.0]])
+        widths = np.array([[0.1], [0.3]])
+        fn = InterpolatedBoxFunction(grid, widths, np.array([[0.0, 1.0]]))
+        mid = fn([0.5])[0]
+        assert 0.1 < mid < 0.3
+
+    def test_interpolated_2d(self):
+        grid = grid_points(np.array([[0, 1], [0, 1]]), 3)
+        widths = np.ones((9, 1)) * 0.2
+        fn = InterpolatedBoxFunction(grid, widths,
+                                     np.array([[0, 1], [0, 1]]))
+        assert fn([0.3, 0.7])[0] == pytest.approx(0.2)
+
+    def test_interpolated_rejects_mismatched_rows(self):
+        with pytest.raises(ToleranceError):
+            InterpolatedBoxFunction(np.zeros((2, 1)), np.ones((3, 1)),
+                                    np.array([[0.0, 1.0]]))
+
+    @given(st.floats(0.0, 1.0))
+    def test_interpolated_within_calibrated_range(self, x):
+        """IDW never extrapolates beyond the calibrated value range."""
+        grid = np.array([[0.0], [0.5], [1.0]])
+        widths = np.array([[0.1], [0.5], [0.2]])
+        fn = InterpolatedBoxFunction(grid, widths, np.array([[0.0, 1.0]]))
+        value = fn([x])[0]
+        assert 0.1 - 1e-12 <= value <= 0.5 + 1e-12
+
+
+class TestGrid:
+    def test_1d(self):
+        grid = grid_points(np.array([[0.0, 4.0]]), 5)
+        np.testing.assert_allclose(grid.ravel(), [0, 1, 2, 3, 4])
+
+    def test_2d_full_factorial(self):
+        grid = grid_points(np.array([[0, 1], [10, 20]]), 3)
+        assert grid.shape == (9, 2)
+        assert {tuple(g) for g in grid} >= {(0.0, 10.0), (1.0, 20.0),
+                                            (0.5, 15.0)}
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ToleranceError):
+            grid_points(np.array([[0.0, 1.0]]), 1)
+
+
+class TestCalibration:
+    def _evaluate(self, circuit, point):
+        """Fake 'simulation': deviation proportional to R1 shift."""
+        r = circuit.element("R1").resistance
+        return np.array([(r - 10e3) / 10e3 * float(point[0])])
+
+    def test_calibrated_function_positive(self, divider_circuit):
+        fn = calibrate_box_function(
+            self._evaluate, divider_circuit, DEFAULT_PROCESS,
+            np.array([[1.0, 5.0]]), tag="test/div", points_per_axis=3,
+            n_samples=8, cache_dir=None)
+        assert fn([3.0])[0] > 0.0
+
+    def test_box_grows_with_parameter(self, divider_circuit):
+        """Deviation scales with the parameter -> so must the box."""
+        fn = calibrate_box_function(
+            self._evaluate, divider_circuit, DEFAULT_PROCESS,
+            np.array([[1.0, 5.0]]), tag="test/div2", points_per_axis=3,
+            n_samples=8, cache_dir=None)
+        assert fn([5.0])[0] > fn([1.0])[0]
+
+    def test_cache_roundtrip(self, divider_circuit, tmp_path):
+        kwargs = dict(
+            evaluate=self._evaluate, nominal_circuit=divider_circuit,
+            variation=DEFAULT_PROCESS, bounds=np.array([[1.0, 5.0]]),
+            tag="test/cache", points_per_axis=3, n_samples=6,
+            cache_dir=tmp_path)
+        first = calibrate_box_function(**kwargs)
+        cached_files = list(tmp_path.glob("box_*.json"))
+        assert len(cached_files) == 1
+        second = calibrate_box_function(**kwargs)
+        assert second([2.5])[0] == pytest.approx(first([2.5])[0])
+
+    def test_deterministic_given_seed(self, divider_circuit):
+        results = [calibrate_box_function(
+            self._evaluate, divider_circuit, DEFAULT_PROCESS,
+            np.array([[1.0, 5.0]]), tag="test/det", points_per_axis=2,
+            n_samples=5, seed=99, cache_dir=None)([2.0])[0]
+            for _ in range(2)]
+        assert results[0] == results[1]
