@@ -6,10 +6,13 @@ Public entry points:
 * :func:`dc_sweep` — operating points across a source sweep.
 * :func:`transient` — fixed-step trapezoidal/BE time-domain integration.
 * :func:`ac_analysis` — small-signal frequency response.
+* :class:`SimulationEngine` — compile-once serving layer with fault
+  overlays and warm-started Newton (see :mod:`repro.analysis.engine`).
 """
 
 from repro.analysis.ac import ac_analysis
 from repro.analysis.dc import dc_sweep, operating_point
+from repro.analysis.engine import EngineStats, SimulationEngine, WarmStart
 from repro.analysis.mna import CompiledCircuit
 from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
 from repro.analysis.results import (
@@ -22,6 +25,9 @@ from repro.analysis.transient import transient
 
 __all__ = [
     "CompiledCircuit",
+    "SimulationEngine",
+    "EngineStats",
+    "WarmStart",
     "SimOptions",
     "DEFAULT_OPTIONS",
     "operating_point",

@@ -27,6 +27,7 @@ def ac_analysis(
     freqs: np.ndarray,
     options: SimOptions = DEFAULT_OPTIONS,
     op: OperatingPoint | None = None,
+    x0: np.ndarray | None = None,
 ) -> ACResult:
     """Frequency sweep with a unit AC stimulus at *source_name*.
 
@@ -35,6 +36,9 @@ def ac_analysis(
         source_name: independent source receiving the unit stimulus.
         freqs: frequencies [Hz]; must be positive.
         op: optional precomputed operating point.
+        x0: optional Newton warm start for the internal operating-point
+            solve (ignored when *op* is given); the compile-once engine
+            threads neighbouring DC solutions through here.
 
     Returns:
         :class:`ACResult` with complex node phasors.
@@ -50,7 +54,7 @@ def ac_analysis(
         raise AnalysisError(f"{source_name!r} is not an independent source")
 
     if op is None:
-        op = operating_point(compiled, options)
+        op = operating_point(compiled, options, x0=x0)
     g, c = compiled.small_signal_matrices(op.x, options.gmin)
 
     # Unit-stimulus RHS.

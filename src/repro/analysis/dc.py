@@ -54,8 +54,10 @@ def dc_sweep(
 ) -> SweepResult:
     """Sweep the DC level of one independent source.
 
-    Each point warm-starts from the previous solution, so sweeps through
-    nonlinear regions converge quickly.
+    The circuit is compiled **once**; each sweep point patches the source
+    level into the compiled source bank and warm-starts Newton from the
+    previous solution, so sweeps through nonlinear regions converge
+    quickly and the per-point cost is a handful of dense solves.
 
     Args:
         circuit: the circuit to analyze (not modified).
@@ -69,14 +71,12 @@ def dc_sweep(
             f"{source_name!r} is not an independent source")
     values = np.asarray(values, dtype=float)
 
+    compiled = CompiledCircuit(circuit)
     points: list[OperatingPoint] = []
     x_prev: np.ndarray | None = None
     for value in values:
-        swept = circuit.replace_element(
-            type(element)(element.name, element.n1, element.n2,
-                          DCWave(float(value))))
-        compiled = CompiledCircuit(swept)
-        op = operating_point(compiled, options, x0=x_prev)
+        with compiled.patched_source(source_name, DCWave(float(value))):
+            op = operating_point(compiled, options, x0=x_prev)
         points.append(op)
         x_prev = op.x
     return SweepResult(sweep_name=source_name, values=values,

@@ -1,0 +1,258 @@
+"""Compile-once simulation engine with fault-overlay stamping.
+
+The economics of compact test generation (paper §3.3, §4.2) hinge on the
+cost of one faulty simulation: 55 faults x 5 configurations x dozens of
+optimizer steps hit the simulator, and before this layer existed every
+call copied the netlist, re-ran :class:`~repro.analysis.mna.CompiledCircuit`
+compilation from scratch and cold-started Newton — compilation dominated
+wall-clock, not solving.  :class:`SimulationEngine` removes all three
+costs:
+
+* **compile once** — each distinct overlay base (the nominal circuit,
+  plus one split-channel skeleton per pinhole site) is compiled exactly
+  once and cached in a bounded LRU;
+* **stamp, don't rebuild** — faults implementing the overlay protocol of
+  :mod:`repro.faults.base` are injected as reversible conductance stamps
+  on the compiled base (:meth:`CompiledCircuit.push_overlay`), and
+  stimulus parameters are patched into the compiled source banks
+  (:meth:`CompiledCircuit.patched_source`);
+* **warm-start Newton** — the converged DC solution is remembered per
+  (base, fault) slot, so adjacent optimizer steps start Newton next to
+  the answer instead of at zero.
+
+Fault models that cannot express themselves as conductance stamps (ones
+that add or rewire nodes per impact value) transparently fall back to the
+legacy copy+recompile path, which remains fully supported.
+
+The ``validate_overlay`` debug mode cross-checks **every** overlay
+simulation against the legacy path and raises
+:class:`~repro.errors.OverlayValidationError` on disagreement, making
+overlay correctness provable on any workload (the equivalence test suite
+and ``benchmarks/bench_engine_overlay.py`` run exactly this).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro._log import get_logger
+from repro.analysis.mna import CompiledCircuit
+from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
+from repro.circuit.netlist import Circuit
+from repro.errors import OverlayValidationError
+from repro.faults.base import FaultModel
+
+__all__ = ["EngineStats", "WarmStart", "SimulationEngine"]
+
+_LOG = get_logger("analysis.engine")
+
+
+@dataclass
+class EngineStats:
+    """Engine accounting (read by the overlay benchmark and tests).
+
+    Attributes:
+        compilations: compiled overlay bases built by this engine (the
+            nominal circuit counts as one).
+        overlay_simulations: faulty simulations served via stamping.
+        legacy_simulations: faulty simulations served via copy+recompile
+            (non-overlay fault types, plus ``validate_overlay`` replays).
+        nominal_simulations: fault-free simulations served.
+        validations: overlay-vs-legacy cross-checks performed.
+        base_evictions: compiled bases dropped from the LRU.
+        warm_start_hits: simulations that started Newton from a
+            remembered neighbouring solution.
+    """
+
+    compilations: int = 0
+    overlay_simulations: int = 0
+    legacy_simulations: int = 0
+    nominal_simulations: int = 0
+    validations: int = 0
+    base_evictions: int = 0
+    warm_start_hits: int = 0
+
+    def merged(self, other: "EngineStats") -> "EngineStats":
+        """Combine two accounts (e.g. across configurations)."""
+        return EngineStats(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)})
+
+
+class WarmStart:
+    """Mutable warm-start slot shared between the engine and procedures.
+
+    Procedures read :attr:`x` as the Newton starting estimate for their
+    DC operating-point solve and write the converged solution back, so
+    the next simulation in the same slot starts next to the answer.
+    """
+
+    __slots__ = ("x",)
+
+    def __init__(self) -> None:
+        self.x: np.ndarray | None = None
+
+
+class SimulationEngine:
+    """Serves all simulations of one circuit from compiled state.
+
+    Args:
+        circuit: the fault-free circuit (never modified).
+        options: simulator options shared by all runs.
+        validate_overlay: debug mode — replay every overlay simulation on
+            the legacy copy+recompile path and raise
+            :class:`OverlayValidationError` on disagreement.
+        validate_rtol / validate_atol: tolerances of that cross-check.
+            Both paths converge independently to within the Newton
+            tolerances, so the defaults are a few orders looser than
+            ``SimOptions.reltol``.
+        max_bases: bound on cached compiled overlay bases (the nominal
+            base is never evicted).
+        max_warm_states: bound on remembered warm-start slots.
+        warm_start: reuse converged DC solutions as Newton starting
+            estimates across adjacent simulations.  This assumes the
+            circuit has a **unique** DC operating point (true of the
+            paper's macro circuits): on a multi-stable circuit (e.g. a
+            latch) a warm start can select a different basin than the
+            cold start would, making results order-dependent — and for
+            *nominal* simulations ``validate_overlay`` cannot catch it
+            (it only cross-checks faulty ones).  Set False for such
+            circuits; everything still runs compile-once, just from
+            cold Newton starts.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 options: SimOptions = DEFAULT_OPTIONS, *,
+                 validate_overlay: bool = False,
+                 validate_rtol: float = 5e-3,
+                 validate_atol: float = 1e-5,
+                 max_bases: int = 32,
+                 max_warm_states: int = 128,
+                 warm_start: bool = True) -> None:
+        self.circuit = circuit
+        self.options = options
+        self.validate_overlay = validate_overlay
+        self.validate_rtol = validate_rtol
+        self.validate_atol = validate_atol
+        self.max_bases = max(1, max_bases)
+        self.max_warm_states = max(1, max_warm_states)
+        self.warm_start = warm_start
+        self.stats = EngineStats()
+        self._bases: OrderedDict[str, CompiledCircuit] = OrderedDict()
+        self._warm: OrderedDict[tuple, WarmStart] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # compiled-base management
+    # ------------------------------------------------------------------
+    @property
+    def nominal(self) -> CompiledCircuit:
+        """The nominal circuit's compiled form (compiled lazily, once)."""
+        return self._base("nominal", lambda: self.circuit)
+
+    def _base(self, key: str,
+              build: Callable[[], Circuit]) -> CompiledCircuit:
+        compiled = self._bases.get(key)
+        if compiled is not None:
+            self._bases.move_to_end(key)
+            return compiled
+        compiled = CompiledCircuit(build())
+        self.stats.compilations += 1
+        self._bases[key] = compiled
+        while len(self._bases) > self.max_bases:
+            victim = next(k for k in self._bases if k != "nominal")
+            del self._bases[victim]
+            self.stats.base_evictions += 1
+        return compiled
+
+    def warm_slot(self, *key) -> WarmStart:
+        """Warm-start slot for an arbitrary hashable *key* (LRU-bounded).
+
+        With :attr:`warm_start` disabled, a fresh empty (untracked) slot
+        is returned every call, so every solve starts cold.
+        """
+        if not self.warm_start:
+            return WarmStart()
+        slot = self._warm.get(key)
+        if slot is None:
+            slot = WarmStart()
+            self._warm[key] = slot
+        else:
+            self._warm.move_to_end(key)
+            if slot.x is not None:
+                self.stats.warm_start_hits += 1
+        while len(self._warm) > self.max_warm_states:
+            self._warm.popitem(last=False)
+        return slot
+
+    # ------------------------------------------------------------------
+    # simulation entry points
+    # ------------------------------------------------------------------
+    def supports(self, fault: FaultModel, procedure=None) -> bool:
+        """True when (*fault*, *procedure*) can run on the overlay path."""
+        if procedure is not None and not getattr(
+                procedure, "supports_compiled", False):
+            return False
+        return bool(getattr(fault, "supports_overlay", False))
+
+    def simulate_nominal(self, procedure,
+                         params: Mapping[str, float]) -> np.ndarray:
+        """Fault-free raw observation from the compiled nominal base."""
+        self.stats.nominal_simulations += 1
+        return procedure.simulate_compiled(
+            self.nominal, params, self.options,
+            warm=self.warm_slot("nominal", "nominal"))
+
+    def simulate_fault(self, procedure, params: Mapping[str, float],
+                       fault: FaultModel) -> np.ndarray:
+        """Faulty raw observation — overlay path when possible.
+
+        Overlay-capable faults are served as conductance stamps on their
+        compiled base with a per-(base, fault-site) warm start; others
+        fall back to :meth:`simulate_legacy`.
+        """
+        if not self.supports(fault, procedure):
+            return self.simulate_legacy(procedure, params, fault)
+        base = self._base(fault.overlay_base_key,
+                          lambda: fault.overlay_base(self.circuit))
+        stamps = [(s.node_a, s.node_b, s.conductance)
+                  for s in fault.stamp_delta(base)]
+        warm = self.warm_slot(fault.overlay_base_key, fault.fault_id)
+        with base.overlay(stamps):
+            raw = procedure.simulate_compiled(base, params, self.options,
+                                              warm=warm)
+        self.stats.overlay_simulations += 1
+        if self.validate_overlay:
+            self._validate(raw, procedure, params, fault)
+        return raw
+
+    def simulate_legacy(self, procedure, params: Mapping[str, float],
+                        fault: FaultModel) -> np.ndarray:
+        """Copy+recompile reference path (also the non-overlay fallback)."""
+        faulty = fault.apply(self.circuit)
+        self.stats.legacy_simulations += 1
+        return procedure.simulate(faulty, params, self.options)
+
+    # ------------------------------------------------------------------
+    # overlay validation (debug mode)
+    # ------------------------------------------------------------------
+    def _validate(self, overlay_raw: np.ndarray, procedure,
+                  params: Mapping[str, float], fault: FaultModel) -> None:
+        reference = self.simulate_legacy(procedure, params, fault)
+        self.stats.validations += 1
+        if overlay_raw.shape != reference.shape or not np.allclose(
+                overlay_raw, reference,
+                rtol=self.validate_rtol, atol=self.validate_atol):
+            worst = float(np.max(np.abs(
+                np.asarray(overlay_raw, float) -
+                np.asarray(reference, float)))) \
+                if overlay_raw.shape == reference.shape else float("nan")
+            raise OverlayValidationError(
+                f"overlay simulation of {fault.cache_key} diverges from "
+                f"the legacy path (max |delta| = {worst:.3g}, rtol="
+                f"{self.validate_rtol:g}, atol={self.validate_atol:g}, "
+                f"params={dict(params)!r})")
+        _LOG.debug("overlay validated for %s", fault.cache_key)

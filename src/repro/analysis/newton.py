@@ -105,7 +105,8 @@ def robust_solve(
 
     Returns:
         ``(x, total_iterations, strategy)`` where strategy is one of
-        ``"direct"``, ``"damped"``, ``"gmin"``, ``"source"``.
+        ``"direct"``, ``"damped"``, ``"restart"``, ``"gmin"``,
+        ``"source"``, ``"ptran"``.
 
     Raises:
         ConvergenceError: if every homotopy fails.
@@ -129,6 +130,28 @@ def robust_solve(
     if outcome.converged:
         return outcome.x, total, "damped"
 
+    # Cold restart: a warm start inherited from a neighbouring stimulus
+    # or fault overlay can sit in the wrong basin, in which case the flat
+    # start is *better* than x0.  Retrying from zero before the homotopy
+    # ladder guarantees warm-start reuse never degrades robustness below
+    # the cold-start envelope.  The ladder itself still runs warm-first
+    # (the pre-engine behaviour), falling back to a cold ladder pass, so
+    # neither envelope is lost.
+    x0 = np.asarray(x0, dtype=float)
+    warm_started = bool(np.any(x0 != 0.0))
+    if warm_started:
+        cold = np.zeros(compiled.size)
+        outcome = newton_solve(compiled, cold, b_sources, options,
+                               **companion)
+        total += outcome.iterations
+        if outcome.converged:
+            return outcome.x, total, "restart"
+        outcome = newton_solve(compiled, cold, b_sources, damped_options,
+                               **companion)
+        total += outcome.iterations
+        if outcome.converged:
+            return outcome.x, total, "restart"
+
     def attempt(x_start, b, gmin):
         """One rung: plain Newton, then the damped variant."""
         nonlocal total
@@ -143,17 +166,22 @@ def robust_solve(
         return rung
 
     # gmin stepping: start heavily damped toward ground, relax to gmin.
-    x = np.array(x0, dtype=float, copy=True)
+    # Warm-first (the original behaviour), then a cold ladder pass for
+    # warm-started callers whose estimate poisoned the first pass.
     ladder = tuple(options.gmin_steps) + (options.gmin,)
-    ok = True
-    for gmin in ladder:
-        outcome = attempt(x, b_sources, gmin)
-        if not outcome.converged:
-            ok = False
-            break
-        x = outcome.x
-    if ok:
-        return x, total, "gmin"
+    ladder_starts = [x0] + ([np.zeros(compiled.size)] if warm_started
+                            else [])
+    for start in ladder_starts:
+        x = np.array(start, dtype=float, copy=True)
+        ok = True
+        for gmin in ladder:
+            outcome = attempt(x, b_sources, gmin)
+            if not outcome.converged:
+                ok = False
+                break
+            x = outcome.x
+        if ok:
+            return x, total, "gmin"
 
     # Combined source+gmin stepping: ramp the sources from zero while a
     # raised gmin (1 uS) keeps otherwise-floating nodes tame (with all

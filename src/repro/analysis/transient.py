@@ -109,12 +109,15 @@ def transient(
     dt: float,
     t_start: float = 0.0,
     options: SimOptions = DEFAULT_OPTIONS,
-    x0: OperatingPoint | None = None,
+    x0: OperatingPoint | np.ndarray | None = None,
 ) -> TransientResult:
     """Integrate the circuit from *t_start* to *t_stop* with fixed step *dt*.
 
     The initial condition is the DC operating point with every waveform at
-    its DC value (``x0`` may supply a precomputed one).  Waveforms are
+    its DC value.  ``x0`` may supply a precomputed
+    :class:`OperatingPoint`, or a raw solution vector used as a Newton
+    warm start for the internal operating-point solve (the compile-once
+    engine threads neighbouring solutions through here).  Waveforms are
     evaluated on the integration grid; the output contains every node
     voltage and branch current at every grid point.
 
@@ -127,7 +130,10 @@ def transient(
     if dt <= 0.0 or t_stop <= t_start:
         raise ValueError("transient needs dt > 0 and t_stop > t_start")
 
-    op = x0 if x0 is not None else operating_point(compiled, options)
+    if isinstance(x0, OperatingPoint):
+        op = x0
+    else:  # None -> cold start; ndarray -> warm-started DC solve
+        op = operating_point(compiled, options, x0=x0)
     x = np.array(op.x, copy=True)
     state = _ReactiveState(compiled, x)
     method = options.transient_method

@@ -58,6 +58,17 @@ class SingularMatrixError(AnalysisError):
     """
 
 
+class OverlayValidationError(AnalysisError):
+    """Raised by the simulation engine's ``validate_overlay`` debug mode
+    when an overlay-stamped simulation disagrees with the legacy
+    copy+recompile path beyond tolerance.
+
+    This indicates a bug in a fault model's overlay implementation (or an
+    overlay/patch leak on a shared compiled circuit), never a property of
+    the circuit under test.
+    """
+
+
 class FaultModelError(ReproError):
     """Raised for invalid fault definitions or impossible injections."""
 

@@ -12,6 +12,7 @@ drives (weaken / strengthen / critical-impact search).
 
 from repro.faults.base import (
     FaultModel,
+    OverlayStamp,
     IMPACT_RESISTANCE_MAX,
     IMPACT_RESISTANCE_MIN,
 )
@@ -38,6 +39,7 @@ from repro.faults.pinhole import (
 
 __all__ = [
     "FaultModel",
+    "OverlayStamp",
     "BridgingFault",
     "PinholeFault",
     "FaultDictionary",

@@ -15,21 +15,53 @@ The generation algorithm manipulates impact monotonically, so the
 interface normalizes direction: :meth:`FaultModel.weakened` always moves
 the model toward undetectability and :meth:`FaultModel.strengthened`
 toward a hard defect, regardless of how the underlying parameter maps.
+
+Beyond the netlist-level :meth:`FaultModel.apply`, models can opt into the
+**overlay protocol** used by :class:`repro.analysis.engine.SimulationEngine`:
+injection then becomes a set of conductance stamps
+(:class:`OverlayStamp`) on a compiled *overlay base* circuit instead of a
+netlist copy plus a full recompile.  Both paper fault models qualify —
+their impact parameter is exactly one conductance between two existing
+nodes of their base topology — so the per-fault inner loop of a
+generation run performs zero compilations.  Models that cannot express
+themselves this way (e.g. ones that rewire terminals per impact value)
+simply leave :attr:`FaultModel.supports_overlay` False and keep the
+legacy copy+recompile path.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.circuit.netlist import Circuit
 from repro.errors import FaultModelError
 
-__all__ = ["FaultModel", "IMPACT_RESISTANCE_MIN", "IMPACT_RESISTANCE_MAX"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.mna import CompiledCircuit
+
+__all__ = ["FaultModel", "OverlayStamp",
+           "IMPACT_RESISTANCE_MIN", "IMPACT_RESISTANCE_MAX"]
 
 #: Physical plausibility bounds for resistance-type impact parameters.
 IMPACT_RESISTANCE_MIN = 1.0
 IMPACT_RESISTANCE_MAX = 1e9
+
+
+@dataclass(frozen=True)
+class OverlayStamp:
+    """One conductance stamped between two nodes of an overlay base.
+
+    Attributes:
+        node_a / node_b: node names in the overlay base circuit (either
+            may be ground).
+        conductance: stamp value [S].
+    """
+
+    node_a: str
+    node_b: str
+    conductance: float
 
 
 @dataclass(frozen=True)
@@ -85,6 +117,54 @@ class FaultModel(ABC):
         :class:`FaultModelError` when the fault references nodes or
         devices absent from *circuit*.
         """
+
+    # ------------------------------------------------------------------
+    # overlay protocol (compile-once fault stamping; see module doc)
+    # ------------------------------------------------------------------
+    @property
+    def supports_overlay(self) -> bool:
+        """True when this fault can be injected as conductance stamps on
+        a compiled overlay base (no netlist copy, no recompile)."""
+        return False
+
+    @property
+    def overlay_base_key(self) -> str:
+        """Identity of the overlay base circuit this fault stamps onto.
+
+        Faults sharing a key share one compiled base: every bridging
+        fault overlays the plain nominal circuit (key ``"nominal"``),
+        while each pinhole site compiles its split-channel skeleton once
+        and reuses it for every impact value.  The key must **not**
+        depend on :attr:`impact` — impact lives entirely in the stamps.
+        """
+        raise FaultModelError(
+            f"{self.fault_id}: fault type {self.fault_type!r} does not "
+            "support overlay stamping")
+
+    def overlay_base(self, circuit: Circuit) -> Circuit:
+        """Derive the overlay base netlist from the nominal *circuit*.
+
+        The base carries the fault's impact-independent topology changes
+        (possibly none) but **not** the impact conductance itself; it is
+        compiled once per :attr:`overlay_base_key` and served to
+        :meth:`stamp_delta`.
+        """
+        raise FaultModelError(
+            f"{self.fault_id}: fault type {self.fault_type!r} does not "
+            "support overlay stamping")
+
+    def stamp_delta(self, compiled: "CompiledCircuit") -> tuple[
+            OverlayStamp, ...]:
+        """Conductance stamps realizing this fault on *compiled*.
+
+        *compiled* must be a compilation of :meth:`overlay_base`'s
+        output (for base key ``"nominal"``, of the nominal circuit).
+        Raises :class:`FaultModelError` when the required nodes are
+        absent — the same contract as :meth:`apply`.
+        """
+        raise FaultModelError(
+            f"{self.fault_id}: fault type {self.fault_type!r} does not "
+            "support overlay stamping")
 
     # ------------------------------------------------------------------
     # impact manipulation (used by the generation algorithm, Fig. 6)

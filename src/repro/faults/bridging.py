@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.circuit.elements import Resistor, is_ground
 from repro.circuit.netlist import Circuit
 from repro.errors import FaultModelError
-from repro.faults.base import FaultModel
+from repro.faults.base import FaultModel, OverlayStamp
 
 __all__ = ["BridgingFault", "DEFAULT_BRIDGE_RESISTANCE"]
 
@@ -75,3 +75,28 @@ class BridgingFault(FaultModel):
                           self.impact)
         return circuit.with_element(
             bridge, name=f"{circuit.name}+{self.fault_id}")
+
+    # ------------------------------------------------------------------
+    # overlay protocol: a bridge is one conductance between two existing
+    # nodes of the *unmodified* circuit, so every bridging fault shares
+    # the nominal compiled base.
+    # ------------------------------------------------------------------
+    @property
+    def supports_overlay(self) -> bool:
+        return True
+
+    @property
+    def overlay_base_key(self) -> str:
+        return "nominal"
+
+    def overlay_base(self, circuit: Circuit) -> Circuit:
+        return circuit
+
+    def stamp_delta(self, compiled) -> tuple[OverlayStamp, ...]:
+        """Single conductance ``1/impact`` between the bridged nodes."""
+        for node in (self.node_a, self.node_b):
+            if not is_ground(node) and node not in compiled.node_index:
+                raise FaultModelError(
+                    f"{self.fault_id}: node {node!r} not present in "
+                    f"circuit {compiled.circuit.name!r}")
+        return (OverlayStamp(self.node_a, self.node_b, 1.0 / self.impact),)

@@ -25,7 +25,7 @@ from repro.circuit.elements import Resistor
 from repro.circuit.mosfet import Mosfet
 from repro.circuit.netlist import Circuit
 from repro.errors import FaultModelError
-from repro.faults.base import FaultModel
+from repro.faults.base import FaultModel, OverlayStamp
 
 __all__ = ["PinholeFault", "DEFAULT_PINHOLE_RESISTANCE",
            "DEFAULT_PINHOLE_POSITION"]
@@ -88,8 +88,8 @@ class PinholeFault(FaultModel):
         """Name of the injected shunt resistor."""
         return f"RPINHOLE_{self.device}"
 
-    def apply(self, circuit: Circuit) -> Circuit:
-        """Split the device channel and attach the gate shunt."""
+    def _split_segments(self, circuit: Circuit) -> tuple[Mosfet, Mosfet]:
+        """Validate the target device and build the two channel segments."""
         if self.device not in circuit:
             raise FaultModelError(
                 f"{self.fault_id}: device {self.device!r} not present in "
@@ -122,10 +122,47 @@ class PinholeFault(FaultModel):
             f"{original.name}_PHS", d=mid, g=original.g, s=original.s,
             b=original.b, params=original.params, w=original.w,
             l=original.l * (1.0 - self.position), m=original.m)
-        shunt = Resistor(self.element_name, original.g, mid, self.impact)
+        return drain_side, source_side
 
-        faulty = circuit.without_element(original.name)
+    def apply(self, circuit: Circuit) -> Circuit:
+        """Split the device channel and attach the gate shunt."""
+        drain_side, source_side = self._split_segments(circuit)
+        shunt = Resistor(self.element_name, drain_side.g, self.split_node,
+                         self.impact)
+        faulty = circuit.without_element(self.device)
         faulty = faulty.with_elements(
             [drain_side, source_side, shunt],
             name=f"{circuit.name}+{self.fault_id}")
         return faulty
+
+    # ------------------------------------------------------------------
+    # overlay protocol: the split topology depends only on the defect
+    # *site* (device + position), never on the impact — so it compiles
+    # once and every impact value becomes a gate-to-split-node
+    # conductance stamp on that shared base.
+    # ------------------------------------------------------------------
+    @property
+    def supports_overlay(self) -> bool:
+        return True
+
+    @property
+    def overlay_base_key(self) -> str:
+        return f"pinhole:{self.device}@pos{self.position:.4f}"
+
+    def overlay_base(self, circuit: Circuit) -> Circuit:
+        """The split-channel skeleton *without* the shunt resistor."""
+        drain_side, source_side = self._split_segments(circuit)
+        base = circuit.without_element(self.device)
+        return base.with_elements(
+            [drain_side, source_side],
+            name=f"{circuit.name}+{self.overlay_base_key}")
+
+    def stamp_delta(self, compiled) -> tuple[OverlayStamp, ...]:
+        """Shunt conductance ``1/impact`` from the gate to the split node."""
+        if self.split_node not in compiled.node_index:
+            raise FaultModelError(
+                f"{self.fault_id}: compiled circuit "
+                f"{compiled.circuit.name!r} is not this fault's overlay "
+                f"base (split node {self.split_node!r} missing)")
+        gate = compiled.circuit.element(f"{self.device}_PHD").g
+        return (OverlayStamp(gate, self.split_node, 1.0 / self.impact),)

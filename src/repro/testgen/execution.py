@@ -2,10 +2,17 @@
 
 :class:`TestExecutor` runs one configuration against nominal and faulty
 circuits.  The central economy: *nominal* raw observations are cached per
-quantized parameter point, so a cost-function evaluation inside the
-optimizer costs exactly one **faulty** simulation once the nominal at that
-point is known — crucial when 55 faults x 5 configurations x dozens of
-optimizer steps hit the simulator.
+quantized parameter point (bounded LRU), so a cost-function evaluation
+inside the optimizer costs exactly one **faulty** simulation once the
+nominal at that point is known — crucial when 55 faults x 5
+configurations x dozens of optimizer steps hit the simulator.
+
+Each executor owns one :class:`~repro.analysis.engine.SimulationEngine`
+(one per configuration, so warm-start state tracks that configuration's
+stimulus trajectory): faulty simulations of overlay-capable fault models
+are served as conductance stamps on a compiled base instead of a netlist
+copy plus recompile, and only fault types outside the overlay protocol
+fall back to the legacy cached-faulty-circuit path.
 
 :class:`MacroTestbench` bundles the executors of all configurations of a
 macro and is the object the generation algorithm drives.
@@ -23,15 +30,21 @@ each carrying instrument error.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro._log import get_logger
 from repro.analysis import DEFAULT_OPTIONS, SimOptions
+from repro.analysis.engine import EngineStats, SimulationEngine
 from repro.circuit.netlist import Circuit
-from repro.errors import AnalysisError, TestGenerationError
+from repro.errors import (
+    AnalysisError,
+    OverlayValidationError,
+    TestGenerationError,
+)
 from repro.faults.base import FaultModel
 from repro.testgen.configuration import Test, TestConfiguration
 from repro.testgen.sensitivity import (
@@ -49,11 +62,23 @@ _FAILED_SIMULATION_DEVIATION = 1e9
 
 @dataclass
 class ExecutorStats:
-    """Simulation accounting (used by the efficiency ablation bench)."""
+    """Simulation accounting (used by the efficiency ablation bench).
+
+    Attributes:
+        nominal_simulations / faulty_simulations: simulator invocations.
+        nominal_cache_hits: nominal observations served from the LRU.
+        nominal_cache_evictions: nominal LRU entries dropped at capacity.
+        faulty_cache_evictions: legacy faulty-circuit LRU entries dropped.
+        overlay_simulations: faulty simulations served by the engine's
+            overlay path (no netlist copy, no recompile).
+    """
 
     nominal_simulations: int = 0
     faulty_simulations: int = 0
     nominal_cache_hits: int = 0
+    nominal_cache_evictions: int = 0
+    faulty_cache_evictions: int = 0
+    overlay_simulations: int = 0
 
     @property
     def total_simulations(self) -> int:
@@ -62,10 +87,9 @@ class ExecutorStats:
 
     def merged(self, other: "ExecutorStats") -> "ExecutorStats":
         """Combine two accounts (e.g. across configurations)."""
-        return ExecutorStats(
-            self.nominal_simulations + other.nominal_simulations,
-            self.faulty_simulations + other.faulty_simulations,
-            self.nominal_cache_hits + other.nominal_cache_hits)
+        return ExecutorStats(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)})
 
 
 class TestExecutor:
@@ -75,33 +99,74 @@ class TestExecutor:
         nominal_circuit: the fault-free macro circuit.
         configuration: the configuration implementation to execute.
         options: simulator options shared by all runs.
+        engine: optional pre-built simulation engine (one is created
+            otherwise; executors deliberately do **not** share engines so
+            warm-start state follows one configuration's stimulus).  It
+            must serve this executor's *nominal_circuit* and *options*.
+        validate_overlay: forwarded to the engine — cross-check every
+            overlay simulation against the legacy path (debug mode).
+            ``True`` also switches a pre-built *engine* into validation.
+        nominal_cache_size: bound on the nominal raw-observation LRU.
+        faulty_cache_size: bound on the legacy faulty-circuit LRU.
     """
 
     def __init__(self, nominal_circuit: Circuit,
                  configuration: TestConfiguration,
-                 options: SimOptions = DEFAULT_OPTIONS) -> None:
+                 options: SimOptions = DEFAULT_OPTIONS, *,
+                 engine: SimulationEngine | None = None,
+                 validate_overlay: bool = False,
+                 nominal_cache_size: int = 256,
+                 faulty_cache_size: int = 64) -> None:
         self.nominal_circuit = nominal_circuit
         self.configuration = configuration
         self.options = options
+        if engine is not None:
+            if nominal_circuit is not engine.circuit:
+                raise TestGenerationError(
+                    "executor engine was built for circuit "
+                    f"{engine.circuit.name!r}, not {nominal_circuit.name!r}")
+            if engine.options != options:
+                raise TestGenerationError(
+                    "executor engine was built with different SimOptions; "
+                    "overlay and legacy-fallback simulations would solve "
+                    "to different tolerances")
+            if validate_overlay:
+                engine.validate_overlay = True
+            self.engine = engine
+        else:
+            self.engine = SimulationEngine(
+                nominal_circuit, options, validate_overlay=validate_overlay)
         self.stats = ExecutorStats()
-        self._nominal_cache: dict[tuple[int, ...], np.ndarray] = {}
-        self._faulty_cache: dict[str, Circuit] = {}
+        self.nominal_cache_size = max(1, nominal_cache_size)
+        self.faulty_cache_size = max(1, faulty_cache_size)
+        self._nominal_cache: OrderedDict[tuple[int, ...], np.ndarray] = \
+            OrderedDict()
+        self._faulty_cache: OrderedDict[str, Circuit] = OrderedDict()
 
     # ------------------------------------------------------------------
     # raw simulation layer
     # ------------------------------------------------------------------
     def nominal_raw(self, vector: Sequence[float]) -> np.ndarray:
-        """Nominal raw observation at *vector* (cached)."""
+        """Nominal raw observation at *vector* (LRU-cached)."""
         params = self.configuration.parameters
         key = params.quantized_key(vector)
         cached = self._nominal_cache.get(key)
         if cached is not None:
+            self._nominal_cache.move_to_end(key)
             self.stats.nominal_cache_hits += 1
             return cached
-        raw = self.configuration.procedure.simulate(
-            self.nominal_circuit, params.to_dict(vector), self.options)
+        procedure = self.configuration.procedure
+        if procedure.supports_compiled:
+            raw = self.engine.simulate_nominal(procedure,
+                                               params.to_dict(vector))
+        else:
+            raw = procedure.simulate(self.nominal_circuit,
+                                     params.to_dict(vector), self.options)
         self.stats.nominal_simulations += 1
         self._nominal_cache[key] = raw
+        while len(self._nominal_cache) > self.nominal_cache_size:
+            self._nominal_cache.popitem(last=False)
+            self.stats.nominal_cache_evictions += 1
         return raw
 
     def observed_raw(self, circuit: Circuit,
@@ -113,15 +178,35 @@ class TestExecutor:
         self.stats.faulty_simulations += 1
         return raw
 
+    def faulty_raw(self, fault: FaultModel,
+                   vector: Sequence[float]) -> np.ndarray:
+        """Raw observation with *fault* injected (overlay fast path).
+
+        Overlay-capable faults are stamped onto the engine's compiled
+        base; others go through the legacy cached netlist copy.
+        """
+        procedure = self.configuration.procedure
+        if self.engine.supports(fault, procedure):
+            params = self.configuration.parameters.to_dict(vector)
+            raw = self.engine.simulate_fault(procedure, params, fault)
+            self.stats.faulty_simulations += 1
+            self.stats.overlay_simulations += 1
+            return raw
+        return self.observed_raw(self._faulty_circuit(fault), vector)
+
     def _faulty_circuit(self, fault: FaultModel) -> Circuit:
+        """Legacy-path faulty netlist, LRU-cached by exact cache key."""
         key = fault.cache_key
         circuit = self._faulty_cache.get(key)
-        if circuit is None:
-            circuit = fault.apply(self.nominal_circuit)
-            # Keep the cache bounded: adaptation explores many impacts.
-            if len(self._faulty_cache) > 64:
-                self._faulty_cache.clear()
-            self._faulty_cache[key] = circuit
+        if circuit is not None:
+            self._faulty_cache.move_to_end(key)
+            return circuit
+        circuit = fault.apply(self.nominal_circuit)
+        self._faulty_cache[key] = circuit
+        # Keep the cache bounded: adaptation explores many impacts.
+        while len(self._faulty_cache) > self.faulty_cache_size:
+            self._faulty_cache.popitem(last=False)
+            self.stats.faulty_cache_evictions += 1
         return circuit
 
     # ------------------------------------------------------------------
@@ -157,14 +242,17 @@ class TestExecutor:
         the solver cannot even balance (latch-up, rail collapse) is
         certainly outside every tolerance box.  Nominal-circuit failures
         still propagate — those mean the testbench itself is broken.
+        :class:`OverlayValidationError` also propagates: it reports a bug
+        in the overlay machinery, never a property of the circuit.
         """
         vector = self.configuration.parameters.clip(vector)
-        faulty = self._faulty_circuit(fault)
         nominal = self.nominal_raw(vector)  # failures here propagate
         try:
-            observed = self.observed_raw(faulty, vector)
+            observed = self.faulty_raw(fault, vector)
             deviations = self.configuration.procedure.deviations(
                 nominal, observed)
+        except OverlayValidationError:
+            raise
         except AnalysisError as exc:
             _LOG.warning("faulty simulation failed (%s at %s): %s -> "
                          "treating as maximal deviation",
@@ -179,9 +267,17 @@ class TestExecutor:
             params=np.asarray(vector, float))
 
     def evaluate_test(self, fault: FaultModel, test: Test) -> SensitivityReport:
-        """Evaluate ``S_f`` for *fault* at a concrete :class:`Test`."""
-        if test.configuration is not self.configuration and \
-                test.config_name != self.configuration.name:
+        """Evaluate ``S_f`` for *fault* at a concrete :class:`Test`.
+
+        Configuration identity is compared **by name only**: configuration
+        names are unique within a testbench, and equivalent configuration
+        objects are legitimately rebuilt (multiprocessing workers unpickle
+        them, results are rehydrated from JSON).  Comparing by object
+        identity alongside the name would let a *stale* object with a
+        matching name slip through the identity arm anyway — the name is
+        the contract, so it is the whole check.
+        """
+        if test.config_name != self.configuration.name:
             raise TestGenerationError(
                 f"test belongs to {test.config_name!r}, executor runs "
                 f"{self.configuration.name!r}")
@@ -198,7 +294,8 @@ class MacroTestbench:
 
     def __init__(self, circuit: Circuit,
                  configurations: Sequence[TestConfiguration],
-                 options: SimOptions = DEFAULT_OPTIONS) -> None:
+                 options: SimOptions = DEFAULT_OPTIONS, *,
+                 validate_overlay: bool = False) -> None:
         if not configurations:
             raise TestGenerationError("testbench needs >= 1 configuration")
         names = [c.name for c in configurations]
@@ -207,7 +304,8 @@ class MacroTestbench:
                 f"duplicate configuration names: {names}")
         self.circuit = circuit
         self.executors: dict[str, TestExecutor] = {
-            config.name: TestExecutor(circuit, config, options)
+            config.name: TestExecutor(circuit, config, options,
+                                      validate_overlay=validate_overlay)
             for config in configurations}
 
     @property
@@ -244,4 +342,12 @@ class MacroTestbench:
         total = ExecutorStats()
         for executor in self.executors.values():
             total = total.merged(executor.stats)
+        return total
+
+    @property
+    def engine_stats(self) -> EngineStats:
+        """Combined engine accounting (compiles, overlays, warm starts)."""
+        total = EngineStats()
+        for executor in self.executors.values():
+            total = total.merged(executor.engine.stats)
         return total

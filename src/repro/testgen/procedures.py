@@ -15,6 +15,19 @@ is centred on zero.  The split into simulate/post-process lets the
 execution engine cache nominal simulations across the thousands of
 fault-simulation calls behind a generation run.
 
+Each procedure offers two simulation paths:
+
+* :meth:`MeasurementProcedure.simulate` — the legacy path: derive a
+  stimulated netlist copy and compile it.  Kept as the reference for the
+  engine's ``validate_overlay`` cross-check and as the fallback for
+  fault types outside the overlay protocol.
+* :meth:`MeasurementProcedure.simulate_compiled` — the compile-once path
+  driven by :class:`repro.analysis.engine.SimulationEngine`: the stimulus
+  parameters are *patched* into an already-compiled circuit
+  (:meth:`CompiledCircuit.patched_source`) and the DC solve warm-starts
+  from the engine-provided :class:`~repro.analysis.engine.WarmStart`
+  slot.  No netlist copy, no compilation.
+
 Procedures are macro-agnostic: node and source names are constructor
 arguments, so the same classes serve any macro type.
 """
@@ -28,6 +41,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis import SimOptions, DEFAULT_OPTIONS, operating_point, transient
+from repro.analysis.mna import CompiledCircuit
 from repro.circuit.elements import CurrentSource, VoltageSource
 from repro.circuit.netlist import Circuit
 from repro.errors import TestGenerationError
@@ -80,10 +94,42 @@ class MeasurementProcedure(ABC):
     #: Number of scalar return values produced by :meth:`deviations`.
     n_return_values: int = 1
 
+    #: True when :meth:`simulate_compiled` is implemented.  The engine
+    #: checks this before routing a simulation to the overlay path, so a
+    #: procedure without it safely falls back to copy+recompile instead
+    #: of silently dropping the fault overlay.
+    supports_compiled: bool = False
+
     @abstractmethod
     def simulate(self, circuit: Circuit, params: Mapping[str, float],
                  options: SimOptions = DEFAULT_OPTIONS) -> np.ndarray:
         """Apply the stimulus for *params* and return the raw observation."""
+
+    def simulate_compiled(self, compiled: CompiledCircuit,
+                          params: Mapping[str, float],
+                          options: SimOptions = DEFAULT_OPTIONS,
+                          warm=None) -> np.ndarray:
+        """Compile-once variant of :meth:`simulate`.
+
+        Patches the stimulus into *compiled* (which may carry a fault
+        overlay) instead of deriving a netlist copy, warm-starting the
+        DC solve from *warm* (a :class:`repro.analysis.engine.WarmStart`)
+        when provided.  Must leave *compiled* unmodified on exit.
+        """
+        raise TestGenerationError(
+            f"{type(self).__name__} does not implement the compile-once "
+            "simulation path (supports_compiled is False)")
+
+    @staticmethod
+    def _warm_x(warm) -> np.ndarray | None:
+        """Starting estimate held by a warm slot (None when cold)."""
+        return warm.x if warm is not None else None
+
+    @staticmethod
+    def _store_warm(warm, op) -> None:
+        """Write a converged operating point back into a warm slot."""
+        if warm is not None:
+            warm.x = op.x
 
     @abstractmethod
     def deviations(self, raw_nominal: np.ndarray,
@@ -108,6 +154,14 @@ class MeasurementProcedure(ABC):
         return circuit.replace_element(
             type(element)(element.name, element.n1, element.n2, waveform))
 
+    def _patch_stimulus(self, compiled: CompiledCircuit, source_name: str,
+                        waveform: Waveform):
+        """Scoped in-place stimulus patch on a compiled circuit."""
+        if not compiled.has_source(source_name):
+            raise TestGenerationError(
+                f"stimulus element {source_name!r} is not a source")
+        return compiled.patched_source(source_name, waveform)
+
     @staticmethod
     def _cap(values: np.ndarray) -> np.ndarray:
         """Clamp deviations into finite range (dead-output THD -> cap)."""
@@ -131,6 +185,8 @@ class DCProcedure(MeasurementProcedure):
         probes: observed quantities (one return value each).
     """
 
+    supports_compiled = True
+
     def __init__(self, source: str, level_param: str,
                  probes: tuple[Probe, ...]) -> None:
         if not probes:
@@ -146,6 +202,16 @@ class DCProcedure(MeasurementProcedure):
         stimulated = self._swap_stimulus(circuit, self.source, DCWave(level))
         op = operating_point(stimulated, options)
         return np.array([probe.read(op) for probe in self.probes])
+
+    def simulate_compiled(self, compiled: CompiledCircuit,
+                          params: Mapping[str, float],
+                          options: SimOptions = DEFAULT_OPTIONS,
+                          warm=None) -> np.ndarray:
+        level = params[self.level_param]
+        with self._patch_stimulus(compiled, self.source, DCWave(level)):
+            op = operating_point(compiled, options, x0=self._warm_x(warm))
+            self._store_warm(warm, op)
+            return np.array([probe.read(op) for probe in self.probes])
 
     def deviations(self, raw_nominal: np.ndarray,
                    raw_observed: np.ndarray) -> np.ndarray:
@@ -191,22 +257,44 @@ class SineTHDProcedure(MeasurementProcedure):
         self.n_harmonics = n_harmonics
         self.n_return_values = 1
 
-    def simulate(self, circuit: Circuit, params: Mapping[str, float],
-                 options: SimOptions = DEFAULT_OPTIONS) -> np.ndarray:
+    supports_compiled = True
+
+    def _stimulus(self, params: Mapping[str, float]) -> SineWave:
         dc = params[self.dc_param]
         freq = params[self.freq_param]
         if freq <= 0.0:
             raise TestGenerationError(f"sine frequency must be > 0: {freq}")
-        wave = SineWave(offset=dc, amplitude=self.amplitude_ratio * dc,
+        return SineWave(offset=dc, amplitude=self.amplitude_ratio * dc,
                         freq=freq)
-        stimulated = self._swap_stimulus(circuit, self.source, wave)
-        total_periods = self.settle_periods + self.analysis_periods
-        dt = 1.0 / (self.samples_per_period * freq)
-        result = transient(stimulated, t_stop=total_periods / freq, dt=dt,
-                           options=options)
+
+    def _thd_of(self, result) -> np.ndarray:
         thd = thd_percent(result.v(self.observe), self.samples_per_period,
                           self.analysis_periods, self.n_harmonics)
         return np.array([thd])
+
+    def simulate(self, circuit: Circuit, params: Mapping[str, float],
+                 options: SimOptions = DEFAULT_OPTIONS) -> np.ndarray:
+        wave = self._stimulus(params)
+        stimulated = self._swap_stimulus(circuit, self.source, wave)
+        total_periods = self.settle_periods + self.analysis_periods
+        dt = 1.0 / (self.samples_per_period * wave.freq)
+        result = transient(stimulated, t_stop=total_periods / wave.freq,
+                           dt=dt, options=options)
+        return self._thd_of(result)
+
+    def simulate_compiled(self, compiled: CompiledCircuit,
+                          params: Mapping[str, float],
+                          options: SimOptions = DEFAULT_OPTIONS,
+                          warm=None) -> np.ndarray:
+        wave = self._stimulus(params)
+        total_periods = self.settle_periods + self.analysis_periods
+        dt = 1.0 / (self.samples_per_period * wave.freq)
+        with self._patch_stimulus(compiled, self.source, wave):
+            op = operating_point(compiled, options, x0=self._warm_x(warm))
+            self._store_warm(warm, op)
+            result = transient(compiled, t_stop=total_periods / wave.freq,
+                               dt=dt, options=options, x0=op)
+        return self._thd_of(result)
 
     def deviations(self, raw_nominal: np.ndarray,
                    raw_observed: np.ndarray) -> np.ndarray:
@@ -255,6 +343,8 @@ class StepProcedure(MeasurementProcedure):
         self.slew_rate = slew_rate
         self.n_return_values = 1
 
+    supports_compiled = True
+
     def simulate(self, circuit: Circuit, params: Mapping[str, float],
                  options: SimOptions = DEFAULT_OPTIONS) -> np.ndarray:
         wave = StepWave(base=params[self.base_param],
@@ -263,6 +353,21 @@ class StepProcedure(MeasurementProcedure):
         stimulated = self._swap_stimulus(circuit, self.source, wave)
         result = transient(stimulated, t_stop=self.test_time,
                            dt=1.0 / self.sample_rate, options=options)
+        return result.v(self.observe)
+
+    def simulate_compiled(self, compiled: CompiledCircuit,
+                          params: Mapping[str, float],
+                          options: SimOptions = DEFAULT_OPTIONS,
+                          warm=None) -> np.ndarray:
+        wave = StepWave(base=params[self.base_param],
+                        elev=params[self.elev_param],
+                        t_step=self.t_step, slew_rate=self.slew_rate)
+        with self._patch_stimulus(compiled, self.source, wave):
+            op = operating_point(compiled, options, x0=self._warm_x(warm))
+            self._store_warm(warm, op)
+            result = transient(compiled, t_stop=self.test_time,
+                               dt=1.0 / self.sample_rate, options=options,
+                               x0=op)
         return result.v(self.observe)
 
     def deviations(self, raw_nominal: np.ndarray,
@@ -317,6 +422,13 @@ class ACGainProcedure(MeasurementProcedure):
         self.floor_db = floor_db
         self.n_return_values = 1
 
+    supports_compiled = True
+
+    def _gain_db(self, result) -> np.ndarray:
+        magnitude = float(np.abs(result.v(self.observe)[0]))
+        gain_db = 20.0 * np.log10(max(magnitude, 10.0**(self.floor_db / 20)))
+        return np.array([gain_db])
+
     def simulate(self, circuit: Circuit, params: Mapping[str, float],
                  options: SimOptions = DEFAULT_OPTIONS) -> np.ndarray:
         from repro.analysis import ac_analysis  # local: avoids wide import
@@ -329,9 +441,28 @@ class ACGainProcedure(MeasurementProcedure):
                 circuit, self.source, DCWave(params[self.bias_param]))
         result = ac_analysis(circuit, self.source, np.array([freq]),
                              options)
-        magnitude = float(np.abs(result.v(self.observe)[0]))
-        gain_db = 20.0 * np.log10(max(magnitude, 10.0**(self.floor_db / 20)))
-        return np.array([gain_db])
+        return self._gain_db(result)
+
+    def simulate_compiled(self, compiled: CompiledCircuit,
+                          params: Mapping[str, float],
+                          options: SimOptions = DEFAULT_OPTIONS,
+                          warm=None) -> np.ndarray:
+        from contextlib import nullcontext
+
+        from repro.analysis import ac_analysis  # local: avoids wide import
+
+        freq = params[self.freq_param]
+        if freq <= 0.0:
+            raise TestGenerationError(f"AC frequency must be > 0: {freq}")
+        patch = (self._patch_stimulus(compiled, self.source,
+                                      DCWave(params[self.bias_param]))
+                 if self.bias_param is not None else nullcontext())
+        with patch:
+            op = operating_point(compiled, options, x0=self._warm_x(warm))
+            self._store_warm(warm, op)
+            result = ac_analysis(compiled, self.source, np.array([freq]),
+                                 options, op=op)
+        return self._gain_db(result)
 
     def deviations(self, raw_nominal: np.ndarray,
                    raw_observed: np.ndarray) -> np.ndarray:
