@@ -8,12 +8,21 @@ Public entry points:
 * :func:`ac_analysis` — small-signal frequency response.
 * :class:`SimulationEngine` — compile-once serving layer with fault
   overlays and warm-started Newton (see :mod:`repro.analysis.engine`).
+* :class:`BatchedOverlaySolver` — batched Sherman-Morrison-Woodbury
+  fault screening on one LU factorization per (base, stimulus) pair
+  (see :mod:`repro.analysis.batched`).
 """
 
 from repro.analysis.ac import ac_analysis
+from repro.analysis.batched import BatchedOverlaySolver, ScreenedSolution
 from repro.analysis.dc import dc_sweep, operating_point
-from repro.analysis.engine import EngineStats, SimulationEngine, WarmStart
-from repro.analysis.mna import CompiledCircuit
+from repro.analysis.engine import (
+    EngineStats,
+    ScreenedObservation,
+    SimulationEngine,
+    WarmStart,
+)
+from repro.analysis.mna import CompiledCircuit, Factorization
 from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
 from repro.analysis.results import (
     ACResult,
@@ -25,9 +34,13 @@ from repro.analysis.transient import transient
 
 __all__ = [
     "CompiledCircuit",
+    "Factorization",
     "SimulationEngine",
     "EngineStats",
     "WarmStart",
+    "BatchedOverlaySolver",
+    "ScreenedSolution",
+    "ScreenedObservation",
     "SimOptions",
     "DEFAULT_OPTIONS",
     "operating_point",

@@ -1,0 +1,599 @@
+"""Batched overlay-fault solves via Sherman-Morrison-Woodbury updates.
+
+Candidate-fault screening evaluates one fault *family* — e.g. all 45
+bridging faults of the IV-converter, which share one compiled base — at a
+fixed operating point.  The PR 2 overlay path charges every fault a full
+warm-started Newton solve; this module charges the whole family **one**
+LU factorization of the nominal Jacobian (:meth:`CompiledCircuit.factorize`)
+and serves each fault as a rank-k update of it:
+
+1. **SMW screen** — every fault is a set of conductance stamps
+   ``Delta_f = U_f C_f U_f^T`` on the factorized system ``G0 x = b0``, so
+   its linearized solution comes from the Woodbury identity
+
+       (G0 + U C U^T)^-1 = G0^-1 - G0^-1 U (C^-1 + U^T G0^-1 U)^-1 U^T G0^-1
+
+   at the cost of k extra triangular solves — *no* per-fault dense solve,
+   and all families' ``U`` columns go through one stacked solve.
+
+2. **Chord certification** — the linear solution is only trustworthy
+   where the circuit behaves linearly.  A few frozen-Jacobian (chord)
+   iterations, applied through the same SMW identity and vectorized
+   across the whole family (device models evaluate on ``(devices,
+   faults)`` arrays), drive the *true nonlinear* residual down; a fault
+   whose step passes the exact Newton convergence test of
+   :func:`repro.analysis.newton.step_converged` is certified — its
+   verdict provably matches what a full Newton solve would return.
+
+3. **Batched Newton confirm** — overlays too nonlinear for the frozen
+   Jacobian (a bridge that flips a MOSFET's operating region) fall
+   through to true per-fault Newton, still batched: stacked Jacobians,
+   one LAPACK call per iteration for the whole remaining set.
+
+Faults that even batched Newton cannot converge are reported as
+``"failed"`` and the caller (:meth:`SimulationEngine.screen_faults`)
+falls back to the full per-fault robust-Newton overlay path, so the
+screen can only ever *accelerate* — never change — a detection verdict.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.mna import CompiledCircuit, Factorization
+from repro.analysis.newton import absolute_tolerances, step_converged
+from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
+from repro.circuit.diode import diode_eval
+from repro.circuit.mosfet import mos_level1
+from repro.errors import AnalysisError
+
+__all__ = ["ScreenedSolution", "BatchedOverlaySolver"]
+
+#: Screening statuses, in escalation order.
+STATUS_SCREENED = "screened"    # certified by SMW + chord iterations
+STATUS_CONFIRMED = "confirmed"  # needed the batched Newton confirm
+STATUS_FAILED = "failed"        # caller must run the robust per-fault path
+
+
+@dataclass(frozen=True)
+class ScreenedSolution:
+    """Outcome of screening one overlay fault.
+
+    Attributes:
+        x: solution vector — converged to Newton tolerance for
+            ``"screened"``/``"confirmed"``, the best available iterate
+            (a warm start for the fallback solve) for ``"failed"``.
+        status: ``"screened"``, ``"confirmed"`` or ``"failed"``.
+        iterations: chord + Newton iterations spent on this fault.
+        linear_step: infinity-norm of the SMW linear correction at the
+            fault's nonlinear nodes — the nonlinearity gauge (small
+            values mean the linear screen alone was nearly exact).
+    """
+
+    x: np.ndarray
+    status: str
+    iterations: int
+    linear_step: float
+
+    @property
+    def converged(self) -> bool:
+        """True when *x* satisfies the Newton convergence contract."""
+        return self.status != STATUS_FAILED
+
+
+class _StampStack:
+    """Flattened per-fault conductance stamps, ready for vector math.
+
+    Every stamp of every fault becomes one entry of four parallel arrays
+    (augmented node indices ``p``/``n``, conductance ``g`` and the fault
+    column it belongs to), so residual and Jacobian assembly vectorize
+    over arbitrary per-fault ranks.
+
+    ``woodbury=False`` skips the SMW apparatus (the stacked ``Z``
+    columns and capacitance inverses) for stacks that only assemble
+    residuals/Jacobians, e.g. the batched Newton confirm stage.
+    """
+
+    def __init__(self, compiled: CompiledCircuit,
+                 stamp_sets: Sequence[Sequence[tuple[str, str, float]]],
+                 factorization: Factorization, *,
+                 woodbury: bool = True) -> None:
+        size = compiled.size
+        self.n_faults = len(stamp_sets)
+        sp: list[int] = []
+        sn: list[int] = []
+        sg: list[float] = []
+        scol: list[int] = []
+        offsets = [0]
+        for col, stamps in enumerate(stamp_sets):
+            if not stamps:
+                raise AnalysisError(
+                    f"fault column {col} carries no overlay stamps")
+            for node_a, node_b, g in stamps:
+                p = compiled.resolve_node(node_a)
+                n = compiled.resolve_node(node_b)
+                if p == n:
+                    raise AnalysisError(
+                        f"overlay stamp between {node_a!r} and {node_b!r} "
+                        "collapses to one node")
+                sp.append(p)
+                sn.append(n)
+                sg.append(float(g))
+                scol.append(col)
+            offsets.append(len(sp))
+        self.sp = np.array(sp, dtype=np.intp)
+        self.sn = np.array(sn, dtype=np.intp)
+        self.sg = np.array(sg, dtype=float)
+        self.scol = np.array(scol, dtype=np.intp)
+        self.offsets = np.array(offsets, dtype=np.intp)
+        self.woodbury = woodbury
+        if not woodbury:
+            self.singular = np.zeros(self.n_faults, dtype=bool)
+            return
+
+        # One stacked triangular solve covers every stamp of every fault:
+        # U holds one incidence column (e_p - e_n, ground dropped) per
+        # stamp, Z = G0^-1 U feeds both the Woodbury capacitance matrices
+        # and every later inverse application.
+        u_all = np.zeros((size, len(sp)))
+        in_p = self.sp < size
+        in_n = self.sn < size
+        u_all[self.sp[in_p], np.flatnonzero(in_p)] += 1.0
+        u_all[self.sn[in_n], np.flatnonzero(in_n)] -= 1.0
+        self.u_all = u_all
+        self.z_all = factorization.solve(u_all)
+
+        # Per-fault Woodbury capacitance inverse (C^-1 + U^T Z)^-1; a
+        # singular capacitance marks the fault unscreenable up front.
+        self.rank1 = bool(np.all(np.diff(self.offsets) == 1))
+        self.singular = np.zeros(self.n_faults, dtype=bool)
+        if self.rank1:
+            duz = (self._gather(self.z_all, self.sp, np.arange(len(sp)))
+                   - self._gather(self.z_all, self.sn, np.arange(len(sp))))
+            denom = 1.0 / self.sg + duz
+            self.singular = ~np.isfinite(denom) | (np.abs(denom) < 1e-300)
+            with np.errstate(divide="ignore"):
+                self.cap_inv_1 = np.where(self.singular, 0.0, 1.0 / denom)
+            self.cap_inv: list[np.ndarray | None] = []
+        else:
+            self.cap_inv = []
+            for col in range(self.n_faults):
+                lo, hi = self.offsets[col], self.offsets[col + 1]
+                u = self.u_all[:, lo:hi]
+                z = self.z_all[:, lo:hi]
+                cap = np.diag(1.0 / self.sg[lo:hi]) + u.T @ z
+                try:
+                    self.cap_inv.append(np.linalg.inv(cap))
+                except np.linalg.LinAlgError:
+                    self.cap_inv.append(None)
+                    self.singular[col] = True
+
+    @staticmethod
+    def _gather(y: np.ndarray, rows: np.ndarray,
+                cols: np.ndarray) -> np.ndarray:
+        """``y[rows, cols]`` with the augmented ground row reading 0."""
+        ya = np.vstack([y, np.zeros((1, y.shape[1]))])
+        clipped = np.minimum(rows, y.shape[0])
+        return ya[clipped, cols]
+
+    def add_residual(self, r_aug: np.ndarray, xa: np.ndarray) -> None:
+        """Accumulate the stamp currents into augmented residuals."""
+        du = xa[self.sp, self.scol] - xa[self.sn, self.scol]
+        contrib = self.sg * du
+        np.add.at(r_aug, (self.sp, self.scol), contrib)
+        np.add.at(r_aug, (self.sn, self.scol), -contrib)
+
+    def add_jacobian(self, ga: np.ndarray) -> None:
+        """Accumulate the stamps into stacked augmented Jacobians."""
+        np.add.at(ga, (self.scol, self.sp, self.sp), self.sg)
+        np.add.at(ga, (self.scol, self.sn, self.sn), self.sg)
+        np.add.at(ga, (self.scol, self.sp, self.sn), -self.sg)
+        np.add.at(ga, (self.scol, self.sn, self.sp), -self.sg)
+
+    def apply_inverse(self, y: np.ndarray) -> np.ndarray:
+        """Per-column ``(G0 + Delta_f)^-1 (G0 y_f)`` via SMW.
+
+        *y* holds ``G0^-1 r_f`` columns; the Woodbury correction turns
+        each into the frozen faulty-Jacobian inverse application without
+        any dense solve.  Columns of singular-capacitance faults pass
+        through uncorrected (they are already marked unscreenable).
+        """
+        if self.rank1:
+            cols = np.arange(self.n_faults)
+            stamp_idx = self.offsets[:-1]
+            duy = (self._gather(y, self.sp[stamp_idx], cols)
+                   - self._gather(y, self.sn[stamp_idx], cols))
+            return y - self.z_all[:, stamp_idx] * (duy * self.cap_inv_1)
+        out = y.copy()
+        for col in range(self.n_faults):
+            if self.cap_inv[col] is None:
+                continue
+            lo, hi = self.offsets[col], self.offsets[col + 1]
+            w = self.u_all[:, lo:hi].T @ y[:, col]
+            out[:, col] -= self.z_all[:, lo:hi] @ (self.cap_inv[col] @ w)
+        return out
+
+
+class BatchedOverlaySolver:
+    """Screens overlay-fault families at one (base, stimulus) pair.
+
+    Args:
+        compiled: the clean compiled base (no overlay may be pushed; the
+            solver snapshots its static matrix, so later overlay use of
+            *compiled* does not disturb an existing solver).
+        x_op: converged nominal operating point at the target stimulus.
+        b_sources: augmented source vector at that stimulus
+            (:meth:`CompiledCircuit.source_vector` with the stimulus
+            patched in).
+        options: simulator options — convergence tolerances and step
+            limits are shared with :func:`newton_solve`, so certification
+            uses the exact single-solve contract.
+        factorization: optional pre-built factorization of the Jacobian
+            at *x_op* (one is computed otherwise).
+        max_chord_iter: frozen-Jacobian certification budget.  Chord
+            iterations cost one vectorized device sweep each and certify
+            the near-linear part of the family; overlays still moving
+            after this budget escalate to batched Newton.  The default
+            is deliberately tight — a fault the frozen Jacobian cannot
+            settle in two sweeps converges faster under true Newton than
+            under many linearly-converging chord steps.
+        max_newton_iter: batched true-Newton budget before a fault is
+            reported ``"failed"`` (robust per-fault fallback territory).
+            Defaults to ``options.max_iter`` so the confirm stage has
+            exactly the budget of a plain :func:`newton_solve` attempt.
+        chord_trust: infinity-norm bound [V] on how far a chord-certified
+            solution may sit from the nominal linear solution when the
+            iteration started from the SMW screen (rather than from a
+            caller-provided warm estimate).  Strongly-shifted operating
+            points can be multi-stable, and a per-fault solve starting
+            cold may select a different branch — such faults are sent to
+            the Newton confirm stage, which reproduces the per-fault
+            path's own starting estimate and therefore its branch choice.
+    """
+
+    def __init__(self, compiled: CompiledCircuit,
+                 x_op: np.ndarray, b_sources: np.ndarray,
+                 options: SimOptions = DEFAULT_OPTIONS, *,
+                 factorization: Factorization | None = None,
+                 max_chord_iter: int = 2,
+                 max_newton_iter: int | None = None,
+                 chord_trust: float = 0.2) -> None:
+        if compiled.overlay_depth:
+            raise AnalysisError(
+                "BatchedOverlaySolver needs the clean base: "
+                f"{compiled.overlay_depth} overlay(s) currently pushed")
+        self.compiled = compiled
+        self.options = options
+        self.max_chord_iter = max_chord_iter
+        self.max_newton_iter = (options.max_iter if max_newton_iter is None
+                                else max_newton_iter)
+        self.chord_trust = chord_trust
+        self.x_op = np.array(x_op, dtype=float)
+        self.b_aug = np.array(b_sources, dtype=float)
+
+        g0, b0 = compiled.linearize(
+            self.x_op, self.b_aug, options.gmin,
+            breakdown_voltage=options.breakdown_voltage,
+            breakdown_conductance=options.breakdown_conductance)
+        self.b0 = b0.copy()
+        self.factorization = (factorization if factorization is not None
+                              else Factorization(g0))
+        #: Linear nominal solution (== the Newton iterate after x_op).
+        self.x_base = self.factorization.solve(self.b0)
+
+        # Snapshots for batched residual/Jacobian assembly: the static
+        # matrix is copied so overlays pushed on the base later (e.g. by
+        # the fallback path) cannot corrupt this solver.
+        self._a_static = compiled._g_static.copy()
+        self._abs_tol = absolute_tolerances(compiled, options)
+        self._nl_mask = compiled.nonlinear_node_mask
+        # Stamp stacks are pure functions of (stamps, factorization);
+        # repeated screens of the same family reuse them.
+        self._stack_cache: dict[tuple, _StampStack] = {}
+        # Per-fault warm memory at THIS stimulus.  Engine warm-start
+        # slots are shared across stimuli, so on alternating stimulus
+        # points they always hold the *other* point's solution; the
+        # solver is pinned to one (base, stimulus) pair and can remember
+        # each fault's own converged solution here instead.
+        self._warm_memory: dict[tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # batched nonlinear assembly
+    # ------------------------------------------------------------------
+    def _assemble(self, x: np.ndarray, stack: _StampStack,
+                  jacobian: bool) -> tuple[np.ndarray, np.ndarray | None]:
+        """True residuals (and optionally stacked Jacobians) per column.
+
+        The residual of column *f* is the KCL/KVL defect of the faulty
+        nonlinear system ``r_f(x_f) = A x_f + i_devices(x_f) - b``: the
+        companion-linearization terms of :meth:`CompiledCircuit.linearize`
+        cancel exactly, so a root of *r* is precisely a fixed point of
+        :func:`newton_solve` on the overlaid circuit.  One device-model
+        evaluation on ``(devices, faults)`` arrays serves both outputs.
+        """
+        compiled = self.compiled
+        options = self.options
+        size = compiled.size
+        n_nodes = compiled.n_nodes
+        n_faults = x.shape[1]
+        xa = np.vstack([x, np.zeros((1, n_faults))])
+
+        r = self._a_static @ xa
+        r -= self.b_aug[:, None]
+        r[:n_nodes] += options.gmin * xa[:n_nodes]
+        stack.add_residual(r, xa)
+
+        ga = None
+        if jacobian:
+            ga = np.repeat(self._a_static[None, :, :], n_faults, axis=0)
+            stack.add_jacobian(ga)
+            diag = np.arange(n_nodes)
+            ga[:, diag, diag] += options.gmin
+
+        bv = options.breakdown_voltage
+        gbd = options.breakdown_conductance
+        if np.isfinite(bv) and gbd > 0.0:
+            v = xa[:n_nodes]
+            r[:n_nodes] += gbd * (np.maximum(v - bv, 0.0)
+                                  + np.minimum(v + bv, 0.0))
+            if ga is not None:
+                clamped = np.abs(v) > bv
+                fi, ni = np.nonzero(clamped.T)
+                np.add.at(ga, (fi, ni, ni), gbd)
+
+        fi = np.arange(n_faults)
+        if compiled.n_mosfets:
+            d = compiled.mos_d[:, None]
+            g = compiled.mos_g[:, None]
+            s = compiled.mos_s[:, None]
+            b = compiled.mos_b[:, None]
+            cols = fi[None, :]
+            vgs = xa[compiled.mos_g] - xa[compiled.mos_s]
+            vds = xa[compiled.mos_d] - xa[compiled.mos_s]
+            vbs = xa[compiled.mos_b] - xa[compiled.mos_s]
+            ids, gm, gds, gmb = mos_level1(
+                vgs, vds, vbs, compiled.mos_sign[:, None],
+                compiled.mos_beta[:, None], compiled.mos_vto[:, None],
+                compiled.mos_lam[:, None], compiled.mos_gamma[:, None],
+                compiled.mos_phi[:, None])
+            np.add.at(r, (np.broadcast_to(d, ids.shape), cols), ids)
+            np.add.at(r, (np.broadcast_to(s, ids.shape), cols), -ids)
+            if ga is not None:
+                gsum = gm + gds + gmb
+                for rows, against, val in (
+                        (d, g, gm), (d, d, gds), (d, b, gmb), (d, s, -gsum),
+                        (s, g, -gm), (s, d, -gds), (s, b, -gmb),
+                        (s, s, gsum)):
+                    np.add.at(
+                        ga,
+                        (np.broadcast_to(cols, val.shape),
+                         np.broadcast_to(rows, val.shape),
+                         np.broadcast_to(against, val.shape)), val)
+
+        if compiled.n_diodes:
+            a = compiled.dio_a[:, None]
+            c = compiled.dio_c[:, None]
+            cols = fi[None, :]
+            vd = xa[compiled.dio_a] - xa[compiled.dio_c]
+            idio, gdio = diode_eval(vd, compiled.dio_is[:, None],
+                                    compiled.dio_n[:, None])
+            np.add.at(r, (np.broadcast_to(a, idio.shape), cols), idio)
+            np.add.at(r, (np.broadcast_to(c, idio.shape), cols), -idio)
+            if ga is not None:
+                for rows, against, val in (
+                        (a, a, gdio), (a, c, -gdio),
+                        (c, a, -gdio), (c, c, gdio)):
+                    np.add.at(
+                        ga,
+                        (np.broadcast_to(cols, val.shape),
+                         np.broadcast_to(rows, val.shape),
+                         np.broadcast_to(against, val.shape)), val)
+
+        if ga is not None:
+            ga = ga[:, :size, :size]
+        return r[:size], ga
+
+    def _limit_steps(self, dx: np.ndarray) -> np.ndarray:
+        """Per-column junction-limiting clamp (same rule as newton_solve)."""
+        mask = self._nl_mask
+        if not mask.any():
+            return dx
+        vmax = np.max(np.abs(dx[mask]), axis=0)
+        limit = self.options.vstep_limit
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(vmax > limit, limit / np.maximum(vmax, 1e-300),
+                             1.0)
+        return dx * scale
+
+    def _stack_for(self, stamp_sets,
+                   fault_keys: tuple[tuple, ...] | None = None, *,
+                   woodbury: bool = True) -> _StampStack:
+        """Stamp stack for *stamp_sets*, LRU-cached on stamp content.
+
+        A cached Woodbury-capable stack satisfies any request; a
+        residual-only request builds (and caches) the light variant.
+        """
+        if fault_keys is None:
+            fault_keys = tuple(
+                tuple(map(tuple, stamps)) for stamps in stamp_sets)
+        stack = self._stack_cache.get(fault_keys)
+        if stack is None or (woodbury and not stack.woodbury):
+            stack = _StampStack(self.compiled, stamp_sets,
+                                self.factorization, woodbury=woodbury)
+            while len(self._stack_cache) >= 8:
+                self._stack_cache.pop(next(iter(self._stack_cache)))
+        else:
+            self._stack_cache.pop(fault_keys)  # refresh LRU recency
+        self._stack_cache[fault_keys] = stack
+        return stack
+
+    def _remember(self, fault_key: tuple, x: np.ndarray) -> None:
+        """Store one fault's converged solution (bounded memory)."""
+        if len(self._warm_memory) >= 4096:
+            self._warm_memory.pop(next(iter(self._warm_memory)))
+        self._warm_memory[fault_key] = x
+
+    # ------------------------------------------------------------------
+    # screening driver
+    # ------------------------------------------------------------------
+    def screen(self, stamp_sets: Sequence[Sequence[tuple[str, str, float]]],
+               warm: Sequence[np.ndarray | None] | None = None,
+               ) -> list[ScreenedSolution]:
+        """Screen one stamp set per fault; returns one solution each.
+
+        Stamp tuples are ``(node_a, node_b, conductance)`` exactly as
+        accepted by :meth:`CompiledCircuit.push_overlay` (the engine
+        feeds :meth:`FaultModel.stamp_delta` output straight through).
+
+        Args:
+            stamp_sets: per-fault stamp collections.
+            warm: optional per-fault warm solution estimates — pass the
+                same warm-start slots the per-fault overlay path uses so
+                both paths track identical solution branches on
+                multi-stable circuits.  ``None`` entries start from the
+                SMW linear solution (chord) / a cold start (Newton
+                confirm), exactly as a fresh per-fault solve would.
+        """
+        n_faults = len(stamp_sets)
+        if n_faults == 0:
+            return []
+        fault_keys = tuple(
+            tuple(map(tuple, stamps)) for stamps in stamp_sets)
+        stack = self._stack_for(stamp_sets, fault_keys)
+        warm_list = list(warm) if warm is not None else [None] * n_faults
+        if len(warm_list) != n_faults:
+            raise AnalysisError(
+                f"{len(warm_list)} warm estimates for {n_faults} faults")
+        # This solver's own memory of a fault's solution *at this
+        # stimulus* beats any caller-provided estimate (engine slots are
+        # shared across stimuli and trail by one stimulus change).
+        for f, key in enumerate(fault_keys):
+            remembered = self._warm_memory.get(key)
+            if remembered is not None:
+                warm_list[f] = remembered
+        warmed = np.array([w is not None for w in warm_list], dtype=bool)
+
+        # Stage 1 — SMW linear screen: one Woodbury application turns
+        # the factorized nominal solution into every fault's linearized
+        # solution. No dense solve, no device evaluation.
+        x = stack.apply_inverse(
+            np.repeat(self.x_base[:, None], n_faults, axis=1))
+        linear_step = np.zeros(n_faults)
+        probe = np.abs(x - self.x_base[:, None])
+        if self._nl_mask.any():
+            linear_step = np.max(probe[self._nl_mask], axis=0)
+        elif probe.size:
+            linear_step = np.max(probe, axis=0)
+        for f, w in enumerate(warm_list):
+            if w is not None:
+                x[:, f] = np.asarray(w, dtype=float)
+
+        iterations = np.zeros(n_faults, dtype=np.intp)
+        certified = np.zeros(n_faults, dtype=bool)
+        status = np.full(n_faults, STATUS_FAILED, dtype=object)
+        bad = stack.singular | ~np.isfinite(x).all(axis=0)
+        x[:, bad] = self.x_base[:, None]
+
+        # Stage 2 — chord certification with the frozen SMW Jacobian.
+        # SMW-started columns may only certify inside the trust region
+        # around the nominal linear solution; warm-started columns are
+        # already on the per-fault path's own solution branch, so a
+        # converged chord step certifies them at any distance.
+        reltol = self.options.reltol
+        for _ in range(self.max_chord_iter):
+            active = ~certified & ~bad
+            if not active.any():
+                break
+            r, _ = self._assemble(x, stack, jacobian=False)
+            y = self.factorization.solve(r)
+            dx = -stack.apply_inverse(y)
+            dx[:, certified | bad] = 0.0
+            blown = ~np.isfinite(dx).all(axis=0)
+            if blown.any():
+                dx[:, blown] = 0.0
+                x[:, blown & ~certified] = self.x_base[:, None]
+                bad |= blown
+            dx = self._limit_steps(dx)
+            x += dx
+            iterations[active] += 1
+            # chord_trust is a *voltage* bound: branch-current unknowns
+            # (amps) are excluded from the distance measure.
+            moved = np.max(np.abs(
+                (x - self.x_base[:, None])[:self.compiled.n_nodes]), axis=0)
+            trusted = warmed | (moved <= self.chord_trust)
+            newly = (step_converged(dx, x, self._abs_tol, reltol)
+                     & active & ~bad & trusted)
+            certified |= newly
+            status[newly] = STATUS_SCREENED
+
+        # Stage 3 — batched true-Newton confirm for the nonlinear rest,
+        # started from the estimate the per-fault path itself would use.
+        remaining = np.flatnonzero(~certified)
+        if remaining.size:
+            for f in remaining:
+                x[:, f] = (np.asarray(warm_list[f], dtype=float)
+                           if warm_list[f] is not None else 0.0)
+            confirmed = self._newton_confirm(x, stamp_sets, remaining,
+                                             iterations)
+            status[confirmed] = STATUS_CONFIRMED
+
+        solutions = [ScreenedSolution(
+            x=x[:, f].copy(), status=str(status[f]),
+            iterations=int(iterations[f]),
+            linear_step=float(linear_step[f]))
+            for f in range(n_faults)]
+        for key, solution in zip(fault_keys, solutions):
+            if solution.converged:
+                self._remember(key, solution.x)
+        return solutions
+
+    def _newton_confirm(self, x: np.ndarray, stamp_sets, remaining,
+                        iterations) -> np.ndarray:
+        """True-Newton iterations on the *remaining* columns (in place).
+
+        This is :func:`newton_solve` vectorized across faults — the same
+        Jacobian, the same junction-limiting clamp and the same
+        convergence test, so from the same starting estimate it selects
+        the same solution branch the per-fault overlay path would.
+        Returns the indices (into the full set) that converged; stacked
+        Jacobians go through one batched LAPACK solve per iteration, and
+        singular or diverging columns simply stay unconverged for the
+        caller to report as ``"failed"``.
+        """
+        sub_sets = [stamp_sets[f] for f in remaining]
+        stack = self._stack_for(sub_sets, woodbury=False)
+        xs = x[:, remaining].copy()
+        conv = np.zeros(remaining.size, dtype=bool)
+        dead = np.zeros(remaining.size, dtype=bool)
+        reltol = self.options.reltol
+        for _ in range(self.max_newton_iter):
+            active = ~conv & ~dead
+            if not active.any():
+                break
+            r, ga = self._assemble(xs, stack, jacobian=True)
+            dx = np.zeros_like(xs)
+            try:
+                dx[:, :] = -np.linalg.solve(
+                    ga, r.T[:, :, None])[:, :, 0].T
+            except np.linalg.LinAlgError:
+                for k in np.flatnonzero(active):
+                    try:
+                        dx[:, k] = -np.linalg.solve(ga[k], r[:, k])
+                    except np.linalg.LinAlgError:
+                        dx[:, k] = 0.0
+                        dead[k] = True
+            dx[:, conv | dead] = 0.0
+            blown = ~np.isfinite(dx).all(axis=0)
+            if blown.any():
+                dx[:, blown] = 0.0
+                dead |= blown
+            dx = self._limit_steps(dx)
+            xs += dx
+            iterations[remaining[active]] += 1
+            conv |= (step_converged(dx, xs, self._abs_tol, reltol)
+                     & active & ~dead)
+        x[:, remaining] = xs
+        return remaining[conv]

@@ -34,19 +34,25 @@ and ``benchmarks/bench_engine_overlay.py`` run exactly this).
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro._log import get_logger
+from repro.analysis.batched import (
+    STATUS_SCREENED,
+    BatchedOverlaySolver,
+)
 from repro.analysis.mna import CompiledCircuit
+from repro.analysis.newton import robust_solve
 from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
 from repro.circuit.netlist import Circuit
-from repro.errors import OverlayValidationError
+from repro.errors import AnalysisError, OverlayValidationError
 from repro.faults.base import FaultModel
 
-__all__ = ["EngineStats", "WarmStart", "SimulationEngine"]
+__all__ = ["EngineStats", "WarmStart", "ScreenedObservation",
+           "SimulationEngine"]
 
 _LOG = get_logger("analysis.engine")
 
@@ -66,6 +72,14 @@ class EngineStats:
         base_evictions: compiled bases dropped from the LRU.
         warm_start_hits: simulations that started Newton from a
             remembered neighbouring solution.
+        factorizations: nominal-Jacobian LU factorizations built for
+            batched screening (one per (base, stimulus) pair).
+        screened_simulations: faulty evaluations certified by the
+            SMW+chord screen (no per-fault solve of any kind).
+        screen_newton_confirms: faulty evaluations that needed the
+            batched Newton confirm stage.
+        screen_fallbacks: screened faults that escalated to the full
+            per-fault robust overlay path.
     """
 
     compilations: int = 0
@@ -75,6 +89,10 @@ class EngineStats:
     validations: int = 0
     base_evictions: int = 0
     warm_start_hits: int = 0
+    factorizations: int = 0
+    screened_simulations: int = 0
+    screen_newton_confirms: int = 0
+    screen_fallbacks: int = 0
 
     def merged(self, other: "EngineStats") -> "EngineStats":
         """Combine two accounts (e.g. across configurations)."""
@@ -97,6 +115,28 @@ class WarmStart:
         self.x: np.ndarray | None = None
 
 
+@dataclass(frozen=True)
+class ScreenedObservation:
+    """One fault's outcome from :meth:`SimulationEngine.screen_faults`.
+
+    Attributes:
+        fault: the screened fault model.
+        raw: the raw observation, or ``None`` when even the robust
+            fallback could not simulate the defect (callers treat that
+            as a maximally deviant response, exactly like the per-fault
+            path does).
+        served: how the observation was produced — ``"screened"``
+            (SMW+chord certificate), ``"confirmed"`` (batched Newton),
+            ``"fallback"`` (per-fault robust overlay solve),
+            ``"overlay"``/``"legacy"`` (procedures or fault types
+            outside the screening protocol) or ``"error"``.
+    """
+
+    fault: FaultModel
+    raw: np.ndarray | None
+    served: str
+
+
 class SimulationEngine:
     """Serves all simulations of one circuit from compiled state.
 
@@ -113,6 +153,8 @@ class SimulationEngine:
         max_bases: bound on cached compiled overlay bases (the nominal
             base is never evicted).
         max_warm_states: bound on remembered warm-start slots.
+        max_factorizations: bound on cached batched-screening solvers
+            (one per (base, stimulus) pair; see :meth:`screen_faults`).
         warm_start: reuse converged DC solutions as Newton starting
             estimates across adjacent simulations.  This assumes the
             circuit has a **unique** DC operating point (true of the
@@ -132,6 +174,7 @@ class SimulationEngine:
                  validate_atol: float = 1e-5,
                  max_bases: int = 32,
                  max_warm_states: int = 128,
+                 max_factorizations: int = 32,
                  warm_start: bool = True) -> None:
         self.circuit = circuit
         self.options = options
@@ -140,10 +183,13 @@ class SimulationEngine:
         self.validate_atol = validate_atol
         self.max_bases = max(1, max_bases)
         self.max_warm_states = max(1, max_warm_states)
+        self.max_factorizations = max(1, max_factorizations)
         self.warm_start = warm_start
         self.stats = EngineStats()
         self._bases: OrderedDict[str, CompiledCircuit] = OrderedDict()
         self._warm: OrderedDict[tuple, WarmStart] = OrderedDict()
+        self._screen_solvers: OrderedDict[tuple, BatchedOverlaySolver] = \
+            OrderedDict()
 
     # ------------------------------------------------------------------
     # compiled-base management
@@ -235,6 +281,127 @@ class SimulationEngine:
         faulty = fault.apply(self.circuit)
         self.stats.legacy_simulations += 1
         return procedure.simulate(faulty, params, self.options)
+
+    # ------------------------------------------------------------------
+    # batched candidate-fault screening
+    # ------------------------------------------------------------------
+    def screen_supported(self, procedure) -> bool:
+        """True when *procedure* can be served by batched screening.
+
+        Screening operates on a single DC operating point, so the
+        procedure must implement the screening protocol of
+        :class:`~repro.testgen.procedures.MeasurementProcedure`
+        (``screening_patch`` / ``screening_key`` / ``raw_from_solution``).
+        ``validate_overlay`` disables screening: the debug contract is
+        that *every* faulty simulation is cross-checked on the legacy
+        path, which only the per-fault route performs.
+        """
+        if self.validate_overlay:
+            return False
+        return bool(getattr(procedure, "supports_screening", False))
+
+    def screen_faults(self, procedure, params: Mapping[str, float],
+                      faults: Sequence[FaultModel],
+                      ) -> list[ScreenedObservation]:
+        """Evaluate many faults at one stimulus via batched SMW solves.
+
+        Faults are grouped by compiled overlay base; each group is served
+        by one :class:`BatchedOverlaySolver` (LU-factorized once per
+        (base, stimulus) pair and cached) that screens the whole family
+        together.  The screen shares the engine's per-fault warm-start
+        slots with the per-fault overlay path, so both paths track the
+        same solution branches and produce identical verdicts; faults the
+        batched stages cannot converge fall back to
+        :meth:`simulate_fault` transparently.
+
+        A fault the robust fallback cannot simulate *at all* yields
+        ``raw=None`` (callers treat it as maximally deviant — the same
+        contract as the per-fault path).  Nominal-solve failures and
+        :class:`OverlayValidationError` propagate.
+        """
+        results: list[ScreenedObservation | None] = [None] * len(faults)
+        if not self.screen_supported(procedure):
+            for i, fault in enumerate(faults):
+                results[i] = self._serve_per_fault(procedure, params, fault)
+            return results
+
+        groups: dict[str, list[int]] = {}
+        for i, fault in enumerate(faults):
+            if self.supports(fault, procedure):
+                groups.setdefault(fault.overlay_base_key, []).append(i)
+            else:
+                results[i] = self._serve_per_fault(procedure, params, fault)
+
+        for base_key, idxs in groups.items():
+            first = faults[idxs[0]]
+            base = self._base(base_key,
+                              lambda: first.overlay_base(self.circuit))
+            solver = self._screen_solver(base_key, base, procedure, params)
+            stamp_sets = []
+            slots = []
+            for i in idxs:
+                stamp_sets.append([
+                    (s.node_a, s.node_b, s.conductance)
+                    for s in faults[i].stamp_delta(base)])
+                slots.append(self.warm_slot(base_key, faults[i].fault_id))
+            solutions = solver.screen(stamp_sets,
+                                      warm=[slot.x for slot in slots])
+            for i, slot, solution in zip(idxs, slots, solutions):
+                fault = faults[i]
+                if solution.converged:
+                    slot.x = solution.x
+                    raw = procedure.raw_from_solution(base, solution.x)
+                    if solution.status == STATUS_SCREENED:
+                        self.stats.screened_simulations += 1
+                    else:
+                        self.stats.screen_newton_confirms += 1
+                    results[i] = ScreenedObservation(fault, raw,
+                                                     solution.status)
+                else:
+                    self.stats.screen_fallbacks += 1
+                    results[i] = self._serve_per_fault(
+                        procedure, params, fault, served="fallback")
+        return results
+
+    def _serve_per_fault(self, procedure, params, fault: FaultModel,
+                         served: str | None = None) -> ScreenedObservation:
+        """Serve one screened fault through the per-fault paths."""
+        if served is None:
+            served = ("overlay" if self.supports(fault, procedure)
+                      else "legacy")
+        try:
+            raw = self.simulate_fault(procedure, params, fault)
+        except OverlayValidationError:
+            raise
+        except AnalysisError as exc:
+            _LOG.warning("screen fallback failed (%s): %s -> unsimulatable",
+                         fault.cache_key, exc)
+            return ScreenedObservation(fault, None, "error")
+        return ScreenedObservation(fault, raw, served)
+
+    def _screen_solver(self, base_key: str, base: CompiledCircuit,
+                       procedure, params: Mapping[str, float],
+                       ) -> BatchedOverlaySolver:
+        """Cached batched solver for one (base, stimulus) pair."""
+        cache_key = (base_key, procedure.screening_key(params))
+        solver = self._screen_solvers.get(cache_key)
+        if solver is not None:
+            self._screen_solvers.move_to_end(cache_key)
+            return solver
+        with procedure.screening_patch(base, params):
+            b_sources = base.source_vector(None)
+            warm = self.warm_slot(base_key, ("screen-nominal", cache_key[1]))
+            start = (warm.x if warm.x is not None
+                     else np.zeros(base.size))
+            x_op, _, _ = robust_solve(base, start, b_sources, self.options)
+            warm.x = x_op
+            solver = BatchedOverlaySolver(base, x_op, b_sources,
+                                          self.options)
+        self.stats.factorizations += 1
+        self._screen_solvers[cache_key] = solver
+        while len(self._screen_solvers) > self.max_factorizations:
+            self._screen_solvers.popitem(last=False)
+        return solver
 
     # ------------------------------------------------------------------
     # overlay validation (debug mode)

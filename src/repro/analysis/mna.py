@@ -39,6 +39,13 @@ from dataclasses import replace
 
 import numpy as np
 
+try:  # SciPy is optional: LU with cached pivots when present.
+    from scipy.linalg import LinAlgWarning as _ScipyLinAlgWarning
+    from scipy.linalg import lu_factor as _scipy_lu_factor
+    from scipy.linalg import lu_solve as _scipy_lu_solve
+except ImportError:  # pragma: no cover - environment-dependent
+    _scipy_lu_factor = _scipy_lu_solve = _ScipyLinAlgWarning = None
+
 from repro.circuit.diode import Diode, diode_eval
 from repro.circuit.elements import (
     Capacitor,
@@ -55,7 +62,78 @@ from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError, SingularMatrixError
 from repro.waveforms.sources import Waveform
 
-__all__ = ["CompiledCircuit"]
+__all__ = ["CompiledCircuit", "Factorization"]
+
+
+class Factorization:
+    """Reusable LU factorization of one linearized MNA system.
+
+    This is the "factorize once, solve many" primitive behind batched
+    fault screening (:mod:`repro.analysis.batched`): the Jacobian at a
+    fixed operating point is decomposed a single time, after which every
+    right-hand side — including whole matrices of stacked per-fault RHS
+    columns — costs only triangular solves.
+
+    Backends: SciPy's ``lu_factor``/``lu_solve`` when available, with a
+    NumPy fallback that pre-computes the explicit inverse (adequate for
+    the well-scaled dense systems this library compiles; the fallback
+    keeps the package importable on NumPy-only installs).
+
+    Args:
+        matrix: the square system matrix.  Copied — callers may pass the
+            reusable views returned by :meth:`CompiledCircuit.linearize`.
+
+    Attributes:
+        count: class-level counter of factorizations performed since
+            process start (instrumentation, like
+            :attr:`CompiledCircuit.compile_count`).
+    """
+
+    #: Process-wide factorization counter (instrumentation, monotonic).
+    count: int = 0
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        Factorization.count += 1
+        a = np.array(matrix, dtype=float)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise AnalysisError(
+                f"factorization needs a square matrix, got {a.shape}")
+        self.n = a.shape[0]
+        try:
+            if _scipy_lu_factor is not None:
+                import warnings
+
+                with warnings.catch_warnings():
+                    # SciPy warns on exact zero pivots; the explicit
+                    # singularity check below raises instead.
+                    warnings.simplefilter("ignore", _ScipyLinAlgWarning)
+                    self._lu_piv = _scipy_lu_factor(a)
+                self._inv = None
+            else:
+                self._lu_piv = None
+                self._inv = np.linalg.inv(a)
+        except (np.linalg.LinAlgError, ValueError) as exc:
+            raise SingularMatrixError(
+                f"singular matrix in factorization: {exc}") from exc
+        if self._lu_piv is not None:
+            # SciPy's lu_factor only *warns* on an exact zero pivot;
+            # match numpy.linalg.solve and fail loudly instead.
+            diagonal = np.diagonal(self._lu_piv[0])
+            if (not np.all(np.isfinite(self._lu_piv[0]))
+                    or np.any(diagonal == 0.0)):
+                raise SingularMatrixError(
+                    "singular matrix in factorization: zero pivot")
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` for a vector or a matrix of RHS columns."""
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape[0] != self.n:
+            raise AnalysisError(
+                f"RHS has leading dimension {rhs.shape[0]}, "
+                f"factorization is {self.n}x{self.n}")
+        if self._inv is not None:
+            return self._inv @ rhs
+        return _scipy_lu_solve(self._lu_piv, rhs)
 
 
 class CompiledCircuit:
@@ -503,6 +581,29 @@ class CompiledCircuit:
         # Neutralize anything stamped into the ground slot, then trim.
         return ga[:self.size, :self.size], ba[:self.size]
 
+    def factorize(
+        self,
+        x: np.ndarray,
+        b_sources: np.ndarray,
+        gmin: float,
+        breakdown_voltage: float = float("inf"),
+        breakdown_conductance: float = 0.0,
+    ) -> Factorization:
+        """LU-factorize the DC Jacobian linearized at solution *x*.
+
+        One factorization per (compiled base, stimulus) pair is the
+        economy batched fault screening is built on: the returned
+        :class:`Factorization` serves every Sherman-Morrison-Woodbury
+        rank-k overlay solve at this operating point.  Any overlay
+        currently pushed is part of the factorized matrix, so callers
+        batching *against* overlays must factorize the clean base.
+        """
+        g, _ = self.linearize(
+            x, b_sources, gmin,
+            breakdown_voltage=breakdown_voltage,
+            breakdown_conductance=breakdown_conductance)
+        return Factorization(g)
+
     # ------------------------------------------------------------------
     # device current recovery (for measurements / companion updates)
     # ------------------------------------------------------------------
@@ -549,6 +650,25 @@ class CompiledCircuit:
             raise SingularMatrixError(
                 f"singular MNA matrix for circuit {self.circuit.name!r}: "
                 f"{exc}") from exc
+
+    def node_value(self, x: np.ndarray, node: str) -> float:
+        """Voltage of *node* in solution vector *x* (0.0 for ground)."""
+        i = self.resolve_node(node)
+        return 0.0 if i == self._gnd else float(x[i])
+
+    def branch_value(self, x: np.ndarray, element: str) -> float:
+        """Branch current of a voltage-defined *element* in solution *x*.
+
+        Case-insensitive on the element name, matching
+        :meth:`~repro.analysis.results.OperatingPoint.i`.
+        """
+        wanted = element.lower()
+        for name, i in self.branch_index.items():
+            if name.lower() == wanted:
+                return float(x[i])
+        raise AnalysisError(
+            f"element {element!r} has no branch current in compiled "
+            f"circuit {self.circuit.name!r}")
 
     def node_voltages(self, x: np.ndarray) -> dict[str, float]:
         """Map a solution vector to named node voltages."""

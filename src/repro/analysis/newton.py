@@ -16,7 +16,32 @@ from repro.analysis.mna import CompiledCircuit
 from repro.analysis.options import SimOptions
 from repro.errors import ConvergenceError, SingularMatrixError
 
-__all__ = ["NewtonOutcome", "newton_solve", "robust_solve"]
+__all__ = ["NewtonOutcome", "newton_solve", "robust_solve",
+           "absolute_tolerances", "step_converged"]
+
+
+def absolute_tolerances(compiled: CompiledCircuit,
+                        options: SimOptions) -> np.ndarray:
+    """Per-unknown absolute convergence tolerances (voltage for node
+    unknowns, current for branch unknowns), shape ``(size,)``.
+
+    Shared by :func:`newton_solve` and the batched screening solver so
+    both certify solutions against the *same* convergence contract."""
+    abs_tol = np.empty(compiled.size)
+    abs_tol[:compiled.n_nodes] = options.vntol
+    abs_tol[compiled.n_nodes:] = options.abstol
+    return abs_tol
+
+
+def step_converged(dx: np.ndarray, x: np.ndarray, abs_tol: np.ndarray,
+                   reltol: float) -> np.ndarray | bool:
+    """Newton convergence test ``|dx_i| <= abs_tol_i + reltol*|x_i|``.
+
+    Accepts 1-D vectors (returns a scalar bool) or ``(size, n)`` stacks
+    of solution columns (returns a per-column bool array), so the
+    batched screening path applies the exact single-solve criterion."""
+    tol = abs_tol.reshape(-1, *([1] * (dx.ndim - 1))) + reltol * np.abs(x)
+    return np.all(np.abs(dx) <= tol, axis=0)
 
 
 @dataclass(frozen=True)
@@ -52,12 +77,8 @@ def newton_solve(
     limiting on circuits of this size.
     """
     x = np.array(x0, dtype=float, copy=True)
-    n_nodes = compiled.n_nodes
     gmin_val = options.gmin if gmin is None else gmin
-
-    abs_tol = np.empty(compiled.size)
-    abs_tol[:n_nodes] = options.vntol
-    abs_tol[n_nodes:] = options.abstol
+    abs_tol = absolute_tolerances(compiled, options)
 
     for iteration in range(1, options.max_iter + 1):
         g, b = compiled.linearize(
@@ -85,8 +106,7 @@ def newton_solve(
                 dx *= options.vstep_limit / vmax
         x = x + dx
 
-        tol = abs_tol + options.reltol * np.abs(x)
-        if np.all(np.abs(dx) <= tol):
+        if step_converged(dx, x, abs_tol, options.reltol):
             return NewtonOutcome(x, iteration, True)
     return NewtonOutcome(x, options.max_iter, False)
 

@@ -88,22 +88,36 @@ def evaluate_coverage(
             (cheaper); set False to enumerate every detecting test.
 
     Note:
-        Cost is up to ``len(faults) * len(tests)`` faulty simulations;
-        nominal responses are cached inside the executors.
+        Grading iterates tests in the outer loop so each test probes its
+        whole remaining fault population in one batched SMW screen
+        (:meth:`~repro.testgen.execution.TestExecutor.screen_faults`) —
+        one factorization per test instead of up to
+        ``len(faults) * len(tests)`` independent solves.  Verdicts are
+        identical to per-fault evaluation (the screen certifies against
+        the same Newton contract and margin-confirms borderline cases).
     """
-    entries: list[FaultCoverage] = []
-    for fault in faults:
-        best = float("inf")
-        detecting: list[str] = []
-        for test in tests:
-            report = testbench.evaluate_test(fault, test)
-            best = min(best, report.value)
+    n_faults = len(faults)
+    best = [float("inf")] * n_faults
+    detecting: list[list[str]] = [[] for _ in range(n_faults)]
+    pending = list(range(n_faults))
+    for test in tests:
+        if not pending:
+            break
+        executor = testbench.executor(test.config_name)
+        reports = executor.screen_faults(
+            [faults[i] for i in pending], test.values)
+        still_pending: list[int] = []
+        for i, report in zip(pending, reports):
+            best[i] = min(best[i], report.value)
             if report.detected:
-                detecting.append(str(test))
+                detecting[i].append(str(test))
                 if stop_at_first:
-                    break
-        entries.append(FaultCoverage(
-            fault_id=fault.fault_id, fault_type=fault.fault_type,
-            covered=bool(detecting), best_sensitivity=best,
-            detecting_tests=tuple(detecting)))
-    return CoverageReport(entries=tuple(entries), n_tests=len(tests))
+                    continue
+            still_pending.append(i)
+        pending = still_pending
+    entries = tuple(FaultCoverage(
+        fault_id=fault.fault_id, fault_type=fault.fault_type,
+        covered=bool(detecting[i]), best_sensitivity=best[i],
+        detecting_tests=tuple(detecting[i]))
+        for i, fault in enumerate(faults))
+    return CoverageReport(entries=entries, n_tests=len(tests))

@@ -81,6 +81,21 @@ class FaultDictionary:
         return FaultDictionary(tuple(
             f for f in self.faults if f.fault_id in wanted))
 
+    def by_overlay_base(self) -> dict[str | None, tuple[FaultModel, ...]]:
+        """Faults grouped by compiled overlay base (``None`` = no overlay).
+
+        Each key is one :attr:`FaultModel.overlay_base_key` — the unit of
+        sharing for compile-once simulation *and* for batched SMW
+        screening, where every fault of a group is served from a single
+        LU factorization of that base.  All bridging faults land under
+        ``"nominal"``; each pinhole site forms its own group.
+        """
+        groups: dict[str | None, list[FaultModel]] = {}
+        for fault in self.faults:
+            key = fault.overlay_base_key if fault.supports_overlay else None
+            groups.setdefault(key, []).append(fault)
+        return {key: tuple(members) for key, members in groups.items()}
+
     def __repr__(self) -> str:
         counts = ", ".join(f"{k}={v}" for k, v in
                            sorted(self.counts_by_type().items()))

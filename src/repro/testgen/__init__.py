@@ -5,10 +5,13 @@ Layers, bottom-up:
 * :mod:`~repro.testgen.parameters` / :mod:`~repro.testgen.procedures` /
   :mod:`~repro.testgen.configuration` — the test-construction vocabulary
   (descriptions, implementations, tests);
-* :mod:`~repro.testgen.execution` — simulation + caching engine;
+* :mod:`~repro.testgen.execution` — simulation + caching engine (with
+  batched SMW candidate-fault screening);
 * :mod:`~repro.testgen.sensitivity` — the S_f cost function;
 * :mod:`~repro.testgen.tps` — tps-graphs and hard/soft impact regions;
-* :mod:`~repro.testgen.generator` — the Fig. 6 generation algorithm.
+* :mod:`~repro.testgen.generator` — the Fig. 6 generation algorithm;
+* :mod:`~repro.testgen.sharding` — deterministic dictionary sharding and
+  replicated parallel execution.
 """
 
 from repro.testgen.configuration import (
@@ -39,6 +42,15 @@ from repro.testgen.sensitivity import (
     SensitivityReport,
     sensitivity,
     sensitivity_components,
+)
+from repro.testgen.sharding import (
+    DEFAULT_SHARD_COUNT,
+    ShardedScreenResult,
+    ShardResult,
+    screen_dictionary_sharded,
+    shard_assignments,
+    shard_faults,
+    shard_index,
 )
 from repro.testgen.tps import (
     ImpactRegion,
@@ -81,4 +93,11 @@ __all__ = [
     "GenerationResult",
     "generate_test_for_fault",
     "generate_tests",
+    "DEFAULT_SHARD_COUNT",
+    "shard_index",
+    "shard_assignments",
+    "shard_faults",
+    "ShardResult",
+    "ShardedScreenResult",
+    "screen_dictionary_sharded",
 ]

@@ -71,6 +71,12 @@ class ExecutorStats:
         faulty_cache_evictions: legacy faulty-circuit LRU entries dropped.
         overlay_simulations: faulty simulations served by the engine's
             overlay path (no netlist copy, no recompile).
+        screened_simulations: faulty evaluations served by the batched
+            SMW screen (certified or Newton-confirmed, no per-fault
+            solve).
+        screen_margin_confirms: screened verdicts inside the safety
+            margin around the detection threshold that were re-run on
+            the per-fault path.
     """
 
     nominal_simulations: int = 0
@@ -79,6 +85,8 @@ class ExecutorStats:
     nominal_cache_evictions: int = 0
     faulty_cache_evictions: int = 0
     overlay_simulations: int = 0
+    screened_simulations: int = 0
+    screen_margin_confirms: int = 0
 
     @property
     def total_simulations(self) -> int:
@@ -266,6 +274,77 @@ class TestExecutor:
             deviations=deviations, boxes=boxes,
             params=np.asarray(vector, float))
 
+    def screen_faults(self, faults: Sequence[FaultModel],
+                      vector: Sequence[float], *,
+                      margin: float = 0.05,
+                      ) -> tuple[SensitivityReport, ...]:
+        """Evaluate ``S_f`` for a whole fault list at one parameter point.
+
+        This is candidate-fault screening rewired onto the batched SMW
+        solver: the engine factorizes the nominal system once per
+        (overlay base, stimulus) pair and serves every fault of a family
+        as a rank-k update, with automatic per-fault Newton fallback —
+        see :meth:`SimulationEngine.screen_faults`.  The tolerance boxes
+        are composed once for the vector instead of once per fault.
+
+        Verdicts are guaranteed to match :meth:`sensitivity`: screened
+        solutions are certified against the per-fault Newton convergence
+        contract, and any screened verdict closer than *margin* to the
+        detection threshold ``S_f = 0`` is re-evaluated on the per-fault
+        path outright.  Procedures outside the screening protocol (and
+        engines in ``validate_overlay`` debug mode) transparently fall
+        back to per-fault :meth:`sensitivity` calls.
+        """
+        vector = self.configuration.parameters.clip(vector)
+        procedure = self.configuration.procedure
+        if not self.engine.screen_supported(procedure):
+            return tuple(self.sensitivity(fault, vector)
+                         for fault in faults)
+        nominal = self.nominal_raw(vector)  # failures here propagate
+        boxes = self.boxes(vector)
+        if np.any(boxes <= 0.0):
+            raise TestGenerationError("tolerance boxes must be positive")
+        params = self.configuration.parameters.to_dict(vector)
+        outcomes = self.engine.screen_faults(procedure, params, faults)
+
+        # Post-process the whole family at once: screened raw
+        # observations are fixed-length operating-point vectors, so one
+        # stacked ``deviations`` call replaces a per-fault loop (the
+        # screening protocol guarantees elementwise post-processing).
+        n_ret = self.configuration.n_return_values
+        raws = np.zeros((len(faults), n_ret))
+        unsimulatable = np.zeros(len(faults), dtype=bool)
+        for k, outcome in enumerate(outcomes):
+            if outcome.raw is None:
+                unsimulatable[k] = True
+            else:
+                raws[k] = outcome.raw
+        deviations = np.atleast_2d(procedure.deviations(nominal, raws))
+        deviations[unsimulatable] = _FAILED_SIMULATION_DEVIATION
+        components = 1.0 - np.abs(deviations) / boxes
+        values = components.min(axis=1)
+
+        params_arr = np.asarray(vector, float)
+        reports = []
+        for k, (fault, outcome) in enumerate(zip(faults, outcomes)):
+            value = float(values[k])
+            screened = outcome.served in ("screened", "confirmed")
+            if screened and abs(value) < margin:
+                # Borderline verdict: margin-confirm on the per-fault
+                # path so tolerance-level differences can never flip a
+                # detection decision.  sensitivity() does the
+                # faulty_simulations accounting for this fault.
+                self.stats.screen_margin_confirms += 1
+                reports.append(self.sensitivity(fault, vector))
+                continue
+            self.stats.faulty_simulations += 1
+            if screened:
+                self.stats.screened_simulations += 1
+            reports.append(SensitivityReport(
+                value=value, components=components[k],
+                deviations=deviations[k], boxes=boxes, params=params_arr))
+        return tuple(reports)
+
     def evaluate_test(self, fault: FaultModel, test: Test) -> SensitivityReport:
         """Evaluate ``S_f`` for *fault* at a concrete :class:`Test`.
 
@@ -330,6 +409,14 @@ class MacroTestbench:
                     vector: Sequence[float]) -> SensitivityReport:
         """Evaluate ``S_f`` under one configuration."""
         return self.executor(config_name).sensitivity(fault, vector)
+
+    def screen_faults(self, config_name: str,
+                      faults: Sequence[FaultModel],
+                      vector: Sequence[float],
+                      ) -> tuple[SensitivityReport, ...]:
+        """Batched ``S_f`` screening of a fault list under one
+        configuration (see :meth:`TestExecutor.screen_faults`)."""
+        return self.executor(config_name).screen_faults(faults, vector)
 
     def evaluate_test(self, fault: FaultModel,
                       test: Test) -> SensitivityReport:

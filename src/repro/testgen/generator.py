@@ -26,9 +26,13 @@ reproduces the pre-[6]-improvement behaviour and exists for the
 efficiency ablation benchmark; results are equivalent whenever the
 critical impact truly lies in the soft region.
 
-Generation parallelizes over faults with ``ProcessPoolExecutor``
-(``n_jobs``); each worker rebuilds its own testbench from the pickled
-circuit and configurations.
+Generation parallelizes over deterministic dictionary *shards*
+(:mod:`repro.testgen.sharding`) with ``ProcessPoolExecutor``
+(``n_jobs``): each worker rebuilds its own testbench from the pickled
+circuit and configurations, shard membership is content-addressed on
+fault ids (stable across runs and worker counts), and one task per
+shard amortizes inter-process traffic while keeping each worker's
+compiled bases and warm-start slots hot across its shard.
 """
 
 from __future__ import annotations
@@ -426,7 +430,7 @@ def generate_test_for_fault(
 
 
 # ----------------------------------------------------------------------
-# dictionary-level driver (optionally parallel)
+# dictionary-level driver (optionally parallel, shard-granular)
 # ----------------------------------------------------------------------
 _WORKER_BENCH: MacroTestbench | None = None
 _WORKER_SETTINGS: GenerationSettings | None = None
@@ -441,9 +445,15 @@ def _worker_init(circuit: Circuit,
     _WORKER_SETTINGS = settings
 
 
-def _worker_generate(fault: FaultModel) -> GeneratedTest:
+def _worker_generate_shard(
+    shard: tuple[tuple[int, FaultModel], ...],
+) -> list[tuple[int, GeneratedTest]]:
+    """Generate every fault of one shard on this worker's testbench."""
     assert _WORKER_BENCH is not None and _WORKER_SETTINGS is not None
-    return generate_test_for_fault(_WORKER_BENCH, fault, _WORKER_SETTINGS)
+    return [(position,
+             generate_test_for_fault(_WORKER_BENCH, fault,
+                                     _WORKER_SETTINGS))
+            for position, fault in shard]
 
 
 def generate_tests(
@@ -453,6 +463,7 @@ def generate_tests(
     settings: GenerationSettings = GenerationSettings(),
     options: SimOptions = DEFAULT_OPTIONS,
     n_jobs: int = 1,
+    n_shards: int | None = None,
 ) -> GenerationResult:
     """Generate the best test for every fault in the dictionary.
 
@@ -464,11 +475,18 @@ def generate_tests(
         options: simulator options.
         n_jobs: worker processes (1 = in-process, deterministic order is
             preserved either way).
+        n_shards: dictionary partition size for the parallel path (see
+            :mod:`repro.testgen.sharding`; default
+            :data:`~repro.testgen.sharding.DEFAULT_SHARD_COUNT`, clamped
+            to the dictionary size).  Shard membership depends only on
+            fault ids and this count — never on ``n_jobs``.
 
     Returns:
         :class:`GenerationResult` with one :class:`GeneratedTest` per
         fault, in dictionary order.
     """
+    from repro.testgen.sharding import DEFAULT_SHARD_COUNT, shard_assignments
+
     fault_list = tuple(faults)
     configurations = tuple(configurations)
     started = time.monotonic()
@@ -479,11 +497,24 @@ def generate_tests(
                       for fault in fault_list)
         total_sims = testbench.stats.total_simulations
     else:
+        if n_shards is None:
+            n_shards = min(DEFAULT_SHARD_COUNT, len(fault_list)) or 1
+        shards: list[list[tuple[int, FaultModel]]] = [
+            [] for _ in range(n_shards)]
+        for position, (fault, index) in enumerate(
+                zip(fault_list, shard_assignments(fault_list, n_shards))):
+            shards[index].append((position, fault))
+        work = [tuple(shard) for shard in shards if shard]
         with ProcessPoolExecutor(
-                max_workers=n_jobs, initializer=_worker_init,
+                max_workers=min(n_jobs, len(work)) or 1,
+                initializer=_worker_init,
                 initargs=(circuit, configurations, options,
                           settings)) as pool:
-            tests = tuple(pool.map(_worker_generate, fault_list))
+            ordered: list[GeneratedTest | None] = [None] * len(fault_list)
+            for pairs in pool.map(_worker_generate_shard, work):
+                for position, generated in pairs:
+                    ordered[position] = generated
+        tests = tuple(ordered)
         total_sims = sum(t.n_simulations for t in tests)
 
     return GenerationResult(

@@ -100,6 +100,12 @@ class MeasurementProcedure(ABC):
     #: of silently dropping the fault overlay.
     supports_compiled: bool = False
 
+    #: True when the procedure's raw observation is a pure function of a
+    #: single DC operating point, making it servable by batched SMW fault
+    #: screening (:meth:`SimulationEngine.screen_faults`).  Requires the
+    #: three ``screening_*``/``raw_from_solution`` hooks below.
+    supports_screening: bool = False
+
     @abstractmethod
     def simulate(self, circuit: Circuit, params: Mapping[str, float],
                  options: SimOptions = DEFAULT_OPTIONS) -> np.ndarray:
@@ -119,6 +125,35 @@ class MeasurementProcedure(ABC):
         raise TestGenerationError(
             f"{type(self).__name__} does not implement the compile-once "
             "simulation path (supports_compiled is False)")
+
+    # ------------------------------------------------------------------
+    # batched-screening protocol (DC-operating-point procedures only)
+    # ------------------------------------------------------------------
+    def screening_patch(self, compiled: CompiledCircuit,
+                        params: Mapping[str, float]):
+        """Context manager patching this procedure's stimulus for *params*
+        into *compiled* (the fixed operating point the screen solves at)."""
+        raise TestGenerationError(
+            f"{type(self).__name__} does not implement the batched "
+            "screening protocol (supports_screening is False)")
+
+    def screening_key(self, params: Mapping[str, float]) -> tuple:
+        """Hashable identity of the screened stimulus — the second half
+        of the engine's one-factorization-per-(base, stimulus) cache key."""
+        raise TestGenerationError(
+            f"{type(self).__name__} does not implement the batched "
+            "screening protocol (supports_screening is False)")
+
+    def raw_from_solution(self, compiled: CompiledCircuit,
+                          x: np.ndarray) -> np.ndarray:
+        """Raw observation extracted from a converged solution vector.
+
+        Must equal what :meth:`simulate_compiled` would observe at the
+        same operating point (the screen certifies *x* against the very
+        Newton contract that path converges under)."""
+        raise TestGenerationError(
+            f"{type(self).__name__} does not implement the batched "
+            "screening protocol (supports_screening is False)")
 
     @staticmethod
     def _warm_x(warm) -> np.ndarray | None:
@@ -186,6 +221,7 @@ class DCProcedure(MeasurementProcedure):
     """
 
     supports_compiled = True
+    supports_screening = True
 
     def __init__(self, source: str, level_param: str,
                  probes: tuple[Probe, ...]) -> None:
@@ -212,6 +248,22 @@ class DCProcedure(MeasurementProcedure):
             op = operating_point(compiled, options, x0=self._warm_x(warm))
             self._store_warm(warm, op)
             return np.array([probe.read(op) for probe in self.probes])
+
+    def screening_patch(self, compiled: CompiledCircuit,
+                        params: Mapping[str, float]):
+        return self._patch_stimulus(compiled, self.source,
+                                    DCWave(params[self.level_param]))
+
+    def screening_key(self, params: Mapping[str, float]) -> tuple:
+        return (self.source, self.level_param,
+                float(params[self.level_param]))
+
+    def raw_from_solution(self, compiled: CompiledCircuit,
+                          x: np.ndarray) -> np.ndarray:
+        return np.array([
+            compiled.node_value(x, probe.target) if probe.kind == "v"
+            else compiled.branch_value(x, probe.target)
+            for probe in self.probes])
 
     def deviations(self, raw_nominal: np.ndarray,
                    raw_observed: np.ndarray) -> np.ndarray:

@@ -1,0 +1,231 @@
+"""Deterministic fault-dictionary sharding and replicated execution.
+
+Scaling fault simulation past one core is almost embarrassingly parallel:
+overlay bases derive deterministically from the nominal circuit, so a
+worker needs nothing but the netlist, the configuration and its share of
+the fault list — engines replicate freely across processes.  What must
+*not* vary is the partition itself: reproducible experiment records (and
+debuggable failures) require that a fault lands in the same shard on
+every run, on every machine, regardless of how many workers happen to
+serve the queue.
+
+Shard assignment is therefore **content-addressed**: a BLAKE2b digest of
+the fault's stable ``fault_id`` modulo the shard count.  It depends on
+nothing else — not enumeration order, not worker count, not hash
+randomization (``PYTHONHASHSEED`` does not reach ``hashlib``).
+
+Each shard is executed by a fresh :class:`~repro.testgen.execution.TestExecutor`
+(compiled bases, warm-start slots and caches all start empty), which
+makes shard results *bitwise independent* of which worker ran the shard
+and of how shards were interleaved — the determinism contract the test
+suite pins down.  Worker processes are plain ``concurrent.futures``
+pools; ``max_workers <= 1`` runs the same shard loop in-process.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from hashlib import blake2b
+
+from repro._log import get_logger
+from repro.analysis import DEFAULT_OPTIONS, SimOptions
+from repro.analysis.engine import EngineStats
+from repro.circuit.netlist import Circuit
+from repro.errors import TestGenerationError
+from repro.faults.base import FaultModel
+from repro.testgen.configuration import TestConfiguration
+from repro.testgen.execution import ExecutorStats, TestExecutor
+from repro.testgen.sensitivity import SensitivityReport
+
+__all__ = [
+    "DEFAULT_SHARD_COUNT",
+    "shard_index",
+    "shard_assignments",
+    "shard_faults",
+    "ShardResult",
+    "ShardedScreenResult",
+    "screen_dictionary_sharded",
+]
+
+_LOG = get_logger("testgen.sharding")
+
+#: Default number of shards.  Deliberately decoupled from the worker
+#: count: a fixed shard count keeps assignments stable while the worker
+#: pool scales up and down around it.
+DEFAULT_SHARD_COUNT = 16
+
+
+def shard_index(fault_id: str, n_shards: int) -> int:
+    """Deterministic shard of *fault_id* among *n_shards*.
+
+    Content-addressed (BLAKE2b of the id), so the assignment is stable
+    across processes, machines and Python hash seeds.
+    """
+    if n_shards < 1:
+        raise TestGenerationError(f"n_shards must be >= 1, got {n_shards}")
+    digest = blake2b(fault_id.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+def shard_assignments(faults: Sequence[FaultModel],
+                      n_shards: int) -> tuple[int, ...]:
+    """Shard index per fault, in input order."""
+    return tuple(shard_index(f.fault_id, n_shards) for f in faults)
+
+
+def shard_faults(faults: Sequence[FaultModel], n_shards: int,
+                 ) -> tuple[tuple[FaultModel, ...], ...]:
+    """Partition *faults* into *n_shards* disjoint shards.
+
+    Within a shard, dictionary order is preserved; empty shards are
+    legitimate (content addressing balances only statistically).
+    """
+    shards: list[list[FaultModel]] = [[] for _ in range(n_shards)]
+    for fault, index in zip(faults, shard_assignments(faults, n_shards)):
+        shards[index].append(fault)
+    return tuple(tuple(shard) for shard in shards)
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's screening output (what a worker sends back)."""
+
+    shard: int
+    fault_ids: tuple[str, ...]
+    reports: tuple[SensitivityReport, ...]
+    engine_stats: EngineStats
+    executor_stats: ExecutorStats
+
+
+@dataclass(frozen=True)
+class ShardedScreenResult:
+    """Merged output of a sharded dictionary screen.
+
+    Attributes:
+        reports: one :class:`SensitivityReport` per fault, in the input
+            dictionary order (independent of sharding).
+        fault_ids: matching fault ids, same order.
+        n_shards: partition size used.
+        shard_sizes: faults per shard (some may be zero).
+        engine_stats / executor_stats: accounts merged across shards.
+    """
+
+    reports: tuple[SensitivityReport, ...]
+    fault_ids: tuple[str, ...]
+    n_shards: int
+    shard_sizes: tuple[int, ...]
+    engine_stats: EngineStats
+    executor_stats: ExecutorStats
+
+    @property
+    def n_detected(self) -> int:
+        """Faults detected (``S_f < 0``) at the screened test point."""
+        return sum(1 for r in self.reports if r.detected)
+
+    def report_for(self, fault_id: str) -> SensitivityReport:
+        """Report of one fault by id."""
+        try:
+            return self.reports[self.fault_ids.index(fault_id)]
+        except ValueError:
+            raise TestGenerationError(
+                f"no such fault in sharded result: {fault_id!r}") from None
+
+
+def _run_shard(circuit: Circuit, configuration: TestConfiguration,
+               options: SimOptions, vector: tuple[float, ...],
+               shard: int, faults: tuple[FaultModel, ...]) -> ShardResult:
+    """Screen one shard on a fresh executor (worker-side entry point)."""
+    executor = TestExecutor(circuit, configuration, options)
+    reports = executor.screen_faults(list(faults), list(vector))
+    return ShardResult(
+        shard=shard,
+        fault_ids=tuple(f.fault_id for f in faults),
+        reports=tuple(reports),
+        engine_stats=executor.engine.stats,
+        executor_stats=executor.stats)
+
+
+def default_worker_count() -> int:
+    """Worker-pool size when the caller does not pin one."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def screen_dictionary_sharded(
+    circuit: Circuit,
+    configuration: TestConfiguration,
+    faults: Sequence[FaultModel],
+    vector: Sequence[float],
+    options: SimOptions = DEFAULT_OPTIONS,
+    *,
+    n_shards: int | None = None,
+    max_workers: int | None = None,
+) -> ShardedScreenResult:
+    """Screen a whole fault dictionary at one test point, sharded.
+
+    The dictionary is partitioned with :func:`shard_faults`; each shard
+    runs batched SMW screening (:meth:`TestExecutor.screen_faults`) on a
+    replicated executor, serially in-process when ``max_workers <= 1``
+    or on a ``ProcessPoolExecutor`` otherwise.  Results and merged stats
+    are reassembled in dictionary order, so the output is a pure
+    function of (circuit, configuration, faults, vector, n_shards) — the
+    worker count only changes wall-clock time.
+
+    Args:
+        circuit: nominal macro circuit (replicated to workers).
+        configuration: the test configuration to screen under.
+        faults: fault dictionary (any sequence of fault models).
+        vector: the configuration's test-parameter values.
+        options: simulator options.
+        n_shards: partition size; default :data:`DEFAULT_SHARD_COUNT`,
+            clamped to the dictionary size.
+        max_workers: process count; default
+            :func:`default_worker_count`, clamped to the shard count.
+    """
+    fault_list = tuple(faults)
+    if not fault_list:
+        raise TestGenerationError("sharded screen needs >= 1 fault")
+    ids = [f.fault_id for f in fault_list]
+    if len(set(ids)) != len(ids):
+        raise TestGenerationError(
+            "sharded screen needs unique fault ids (results merge by id)")
+    if n_shards is None:
+        n_shards = min(DEFAULT_SHARD_COUNT, len(fault_list))
+    shards = shard_faults(fault_list, n_shards)
+    vector_t = tuple(float(v) for v in vector)
+    work = [(shard, members) for shard, members in enumerate(shards)
+            if members]
+
+    if max_workers is None:
+        max_workers = default_worker_count()
+    max_workers = max(1, min(max_workers, len(work)))
+    _LOG.info("screening %d faults in %d shards on %d worker(s)",
+              len(fault_list), n_shards, max_workers)
+
+    if max_workers == 1:
+        results = [_run_shard(circuit, configuration, options, vector_t,
+                              shard, members) for shard, members in work]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(_run_shard, circuit, configuration,
+                                   options, vector_t, shard, members)
+                       for shard, members in work]
+            results = [f.result() for f in futures]
+
+    by_id: dict[str, SensitivityReport] = {}
+    engine_stats = EngineStats()
+    executor_stats = ExecutorStats()
+    for result in results:
+        engine_stats = engine_stats.merged(result.engine_stats)
+        executor_stats = executor_stats.merged(result.executor_stats)
+        for fault_id, report in zip(result.fault_ids, result.reports):
+            by_id[fault_id] = report
+    return ShardedScreenResult(
+        reports=tuple(by_id[f.fault_id] for f in fault_list),
+        fault_ids=tuple(f.fault_id for f in fault_list),
+        n_shards=n_shards,
+        shard_sizes=tuple(len(s) for s in shards),
+        engine_stats=engine_stats,
+        executor_stats=executor_stats)

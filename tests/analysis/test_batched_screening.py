@@ -1,0 +1,305 @@
+"""Batched SMW screening: factorization, certificates and the
+screen-then-confirm contract.
+
+The batched layer may only ever *accelerate* fault evaluation — a
+screened verdict must be the verdict the per-fault overlay Newton path
+would have produced.  These tests pin that contract on the full
+55-fault IV-converter dictionary, plus the fallback/degradation edges
+(budget exhaustion, non-screening procedures, validate_overlay mode).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BatchedOverlaySolver,
+    Factorization,
+    SimulationEngine,
+)
+from repro.analysis.mna import CompiledCircuit
+from repro.analysis.newton import robust_solve
+from repro.errors import AnalysisError, SingularMatrixError
+from repro.faults import BridgingFault, exhaustive_fault_dictionary
+from repro.testgen.execution import TestExecutor as Executor
+from repro.testgen.procedures import DCProcedure, Probe, StepProcedure
+from repro.waveforms import DCWave
+
+#: Cross-path agreement tolerances (same rationale as the equivalence
+#: suite: both paths converge independently to the Newton tolerances).
+RTOL = 5e-3
+ATOL = 5e-6
+
+
+@pytest.fixture(scope="module")
+def iv_faults(iv_macro):
+    """The paper's exhaustive 55-fault dictionary (module-scoped)."""
+    return exhaustive_fault_dictionary(iv_macro.circuit,
+                                       nodes=iv_macro.standard_nodes)
+
+
+@pytest.fixture(scope="module")
+def dc_config(iv_macro):
+    """The DC-output configuration (fast boxes, module-scoped)."""
+    return [c for c in iv_macro.test_configurations(box_mode="fast")
+            if c.name == "dc-output"][0]
+
+
+class TestFactorization:
+    def test_solve_matches_dense_solve(self, rng):
+        a = rng.normal(size=(12, 12)) + 12.0 * np.eye(12)
+        f = Factorization(a)
+        b = rng.normal(size=12)
+        assert np.allclose(f.solve(b), np.linalg.solve(a, b))
+
+    def test_matrix_rhs(self, rng):
+        a = rng.normal(size=(9, 9)) + 9.0 * np.eye(9)
+        f = Factorization(a)
+        rhs = rng.normal(size=(9, 5))
+        assert np.allclose(f.solve(rhs), np.linalg.solve(a, rhs))
+
+    def test_input_matrix_is_copied(self, rng):
+        a = rng.normal(size=(6, 6)) + 6.0 * np.eye(6)
+        f = Factorization(a)
+        b = rng.normal(size=6)
+        expected = f.solve(b).copy()
+        a[:] = 0.0  # mutating the caller's matrix must not matter
+        assert np.allclose(f.solve(b), expected)
+
+    def test_singular_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            Factorization(np.zeros((4, 4)))
+
+    def test_shape_validation(self):
+        with pytest.raises(AnalysisError):
+            Factorization(np.zeros((3, 4)))
+        f = Factorization(np.eye(3))
+        with pytest.raises(AnalysisError):
+            f.solve(np.zeros(5))
+
+    def test_compiled_circuit_factorize(self, divider_circuit):
+        from repro.analysis.options import DEFAULT_OPTIONS
+
+        compiled = CompiledCircuit(divider_circuit)
+        b = compiled.source_vector(None)
+        x, _, _ = robust_solve(compiled, np.zeros(compiled.size), b,
+                               DEFAULT_OPTIONS)
+        factorization = compiled.factorize(x, b, gmin=1e-12)
+        g, rhs = compiled.linearize(x, b, 1e-12)
+        assert np.allclose(factorization.solve(rhs.copy()),
+                           np.linalg.solve(g, rhs))
+
+
+class TestSolverContract:
+    def test_solver_rejects_overlaid_base(self, iv_macro):
+        compiled = CompiledCircuit(iv_macro.circuit)
+        b = compiled.source_vector(None)
+        x0, _, _ = robust_solve(compiled, np.zeros(compiled.size), b,
+                                iv_macro.options)
+        with compiled.overlay([("n1", "n2", 1e-4)]):
+            with pytest.raises(AnalysisError):
+                BatchedOverlaySolver(compiled, x0, b, iv_macro.options)
+
+    def test_warm_length_mismatch_rejected(self, iv_macro):
+        compiled = CompiledCircuit(iv_macro.circuit)
+        with compiled.patched_source("IIN", DCWave(20e-6)):
+            b = compiled.source_vector(None)
+            x0, _, _ = robust_solve(compiled, np.zeros(compiled.size), b,
+                                    iv_macro.options)
+            solver = BatchedOverlaySolver(compiled, x0, b, iv_macro.options)
+            with pytest.raises(AnalysisError):
+                solver.screen([[("n1", "n2", 1e-4)]], warm=[None, None])
+
+    def test_certified_solutions_satisfy_newton(self, iv_macro, iv_faults):
+        """Every converged screen solution is a true overlay-Newton
+        fixed point (the certificate the verdict guarantee rests on)."""
+        from repro.analysis.newton import newton_solve
+
+        compiled = CompiledCircuit(iv_macro.circuit)
+        with compiled.patched_source("IIN", DCWave(20e-6)):
+            b = compiled.source_vector(None)
+            x0, _, _ = robust_solve(compiled, np.zeros(compiled.size), b,
+                                    iv_macro.options)
+            solver = BatchedOverlaySolver(compiled, x0, b, iv_macro.options)
+            bridges = list(iv_faults.of_type("bridge"))
+            stamp_sets = [[(s.node_a, s.node_b, s.conductance)
+                           for s in f.stamp_delta(compiled)]
+                          for f in bridges]
+            solutions = solver.screen(stamp_sets)
+            checked = 0
+            for fault, stamps, solution in zip(bridges, stamp_sets,
+                                               solutions):
+                if not solution.converged:
+                    continue
+                with compiled.overlay(stamps):
+                    outcome = newton_solve(compiled, solution.x, b,
+                                           iv_macro.options)
+                assert outcome.converged, fault.fault_id
+                assert np.max(np.abs(outcome.x - solution.x)) < 1e-3, \
+                    fault.fault_id
+                checked += 1
+            # From a cold start only the near-linear part of the family
+            # converges without the robust fallback — that part must
+            # still be non-trivial, and every certificate must hold.
+            assert checked >= 10
+
+
+class TestEngineScreening:
+    def test_raw_equivalence_full_dictionary(self, iv_macro, iv_faults):
+        """Screened raws match per-fault overlay raws on all 55 faults."""
+        procedure = DCProcedure("IIN", "base",
+                                (Probe("v", "vout"), Probe("i", "VDD")))
+        params = {"base": 20e-6}
+        screener = SimulationEngine(iv_macro.circuit, iv_macro.options)
+        reference = SimulationEngine(iv_macro.circuit, iv_macro.options)
+        outcomes = screener.screen_faults(procedure, params, list(iv_faults))
+        mismatches = []
+        for fault, outcome in zip(iv_faults, outcomes):
+            try:
+                expected = reference.simulate_fault(procedure, params, fault)
+            except AnalysisError:
+                expected = None
+            if (expected is None) != (outcome.raw is None):
+                mismatches.append((fault.fault_id, outcome.served))
+            elif expected is not None and not np.allclose(
+                    outcome.raw, expected, rtol=RTOL, atol=ATOL):
+                mismatches.append((fault.fault_id, outcome.served,
+                                   outcome.raw, expected))
+        assert not mismatches, f"screen != per-fault for: {mismatches}"
+        stats = screener.stats
+        assert (stats.screened_simulations + stats.screen_newton_confirms
+                + stats.screen_fallbacks) == len(iv_faults)
+        assert stats.factorizations >= 1
+
+    def test_one_factorization_per_base_stimulus_pair(self, iv_macro,
+                                                      iv_faults):
+        procedure = DCProcedure("IIN", "base", (Probe("v", "vout"),))
+        engine = SimulationEngine(iv_macro.circuit, iv_macro.options)
+        bridges = list(iv_faults.of_type("bridge"))
+        engine.screen_faults(procedure, {"base": 20e-6}, bridges)
+        assert engine.stats.factorizations == 1  # one base, one stimulus
+        engine.screen_faults(procedure, {"base": 20e-6}, bridges)
+        assert engine.stats.factorizations == 1  # cached
+        engine.screen_faults(procedure, {"base": 22e-6}, bridges)
+        assert engine.stats.factorizations == 2  # new stimulus
+
+    def test_budget_exhaustion_falls_back(self, iv_macro, iv_faults):
+        """Starved batched budgets degrade to fallbacks, not to wrong
+        answers."""
+        procedure = DCProcedure("IIN", "base", (Probe("v", "vout"),))
+        params = {"base": 20e-6}
+        engine = SimulationEngine(iv_macro.circuit, iv_macro.options)
+        bridges = list(iv_faults.of_type("bridge"))[:8]
+        base = engine.nominal
+        solver = engine._screen_solver("nominal", base, procedure, params)
+        solver.max_chord_iter = 0
+        solver.max_newton_iter = 1
+        outcomes = engine.screen_faults(procedure, params, bridges)
+        assert engine.stats.screen_fallbacks > 0
+        reference = SimulationEngine(iv_macro.circuit, iv_macro.options)
+        for fault, outcome in zip(bridges, outcomes):
+            expected = reference.simulate_fault(procedure, params, fault)
+            assert np.allclose(outcome.raw, expected, rtol=RTOL, atol=ATOL)
+
+    def test_non_screening_procedure_served_per_fault(self, iv_macro,
+                                                      iv_faults):
+        procedure = StepProcedure(
+            "IIN", "vout", base_param="base", elev_param="elev",
+            mode="max", sample_rate=20e6, test_time=0.2e-6)
+        engine = SimulationEngine(iv_macro.circuit, iv_macro.options)
+        faults = list(iv_faults.of_type("pinhole"))[:2]
+        outcomes = engine.screen_faults(
+            procedure, {"base": 5e-6, "elev": 20e-6}, faults)
+        assert [o.served for o in outcomes] == ["overlay", "overlay"]
+        assert engine.stats.screened_simulations == 0
+        assert engine.stats.factorizations == 0
+
+    def test_validate_overlay_disables_screening(self, iv_macro):
+        engine = SimulationEngine(iv_macro.circuit, iv_macro.options,
+                                  validate_overlay=True)
+        procedure = DCProcedure("IIN", "base", (Probe("v", "vout"),))
+        fault = BridgingFault(node_a="n1", node_b="n2", impact=10e3)
+        assert not engine.screen_supported(procedure)
+        outcomes = engine.screen_faults(procedure, {"base": 20e-6}, [fault])
+        assert outcomes[0].served == "overlay"
+        assert engine.stats.validations >= 1  # per-fault path validated
+
+
+class TestScreenThenConfirmContract:
+    """The ISSUE's acceptance contract: batched SMW detection verdicts
+    match per-fault overlay Newton on the full 55-fault dictionary."""
+
+    def test_verdicts_match_full_dictionary(self, iv_macro, iv_faults,
+                                            dc_config):
+        screener = Executor(iv_macro.circuit, dc_config, iv_macro.options)
+        reference = Executor(iv_macro.circuit, dc_config, iv_macro.options)
+        faults = list(iv_faults)
+        for vector in ([20e-6], [22e-6]):  # cold sweep, then steady state
+            screened = screener.screen_faults(faults, vector)
+            expected = [reference.sensitivity(f, vector) for f in faults]
+            wrong = [
+                (f.fault_id, s.value, e.value)
+                for f, s, e in zip(faults, screened, expected)
+                if s.detected != e.detected]
+            assert not wrong, f"verdict mismatches at {vector}: {wrong}"
+            worst = max(abs(s.value - e.value)
+                        for s, e in zip(screened, expected))
+            assert worst < 0.05, f"sensitivity drift {worst} at {vector}"
+        assert screener.stats.screened_simulations > 0
+        assert len(faults) == 55
+
+    def test_margin_confirm_reruns_borderline_verdicts(self, iv_macro,
+                                                       iv_faults,
+                                                       dc_config):
+        executor = Executor(iv_macro.circuit, dc_config, iv_macro.options)
+        faults = list(iv_faults.of_type("bridge"))[:6]
+        executor.screen_faults(faults, [20e-6])  # warm everything up
+        before = executor.stats.screen_margin_confirms
+        reports = executor.screen_faults(faults, [20e-6],
+                                         margin=float("inf"))
+        # An infinite margin declares every screened verdict borderline,
+        # so each one must have been re-run on the per-fault path.
+        assert executor.stats.screen_margin_confirms > before
+        reference = Executor(iv_macro.circuit, dc_config, iv_macro.options)
+        for fault, report in zip(faults, reports):
+            expected = reference.sensitivity(fault, [20e-6])
+            assert report.value == pytest.approx(expected.value,
+                                                 rel=1e-3, abs=1e-6)
+
+    def test_non_screening_configuration_delegates(self, rc_macro):
+        """Configurations outside the screening protocol still answer
+        through screen_faults (via per-fault sensitivity)."""
+        configs = {c.name: c for c in rc_macro.test_configurations()}
+        step_config = configs["step-mean"]
+        executor = Executor(rc_macro.circuit, step_config, rc_macro.options)
+        faults = list(rc_macro.fault_dictionary())[:2]
+        vector = step_config.parameters.seeds
+        reports = executor.screen_faults(faults, vector)
+        for fault, report in zip(faults, reports):
+            expected = executor.sensitivity(fault, vector)
+            assert report.value == pytest.approx(expected.value,
+                                                 rel=1e-6, abs=1e-9)
+        assert executor.stats.screened_simulations == 0
+
+    def test_unsimulatable_fault_is_maximally_deviant(self, iv_macro,
+                                                      dc_config,
+                                                      monkeypatch):
+        """A fault the robust fallback cannot solve must screen as a
+        guaranteed detection, exactly like the per-fault path."""
+        executor = Executor(iv_macro.circuit, dc_config, iv_macro.options)
+        fault = BridgingFault(node_a="vdd", node_b="0", impact=10e3)
+
+        def refuse(*args, **kwargs):
+            raise AnalysisError("forced failure")
+
+        # Starve the batched stages so the fault falls back to the
+        # (refusing) per-fault path.
+        monkeypatch.setattr(executor.engine, "simulate_fault", refuse)
+        base = executor.engine.nominal
+        params = dc_config.parameters.to_dict([20e-6])
+        solver = executor.engine._screen_solver(
+            "nominal", base, dc_config.procedure, params)
+        solver.max_chord_iter = 0
+        solver.max_newton_iter = 0
+        (report,) = executor.screen_faults([fault], [20e-6])
+        assert report.detected
+        assert report.value < -1.0

@@ -1,0 +1,154 @@
+"""Sharded dictionary execution: determinism and merge correctness.
+
+The sharding contract: shard membership is a pure function of
+(fault_id, n_shards) — stable across runs, machines and worker counts —
+and sharded results are bitwise independent of how many workers served
+the shards (each shard runs on a fresh replicated executor).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TestGenerationError
+from repro.faults import BridgingFault
+from repro.testgen import (
+    GenerationSettings,
+    generate_tests,
+    screen_dictionary_sharded,
+    shard_assignments,
+    shard_faults,
+    shard_index,
+)
+
+
+class TestShardAssignment:
+    def test_content_addressed_golden_values(self):
+        """Assignments depend only on the id text: pin a few digests so
+        any change to the hashing scheme fails loudly (records on disk
+        reference shard numbers)."""
+        assert shard_index("bridge:n1:n2", 16) == 1
+        assert shard_index("bridge:0:vdd", 16) == 14
+        assert shard_index("pinhole:M6", 16) == 5
+        assert shard_index("bridge:n1:n2", 1) == 0
+
+    def test_independent_of_enumeration_order(self, rc_macro):
+        faults = list(rc_macro.fault_dictionary())
+        forward = dict(zip((f.fault_id for f in faults),
+                           shard_assignments(faults, 8)))
+        reordered = list(reversed(faults))
+        backward = dict(zip((f.fault_id for f in reordered),
+                            shard_assignments(reordered, 8)))
+        assert forward == backward
+
+    def test_partition_is_disjoint_and_complete(self, rc_macro):
+        faults = list(rc_macro.fault_dictionary())
+        shards = shard_faults(faults, 4)
+        assert len(shards) == 4
+        flattened = [f.fault_id for shard in shards for f in shard]
+        assert sorted(flattened) == sorted(f.fault_id for f in faults)
+        assert len(set(flattened)) == len(flattened)
+
+    def test_order_preserved_within_shard(self, rc_macro):
+        faults = list(rc_macro.fault_dictionary())
+        positions = {f.fault_id: k for k, f in enumerate(faults)}
+        for shard in shard_faults(faults, 3):
+            indices = [positions[f.fault_id] for f in shard]
+            assert indices == sorted(indices)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(TestGenerationError):
+            shard_index("bridge:n1:n2", 0)
+
+
+class TestShardedScreening:
+    @pytest.fixture(scope="class")
+    def screen_setup(self, rc_macro):
+        configs = {c.name: c for c in rc_macro.test_configurations()}
+        config = configs["dc-out"]
+        return (rc_macro, config, list(rc_macro.fault_dictionary()),
+                list(config.parameters.seeds))
+
+    def test_serial_run_merges_in_dictionary_order(self, screen_setup):
+        macro, config, faults, vector = screen_setup
+        result = screen_dictionary_sharded(
+            macro.circuit, config, faults, vector, macro.options,
+            n_shards=4, max_workers=1)
+        assert result.fault_ids == tuple(f.fault_id for f in faults)
+        assert result.n_shards == 4
+        assert sum(result.shard_sizes) == len(faults)
+        assert len(result.reports) == len(faults)
+        assert result.executor_stats.faulty_simulations >= len(faults)
+
+    def test_worker_count_does_not_change_results(self, screen_setup):
+        """Same shard partition, bitwise-identical reports, whether the
+        shards run in-process or on two worker processes."""
+        macro, config, faults, vector = screen_setup
+        serial = screen_dictionary_sharded(
+            macro.circuit, config, faults, vector, macro.options,
+            n_shards=3, max_workers=1)
+        parallel = screen_dictionary_sharded(
+            macro.circuit, config, faults, vector, macro.options,
+            n_shards=3, max_workers=2)
+        assert serial.fault_ids == parallel.fault_ids
+        assert serial.shard_sizes == parallel.shard_sizes
+        for a, b in zip(serial.reports, parallel.reports):
+            assert a.value == b.value
+            assert np.array_equal(a.deviations, b.deviations)
+            assert np.array_equal(a.boxes, b.boxes)
+        assert (serial.executor_stats.faulty_simulations
+                == parallel.executor_stats.faulty_simulations)
+
+    def test_verdicts_match_unsharded_screening(self, screen_setup):
+        macro, config, faults, vector = screen_setup
+        from repro.testgen.execution import TestExecutor
+        sharded = screen_dictionary_sharded(
+            macro.circuit, config, faults, vector, macro.options,
+            n_shards=5, max_workers=1)
+        executor = TestExecutor(macro.circuit, config, macro.options)
+        whole = executor.screen_faults(faults, vector)
+        for a, b in zip(sharded.reports, whole):
+            assert a.detected == b.detected
+            assert a.value == pytest.approx(b.value, rel=1e-6, abs=1e-9)
+
+    def test_report_lookup_and_errors(self, screen_setup):
+        macro, config, faults, vector = screen_setup
+        result = screen_dictionary_sharded(
+            macro.circuit, config, faults, vector, macro.options,
+            n_shards=2, max_workers=1)
+        first = faults[0].fault_id
+        assert result.report_for(first) is result.reports[0]
+        with pytest.raises(TestGenerationError):
+            result.report_for("bridge:not:there")
+
+    def test_empty_and_duplicate_inputs_rejected(self, screen_setup):
+        macro, config, _, vector = screen_setup
+        with pytest.raises(TestGenerationError):
+            screen_dictionary_sharded(macro.circuit, config, [], vector,
+                                      macro.options)
+        twin = BridgingFault(node_a="vin", node_b="vout", impact=1e3)
+        with pytest.raises(TestGenerationError):
+            screen_dictionary_sharded(
+                macro.circuit, config, [twin, twin.with_impact(2e3)],
+                vector, macro.options)
+
+
+class TestShardedGeneration:
+    def test_sharded_generation_matches_serial(self, rc_macro,
+                                               rc_generation):
+        """generate_tests over shards returns the same per-fault
+        assignments (order, winning configuration, detection flags) as
+        the serial driver."""
+        sharded = generate_tests(
+            rc_macro.circuit, rc_macro.test_configurations(),
+            rc_macro.fault_dictionary(), GenerationSettings(),
+            rc_macro.options, n_jobs=2, n_shards=3)
+        assert len(sharded.tests) == len(rc_generation.tests)
+        for serial_test, sharded_test in zip(rc_generation.tests,
+                                             sharded.tests):
+            assert (serial_test.fault.fault_id
+                    == sharded_test.fault.fault_id)
+            assert serial_test.config_name == sharded_test.config_name
+            assert (serial_test.detected_at_dictionary
+                    == sharded_test.detected_at_dictionary)
+            assert serial_test.undetectable == sharded_test.undetectable
+        assert sharded.total_simulations > 0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Verify that documentation links and code references resolve.
+
+Checks, for README.md and every markdown file under docs/:
+
+* relative markdown links ``[text](path)`` point at files that exist
+  (anchors and external ``http(s)``/``mailto`` links are skipped);
+* backtick references that look like repo paths (``src/...``,
+  ``benchmarks/...``, ``docs/...``, ``examples/...``, ``tests/...``)
+  point at existing files or directories.
+
+Exits non-zero listing every broken reference, so CI fails when a rename
+orphans the docs.  Run from anywhere: paths resolve against the repo
+root (the parent of this file's directory).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target)
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+#: Backticked repo paths: `src/repro/analysis/mna.py`, `docs/...`, ...
+CODE_PATH_RE = re.compile(
+    r"`((?:src|docs|benchmarks|examples|tests|results)/[A-Za-z0-9_./-]+)`")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def document_paths() -> list[Path]:
+    """README plus every markdown file under docs/."""
+    documents = [REPO_ROOT / "README.md"]
+    docs_dir = REPO_ROOT / "docs"
+    if docs_dir.is_dir():
+        documents.extend(sorted(docs_dir.glob("*.md")))
+    return [d for d in documents if d.exists()]
+
+
+def broken_references(document: Path) -> list[str]:
+    """All unresolvable links/path references in one document."""
+    text = document.read_text(encoding="utf-8")
+    problems: list[str] = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (document.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"link -> {match.group(1)}")
+    for match in CODE_PATH_RE.finditer(text):
+        if not (REPO_ROOT / match.group(1)).exists():
+            problems.append(f"code path -> {match.group(1)}")
+    return problems
+
+
+def main() -> int:
+    documents = document_paths()
+    if not documents:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for document in documents:
+        for problem in broken_references(document):
+            rel = document.relative_to(REPO_ROOT)
+            print(f"BROKEN  {rel}: {problem}", file=sys.stderr)
+            failures += 1
+    checked = ", ".join(str(d.relative_to(REPO_ROOT)) for d in documents)
+    if failures:
+        print(f"{failures} broken reference(s) in: {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"all documentation references resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
