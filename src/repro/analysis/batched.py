@@ -50,7 +50,8 @@ from repro.circuit.diode import diode_eval
 from repro.circuit.mosfet import mos_level1
 from repro.errors import AnalysisError
 
-__all__ = ["ScreenedSolution", "BatchedOverlaySolver"]
+__all__ = ["ScreenedSolution", "BatchedOverlaySolver",
+           "MonteCarloOverlaySolver"]
 
 #: Screening statuses, in escalation order.
 STATUS_SCREENED = "screened"    # certified by SMW + chord iterations
@@ -95,12 +96,17 @@ class _StampStack:
     ``woodbury=False`` skips the SMW apparatus (the stacked ``Z``
     columns and capacitance inverses) for stacks that only assemble
     residuals/Jacobians, e.g. the batched Newton confirm stage.
+
+    ``allow_empty=True`` accepts columns with no stamps at all (their
+    Woodbury correction is the identity).  Monte Carlo screening needs
+    this for fault-free process-sample columns whose perturbation
+    carries no resistive part.
     """
 
     def __init__(self, compiled: CompiledCircuit,
                  stamp_sets: Sequence[Sequence[tuple[str, str, float]]],
                  factorization: Factorization, *,
-                 woodbury: bool = True) -> None:
+                 woodbury: bool = True, allow_empty: bool = False) -> None:
         size = compiled.size
         self.n_faults = len(stamp_sets)
         sp: list[int] = []
@@ -109,7 +115,7 @@ class _StampStack:
         scol: list[int] = []
         offsets = [0]
         for col, stamps in enumerate(stamp_sets):
-            if not stamps:
+            if not stamps and not allow_empty:
                 raise AnalysisError(
                     f"fault column {col} carries no overlay stamps")
             for node_a, node_b, g in stamps:
@@ -148,8 +154,10 @@ class _StampStack:
 
         # Per-fault Woodbury capacitance inverse (C^-1 + U^T Z)^-1; a
         # singular capacitance marks the fault unscreenable up front.
-        self.rank1 = bool(np.all(np.diff(self.offsets) == 1))
+        ranks = np.diff(self.offsets)
+        self.rank1 = bool(self.n_faults and np.all(ranks == 1))
         self.singular = np.zeros(self.n_faults, dtype=bool)
+        self.cap_inv_k: np.ndarray | None = None
         if self.rank1:
             duz = (self._gather(self.z_all, self.sp, np.arange(len(sp)))
                    - self._gather(self.z_all, self.sn, np.arange(len(sp))))
@@ -158,18 +166,40 @@ class _StampStack:
             with np.errstate(divide="ignore"):
                 self.cap_inv_1 = np.where(self.singular, 0.0, 1.0 / denom)
             self.cap_inv: list[np.ndarray | None] = []
-        else:
-            self.cap_inv = []
-            for col in range(self.n_faults):
-                lo, hi = self.offsets[col], self.offsets[col + 1]
-                u = self.u_all[:, lo:hi]
-                z = self.z_all[:, lo:hi]
-                cap = np.diag(1.0 / self.sg[lo:hi]) + u.T @ z
-                try:
-                    self.cap_inv.append(np.linalg.inv(cap))
-                except np.linalg.LinAlgError:
-                    self.cap_inv.append(None)
-                    self.singular[col] = True
+            return
+        self.cap_inv = []
+        uniform = bool(self.n_faults and ranks[0] > 1
+                       and np.all(ranks == ranks[0]))
+        if uniform:
+            # Uniform rank k: one batched inverse serves every column
+            # (the Monte Carlo layout — each column carries the same
+            # resistor-delta stamps plus at most one fault stamp).
+            k = int(ranks[0])
+            u3 = self.u_all.reshape(size, self.n_faults, k)
+            z3 = self.z_all.reshape(size, self.n_faults, k)
+            cap = np.einsum("scx,scy->cxy", u3, z3)
+            diag = np.arange(k)
+            with np.errstate(divide="ignore"):
+                cap[:, diag, diag] += 1.0 / self.sg.reshape(self.n_faults, k)
+            try:
+                if not np.all(np.isfinite(cap)):
+                    raise np.linalg.LinAlgError
+                self.cap_inv_k = np.linalg.inv(cap)
+                self.u3 = u3
+                self.z3 = z3
+                return
+            except np.linalg.LinAlgError:
+                self.cap_inv_k = None  # fall through to per-column loop
+        for col in range(self.n_faults):
+            lo, hi = self.offsets[col], self.offsets[col + 1]
+            u = self.u_all[:, lo:hi]
+            z = self.z_all[:, lo:hi]
+            cap = np.diag(1.0 / self.sg[lo:hi]) + u.T @ z
+            try:
+                self.cap_inv.append(np.linalg.inv(cap))
+            except np.linalg.LinAlgError:
+                self.cap_inv.append(None)
+                self.singular[col] = True
 
     @staticmethod
     def _gather(y: np.ndarray, rows: np.ndarray,
@@ -207,6 +237,10 @@ class _StampStack:
             duy = (self._gather(y, self.sp[stamp_idx], cols)
                    - self._gather(y, self.sn[stamp_idx], cols))
             return y - self.z_all[:, stamp_idx] * (duy * self.cap_inv_1)
+        if self.cap_inv_k is not None:
+            w = np.einsum("sck,sc->ck", self.u3, y)
+            v = np.einsum("ckl,cl->ck", self.cap_inv_k, w)
+            return y - np.einsum("sck,ck->sc", self.z3, v)
         out = y.copy()
         for col in range(self.n_faults):
             if self.cap_inv[col] is None:
@@ -293,6 +327,8 @@ class BatchedOverlaySolver:
         # Stamp stacks are pure functions of (stamps, factorization);
         # repeated screens of the same family reuse them.
         self._stack_cache: dict[tuple, _StampStack] = {}
+        #: Subclasses may permit stamp-free columns (identity Woodbury).
+        self._allow_empty_stamps = False
         # Per-fault warm memory at THIS stimulus.  Engine warm-start
         # slots are shared across stimuli, so on alternating stimulus
         # points they always hold the *other* point's solution; the
@@ -304,7 +340,12 @@ class BatchedOverlaySolver:
     # batched nonlinear assembly
     # ------------------------------------------------------------------
     def _assemble(self, x: np.ndarray, stack: _StampStack,
-                  jacobian: bool) -> tuple[np.ndarray, np.ndarray | None]:
+                  jacobian: bool, cols: np.ndarray | None = None,
+                  gmin: float | None = None,
+                  b_scale: np.ndarray | None = None,
+                  cap_geq: np.ndarray | None = None,
+                  cap_ieq: np.ndarray | None = None,
+                  ) -> tuple[np.ndarray, np.ndarray | None]:
         """True residuals (and optionally stacked Jacobians) per column.
 
         The residual of column *f* is the KCL/KVL defect of the faulty
@@ -313,17 +354,33 @@ class BatchedOverlaySolver:
         cancel exactly, so a root of *r* is precisely a fixed point of
         :func:`newton_solve` on the overlaid circuit.  One device-model
         evaluation on ``(devices, faults)`` arrays serves both outputs.
+
+        *cols* carries the global column indices of ``x``'s columns when
+        the caller works on a subset (the Newton confirm stage); the
+        per-column device-parameter hook (:meth:`_mos_params`) uses it to
+        slice its arrays — the nominal base implementation ignores it.
+        *gmin* overrides the node-to-ground conductance for homotopy
+        retries; ``None`` keeps ``options.gmin``.  *b_scale* scales the
+        source vector per column (source-stepping ramps); *cap_geq* /
+        *cap_ieq* are per-column capacitor companion arrays of shape
+        ``(n_caps, n_columns)`` (pseudo-transient continuation), exactly
+        the companion model :meth:`CompiledCircuit.linearize` applies.
         """
         compiled = self.compiled
         options = self.options
+        if gmin is None:
+            gmin = options.gmin
         size = compiled.size
         n_nodes = compiled.n_nodes
         n_faults = x.shape[1]
         xa = np.vstack([x, np.zeros((1, n_faults))])
 
         r = self._a_static @ xa
-        r -= self.b_aug[:, None]
-        r[:n_nodes] += options.gmin * xa[:n_nodes]
+        if b_scale is None:
+            r -= self.b_aug[:, None]
+        else:
+            r -= self.b_aug[:, None] * b_scale[None, :]
+        r[:n_nodes] += gmin * xa[:n_nodes]
         stack.add_residual(r, xa)
 
         ga = None
@@ -331,7 +388,7 @@ class BatchedOverlaySolver:
             ga = np.repeat(self._a_static[None, :, :], n_faults, axis=0)
             stack.add_jacobian(ga)
             diag = np.arange(n_nodes)
-            ga[:, diag, diag] += options.gmin
+            ga[:, diag, diag] += gmin
 
         bv = options.breakdown_voltage
         gbd = options.breakdown_conductance
@@ -345,22 +402,41 @@ class BatchedOverlaySolver:
                 np.add.at(ga, (fi, ni, ni), gbd)
 
         fi = np.arange(n_faults)
+        if cap_geq is not None and compiled.n_caps:
+            p = compiled.cap_p[:, None]
+            n = compiled.cap_n[:, None]
+            ci = fi[None, :]
+            vcap = xa[compiled.cap_p] - xa[compiled.cap_n]
+            icap = cap_geq * vcap - cap_ieq
+            np.add.at(r, (np.broadcast_to(p, icap.shape), ci), icap)
+            np.add.at(r, (np.broadcast_to(n, icap.shape), ci), -icap)
+            if ga is not None:
+                for rows, against, val in (
+                        (p, p, cap_geq), (p, n, -cap_geq),
+                        (n, p, -cap_geq), (n, n, cap_geq)):
+                    np.add.at(
+                        ga,
+                        (np.broadcast_to(ci, val.shape),
+                         np.broadcast_to(rows, val.shape),
+                         np.broadcast_to(against, val.shape)), val)
+
         if compiled.n_mosfets:
             d = compiled.mos_d[:, None]
             g = compiled.mos_g[:, None]
             s = compiled.mos_s[:, None]
             b = compiled.mos_b[:, None]
-            cols = fi[None, :]
+            ci = fi[None, :]
             vgs = xa[compiled.mos_g] - xa[compiled.mos_s]
             vds = xa[compiled.mos_d] - xa[compiled.mos_s]
             vbs = xa[compiled.mos_b] - xa[compiled.mos_s]
+            mos_beta, mos_vto = self._mos_params(cols)
             ids, gm, gds, gmb = mos_level1(
                 vgs, vds, vbs, compiled.mos_sign[:, None],
-                compiled.mos_beta[:, None], compiled.mos_vto[:, None],
+                mos_beta, mos_vto,
                 compiled.mos_lam[:, None], compiled.mos_gamma[:, None],
                 compiled.mos_phi[:, None])
-            np.add.at(r, (np.broadcast_to(d, ids.shape), cols), ids)
-            np.add.at(r, (np.broadcast_to(s, ids.shape), cols), -ids)
+            np.add.at(r, (np.broadcast_to(d, ids.shape), ci), ids)
+            np.add.at(r, (np.broadcast_to(s, ids.shape), ci), -ids)
             if ga is not None:
                 gsum = gm + gds + gmb
                 for rows, against, val in (
@@ -369,26 +445,26 @@ class BatchedOverlaySolver:
                         (s, s, gsum)):
                     np.add.at(
                         ga,
-                        (np.broadcast_to(cols, val.shape),
+                        (np.broadcast_to(ci, val.shape),
                          np.broadcast_to(rows, val.shape),
                          np.broadcast_to(against, val.shape)), val)
 
         if compiled.n_diodes:
             a = compiled.dio_a[:, None]
             c = compiled.dio_c[:, None]
-            cols = fi[None, :]
+            ci = fi[None, :]
             vd = xa[compiled.dio_a] - xa[compiled.dio_c]
             idio, gdio = diode_eval(vd, compiled.dio_is[:, None],
                                     compiled.dio_n[:, None])
-            np.add.at(r, (np.broadcast_to(a, idio.shape), cols), idio)
-            np.add.at(r, (np.broadcast_to(c, idio.shape), cols), -idio)
+            np.add.at(r, (np.broadcast_to(a, idio.shape), ci), idio)
+            np.add.at(r, (np.broadcast_to(c, idio.shape), ci), -idio)
             if ga is not None:
                 for rows, against, val in (
                         (a, a, gdio), (a, c, -gdio),
                         (c, a, -gdio), (c, c, gdio)):
                     np.add.at(
                         ga,
-                        (np.broadcast_to(cols, val.shape),
+                        (np.broadcast_to(ci, val.shape),
                          np.broadcast_to(rows, val.shape),
                          np.broadcast_to(against, val.shape)), val)
 
@@ -396,13 +472,36 @@ class BatchedOverlaySolver:
             ga = ga[:, :size, :size]
         return r[:size], ga
 
-    def _limit_steps(self, dx: np.ndarray) -> np.ndarray:
+    def _mos_params(self, cols: np.ndarray | None,
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-column MOSFET (beta, vto) arrays for :meth:`_assemble`.
+
+        The base solver serves every column from the nominal model cards;
+        :class:`MonteCarloOverlaySolver` overrides this to inject
+        process-perturbed parameters per column.
+        """
+        compiled = self.compiled
+        return compiled.mos_beta[:, None], compiled.mos_vto[:, None]
+
+    def _accept_chord(self, x: np.ndarray, stamp_sets,
+                      certified: np.ndarray) -> np.ndarray:
+        """Columns whose chord certificate is accepted as final.
+
+        The base solver trusts the chord step-size test as-is: its
+        columns differ from the nominal system only by their stamps,
+        which the chord operator carries exactly.
+        """
+        return certified
+
+    def _limit_steps(self, dx: np.ndarray,
+                     limit: float | None = None) -> np.ndarray:
         """Per-column junction-limiting clamp (same rule as newton_solve)."""
         mask = self._nl_mask
         if not mask.any():
             return dx
         vmax = np.max(np.abs(dx[mask]), axis=0)
-        limit = self.options.vstep_limit
+        if limit is None:
+            limit = self.options.vstep_limit
         with np.errstate(divide="ignore", invalid="ignore"):
             scale = np.where(vmax > limit, limit / np.maximum(vmax, 1e-300),
                              1.0)
@@ -422,7 +521,8 @@ class BatchedOverlaySolver:
         stack = self._stack_cache.get(fault_keys)
         if stack is None or (woodbury and not stack.woodbury):
             stack = _StampStack(self.compiled, stamp_sets,
-                                self.factorization, woodbury=woodbury)
+                                self.factorization, woodbury=woodbury,
+                                allow_empty=self._allow_empty_stamps)
             while len(self._stack_cache) >= 8:
                 self._stack_cache.pop(next(iter(self._stack_cache)))
         else:
@@ -529,6 +629,17 @@ class BatchedOverlaySolver:
             certified |= newly
             status[newly] = STATUS_SCREENED
 
+        # Chord acceptance hook: subclasses may impose a stronger
+        # certificate than the chord step-size test (the Monte Carlo
+        # solver demands a true-Newton step check, because per-column
+        # parameter perturbations can fold a solution branch away while
+        # the frozen chord operator still contracts onto its ghost).
+        accepted = self._accept_chord(x, stamp_sets, certified)
+        rejected = certified & ~accepted
+        if rejected.any():
+            certified &= accepted
+            status[rejected] = STATUS_FAILED
+
         # Stage 3 — batched true-Newton confirm for the nonlinear rest,
         # started from the estimate the per-fault path itself would use.
         remaining = np.flatnonzero(~certified)
@@ -563,18 +674,64 @@ class BatchedOverlaySolver:
         singular or diverging columns simply stay unconverged for the
         caller to report as ``"failed"``.
         """
-        sub_sets = [stamp_sets[f] for f in remaining]
+        conv = self._newton_sweep(x, stamp_sets, remaining, iterations)
+        return remaining[conv]
+
+    def _newton_sweep(self, x: np.ndarray, stamp_sets,
+                      cols: np.ndarray, iterations, *,
+                      gmin: float | None = None,
+                      vstep_limit: float | None = None,
+                      max_iter: int | None = None,
+                      b_scale: np.ndarray | None = None,
+                      cap_geq: np.ndarray | None = None,
+                      cap_ieq: np.ndarray | None = None) -> np.ndarray:
+        """One batched damped-Newton attempt on the *cols* columns.
+
+        Updates ``x[:, cols]`` in place and returns a boolean mask over
+        *cols* marking convergence.  *gmin*, *vstep_limit* and
+        *max_iter* override the defaults so homotopy retry ladders can
+        reuse the sweep (mirroring :func:`robust_solve`'s damped and
+        gmin-stepping attempts); *b_scale*, *cap_geq* and *cap_ieq* are
+        per-column arrays over *cols* for source-stepping and
+        pseudo-transient retries (see :meth:`_assemble`).
+
+        The working set shrinks as columns converge or die: once fewer
+        than half the current columns are still iterating, the sweep
+        compacts onto the survivors (long damped attempts would
+        otherwise keep re-assembling thousands of settled columns for
+        the sake of one straggler).  Settled columns are frozen, so
+        compaction changes no iterate.
+        """
+        if not cols.size:
+            return np.zeros(0, dtype=bool)
+        sub_sets = [stamp_sets[f] for f in cols]
         stack = self._stack_for(sub_sets, woodbury=False)
-        xs = x[:, remaining].copy()
-        conv = np.zeros(remaining.size, dtype=bool)
-        dead = np.zeros(remaining.size, dtype=bool)
+        xs = x[:, cols].copy()
+        conv = np.zeros(cols.size, dtype=bool)
+        dead = np.zeros(cols.size, dtype=bool)
         reltol = self.options.reltol
-        for _ in range(self.max_newton_iter):
-            active = ~conv & ~dead
+        n_iter = self.max_newton_iter if max_iter is None else max_iter
+        #: local indices of the columns the working arrays currently hold
+        live = np.arange(cols.size)
+        for _ in range(n_iter):
+            active = ~conv[live] & ~dead[live]
             if not active.any():
                 break
-            r, ga = self._assemble(xs, stack, jacobian=True)
-            dx = np.zeros_like(xs)
+            n_active = int(np.count_nonzero(active))
+            if n_active <= live.size // 2:
+                live = live[active]
+                stack = _StampStack(
+                    self.compiled, [sub_sets[i] for i in live],
+                    self.factorization, woodbury=False,
+                    allow_empty=self._allow_empty_stamps)
+                active = np.ones(live.size, dtype=bool)
+            xw = xs[:, live]
+            r, ga = self._assemble(
+                xw, stack, jacobian=True, cols=cols[live], gmin=gmin,
+                b_scale=None if b_scale is None else b_scale[live],
+                cap_geq=None if cap_geq is None else cap_geq[:, live],
+                cap_ieq=None if cap_ieq is None else cap_ieq[:, live])
+            dx = np.zeros_like(xw)
             try:
                 dx[:, :] = -np.linalg.solve(
                     ga, r.T[:, :, None])[:, :, 0].T
@@ -584,16 +741,333 @@ class BatchedOverlaySolver:
                         dx[:, k] = -np.linalg.solve(ga[k], r[:, k])
                     except np.linalg.LinAlgError:
                         dx[:, k] = 0.0
-                        dead[k] = True
-            dx[:, conv | dead] = 0.0
+                        dead[live[k]] = True
+            dx[:, ~active] = 0.0
             blown = ~np.isfinite(dx).all(axis=0)
             if blown.any():
                 dx[:, blown] = 0.0
-                dead |= blown
-            dx = self._limit_steps(dx)
-            xs += dx
-            iterations[remaining[active]] += 1
-            conv |= (step_converged(dx, xs, self._abs_tol, reltol)
-                     & active & ~dead)
-        x[:, remaining] = xs
+                dead[live[blown]] = True
+            dx = self._limit_steps(dx, vstep_limit)
+            xw = xw + dx
+            xs[:, live] = xw
+            stepped = active & ~dead[live]
+            iterations[cols[live[active]]] += 1
+            newly = (step_converged(dx, xw, self._abs_tol, reltol)
+                     & stepped)
+            conv[live[newly]] = True
+        x[:, cols] = xs
+        return conv
+
+
+class MonteCarloOverlaySolver(BatchedOverlaySolver):
+    """Screens (process sample x fault) columns at one (base, stimulus).
+
+    Each column of a Monte Carlo screen is one process sample with one
+    fault (or no fault, for the fault-free tolerance-box pass).  The
+    sample's *resistive* perturbation is exact rank-k territory: the
+    resistance shifts become per-column conductance-delta stamps merged
+    with the fault's own stamps, so the SMW screen serves them from the
+    single nominal factorization.  The sample's *MOSFET* perturbations
+    (vto, kp -> beta) cannot be expressed as constant stamps; they enter
+    through per-column device-parameter arrays (:meth:`_mos_params`), so
+    the true residual every chord/Newton stage drives to zero is that of
+    the fully perturbed circuit while the frozen SMW operator — nominal
+    device cards plus stamps — serves as the preconditioner.  Process
+    spreads are small (a few percent), so the frozen operator contracts
+    quickly; certification still uses the exact per-column
+    :func:`~repro.analysis.newton.step_converged` contract, which is
+    parameter-aware through the residual.
+
+    The chord budget is wider than the fault-screening default: Monte
+    Carlo columns start one parameter-perturbation away from the nominal
+    branch (never on a different operating branch), where a few extra
+    frozen-Jacobian sweeps are cheaper than escalating thousands of
+    columns to batched Newton.
+    """
+
+    def __init__(self, compiled: CompiledCircuit,
+                 x_op: np.ndarray, b_sources: np.ndarray,
+                 options: SimOptions = DEFAULT_OPTIONS, *,
+                 factorization: Factorization | None = None,
+                 max_chord_iter: int = 8,
+                 max_newton_iter: int | None = None,
+                 chord_trust: float = 0.2) -> None:
+        super().__init__(compiled, x_op, b_sources, options,
+                         factorization=factorization,
+                         max_chord_iter=max_chord_iter,
+                         max_newton_iter=max_newton_iter,
+                         chord_trust=chord_trust)
+        self._allow_empty_stamps = True
+        self._col_beta: np.ndarray | None = None
+        self._col_vto: np.ndarray | None = None
+
+    def screen_columns(
+        self,
+        stamp_sets: Sequence[Sequence[tuple[str, str, float]]], *,
+        mos_beta: np.ndarray | None = None,
+        mos_vto: np.ndarray | None = None,
+        warm: Sequence[np.ndarray | None] | None = None,
+    ) -> list[ScreenedSolution]:
+        """Screen one stamp set per column with per-column MOS cards.
+
+        Args:
+            stamp_sets: per-column stamp collections — the fault's stamps
+                plus the sample's resistor-delta stamps (may be empty for
+                a fault-free sample with no resistive perturbation).
+            mos_beta / mos_vto: optional ``(n_mosfets, n_columns)``
+                perturbed parameter arrays; ``None`` keeps the nominal
+                card for that parameter.
+            warm: optional per-column warm estimates (see :meth:`screen`).
+        """
+        n_cols = len(stamp_sets)
+        n_mos = self.compiled.n_mosfets
+        for name, arr in (("mos_beta", mos_beta), ("mos_vto", mos_vto)):
+            if arr is not None and arr.shape != (n_mos, n_cols):
+                raise AnalysisError(
+                    f"{name} must have shape ({n_mos}, {n_cols}), "
+                    f"got {arr.shape}")
+        self._col_beta = mos_beta
+        self._col_vto = mos_vto
+        try:
+            return self.screen(stamp_sets, warm)
+        finally:
+            self._col_beta = None
+            self._col_vto = None
+
+    def _mos_params(self, cols: np.ndarray | None,
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        compiled = self.compiled
+        beta = (compiled.mos_beta[:, None] if self._col_beta is None
+                else self._col_beta if cols is None
+                else self._col_beta[:, cols])
+        vto = (compiled.mos_vto[:, None] if self._col_vto is None
+               else self._col_vto if cols is None
+               else self._col_vto[:, cols])
+        return beta, vto
+
+    def _accept_chord(self, x: np.ndarray, stamp_sets,
+                      certified: np.ndarray) -> np.ndarray:
+        """Accept a chord certificate only if one *true* Newton step
+        from the chord solution also satisfies the convergence contract.
+
+        A Monte Carlo column's system differs from the chord operator in
+        its device parameters, not just its stamps.  Near a fold of the
+        perturbed circuit the true solution branch can vanish while the
+        frozen chord map still contracts — with steps small enough to
+        pass the step-size test — onto a point that solves nothing
+        (``r`` stays finite there, Newton's own step is large).  One
+        batched Jacobian solve per screen closes that gap: rejected
+        columns escalate to the Newton-confirm stage and land on the
+        branch a per-sample reference solve would.
+        """
+        idx = np.flatnonzero(certified)
+        if not idx.size:
+            return certified
+        sub_sets = [stamp_sets[f] for f in idx]
+        stack = self._stack_for(sub_sets, woodbury=False)
+        xs = x[:, idx]
+        r, ga = self._assemble(xs, stack, jacobian=True, cols=idx)
+        accepted = certified.copy()
+        dx = np.zeros_like(xs)
+        try:
+            dx[:, :] = -np.linalg.solve(ga, r.T[:, :, None])[:, :, 0].T
+        except np.linalg.LinAlgError:
+            for k in range(idx.size):
+                try:
+                    dx[:, k] = -np.linalg.solve(ga[k], r[:, k])
+                except np.linalg.LinAlgError:
+                    accepted[idx[k]] = False
+                    dx[:, k] = 0.0
+        bad = ~np.isfinite(dx).all(axis=0)
+        if bad.any():
+            accepted[idx[bad]] = False
+            dx[:, bad] = 0.0
+        dx = self._limit_steps(dx)
+        ok = step_converged(dx, xs + dx, self._abs_tol,
+                            self.options.reltol)
+        accepted[idx[~ok]] = False
+        return accepted
+
+    def _newton_confirm(self, x: np.ndarray, stamp_sets, remaining,
+                        iterations) -> np.ndarray:
+        """Newton confirm plus a batched homotopy retry ladder.
+
+        The first sweep reproduces the per-sample reference's warm
+        Newton attempt.  Columns it cannot converge are exactly the ones
+        the scalar path would hand to :func:`robust_solve` from a cold
+        start, so the retry ladder mirrors that escalation — plain cold
+        Newton, damped cold Newton, then the gmin homotopy ladder — but
+        stays batched: a handful of hard columns per screen would
+        otherwise each cost a full scalar robust solve.  Source stepping
+        and pseudo-transient are not replicated; columns that exhaust
+        the gmin ladder stay ``"failed"`` for the caller to escalate.
+        """
+        conv = self._newton_sweep(x, stamp_sets, remaining, iterations)
+        left = remaining[~conv]
+        if left.size:
+            recovered = self._newton_ladder(x, stamp_sets, left,
+                                            iterations)
+            if recovered.size:
+                mask = np.isin(remaining, recovered)
+                conv = conv | mask
         return remaining[conv]
+
+    def _attempt(self, x: np.ndarray, stamp_sets,
+                 cols: np.ndarray, iterations, *,
+                 gmin: float | None = None,
+                 b_scale: np.ndarray | None = None,
+                 cap_geq: np.ndarray | None = None,
+                 cap_ieq: np.ndarray | None = None) -> np.ndarray:
+        """One robust_solve-style attempt: plain sweep, then a damped
+        retry restarted from the same estimate.  Returns a boolean mask
+        over *cols*; failed columns are restored to their pre-attempt
+        state (the scalar path likewise discards a failed attempt's
+        iterate)."""
+        options = self.options
+        start = x[:, cols].copy()
+        conv = self._newton_sweep(x, stamp_sets, cols, iterations,
+                                  gmin=gmin, b_scale=b_scale,
+                                  cap_geq=cap_geq, cap_ieq=cap_ieq)
+        left = np.flatnonzero(~conv)
+        if left.size:
+            x[:, cols[left]] = start[:, left]
+            damped = self._newton_sweep(
+                x, stamp_sets, cols[left], iterations, gmin=gmin,
+                b_scale=None if b_scale is None else b_scale[left],
+                cap_geq=None if cap_geq is None else cap_geq[:, left],
+                cap_ieq=None if cap_ieq is None else cap_ieq[:, left],
+                vstep_limit=options.vstep_limit / 8.0,
+                max_iter=options.max_iter * 4)
+            conv = conv.copy()
+            conv[left[damped]] = True
+            still = left[~damped]
+            x[:, cols[still]] = start[:, still]
+        return conv
+
+    def _newton_ladder(self, x: np.ndarray, stamp_sets,
+                       cols: np.ndarray, iterations) -> np.ndarray:
+        """Cold restart, gmin homotopy, source stepping, then
+        pseudo-transient — batched.
+
+        Matches :func:`robust_solve`'s escalation order and branch
+        selection from a cold start: every attempt starts from zeros
+        (the reference's cold start), the gmin ladder chains each rung's
+        solution into the next and drops columns at the first rung they
+        fail, and columns the ladder cannot hold escalate to the
+        source-stepping ramp and finally pseudo-transient continuation.
+        """
+        options = self.options
+        x[:, cols] = 0.0
+        conv = self._attempt(x, stamp_sets, cols, iterations)
+        done = cols[conv]
+        pending = cols[~conv]
+        if pending.size:
+            x[:, pending] = 0.0
+            active = pending
+            for g in tuple(options.gmin_steps) + (options.gmin,):
+                if not active.size:
+                    break
+                ok = self._attempt(x, stamp_sets, active, iterations,
+                                   gmin=g)
+                active = active[ok]
+            if active.size:
+                done = np.concatenate([done, active])
+                pending = np.setdiff1d(pending, active)
+        if pending.size:
+            rescued = self._source_attempt(x, stamp_sets, pending,
+                                           iterations)
+            if rescued.size:
+                done = np.concatenate([done, rescued])
+                pending = np.setdiff1d(pending, rescued)
+        if pending.size:
+            rescued = self._ptran_attempt(x, stamp_sets, pending,
+                                          iterations)
+            if rescued.size:
+                done = np.concatenate([done, rescued])
+        return done
+
+    def _source_attempt(self, x: np.ndarray, stamp_sets,
+                        cols: np.ndarray, iterations) -> np.ndarray:
+        """Batched source+gmin stepping, per-column adaptive schedule.
+
+        Each column runs :func:`robust_solve`'s ramp — sources from
+        zero under a raised gmin, adaptive step halving/growth, then
+        gmin relaxed back down at full drive — but columns at the same
+        round share one batched sweep.  Ramp rungs use plain (undamped)
+        Newton only: a continuation tracks the same branch regardless
+        of rung granularity, and the scalar path's per-rung damped
+        retry would quadruple the budget every stalling column burns
+        before falling through to pseudo-transient.  Returns the
+        converged subset of *cols*."""
+        options = self.options
+        ramp_gmin = max(1e-6, options.gmin)
+        k = cols.size
+        x[:, cols] = 0.0
+        scale = np.zeros(k)
+        init_step = 1.0 / options.source_steps
+        step = np.full(k, init_step)
+        min_step = init_step / 256.0
+        alive = np.ones(k, dtype=bool)
+        while True:
+            ramping = alive & (scale < 1.0)
+            if not ramping.any():
+                break
+            idx = np.flatnonzero(ramping)
+            target = np.minimum(scale[idx] + step[idx], 1.0)
+            sub = cols[idx]
+            start = x[:, sub].copy()
+            ok = self._newton_sweep(x, stamp_sets, sub, iterations,
+                                    gmin=ramp_gmin, b_scale=target)
+            if not ok.all():
+                x[:, sub[~ok]] = start[:, ~ok]
+            scale[idx[ok]] = target[ok]
+            step[idx[ok]] = np.minimum(step[idx[ok]] * 1.5, 0.25)
+            step[idx[~ok]] /= 2.0
+            alive[idx] &= step[idx] >= min_step
+        # Relax gmin back to the target at full drive; the rung sequence
+        # is deterministic, so all full-drive columns share each rung.
+        active = cols[scale >= 1.0]
+        g = ramp_gmin
+        while g > options.gmin and active.size:
+            g = max(g * 1e-1, options.gmin)
+            ok = self._attempt(x, stamp_sets, active, iterations, gmin=g)
+            active = active[ok]
+        return active
+
+    def _ptran_attempt(self, x: np.ndarray, stamp_sets,
+                       cols: np.ndarray, iterations,
+                       n_steps: int = 400) -> np.ndarray:
+        """Batched pseudo-transient continuation (last resort).
+
+        Backward-Euler steps with per-column adaptive dt from a cold
+        start, using the circuit's own capacitors as companion damping —
+        the batched mirror of :func:`~repro.analysis.newton._pseudo_transient`
+        plus its static Newton polish.  Returns the converged subset of
+        *cols*."""
+        compiled = self.compiled
+        k = cols.size
+        if not compiled.n_caps or not k:
+            return cols[:0]
+        x[:, cols] = 0.0
+        cap_v = np.zeros((compiled.n_caps, k))
+        dt = np.full(k, 1e-10)
+        growth = 10.0 ** (5.0 / n_steps)
+        for _ in range(n_steps):
+            geq = compiled.cap_value[:, None] / dt[None, :]
+            ieq = geq * cap_v
+            start = x[:, cols].copy()
+            conv = self._newton_sweep(x, stamp_sets, cols, iterations,
+                                      cap_geq=geq, cap_ieq=ieq)
+            ok = np.flatnonzero(conv)
+            bad = np.flatnonzero(~conv)
+            if bad.size:
+                x[:, cols[bad]] = start[:, bad]
+            if ok.size:
+                xs = x[:, cols[ok]]
+                xa = np.vstack([xs, np.zeros((1, ok.size))])
+                cap_v[:, ok] = xa[compiled.cap_p] - xa[compiled.cap_n]
+                dt[ok] *= growth
+            dt[bad] *= 0.25
+        # Static polish from the settled state (plain, then damped).
+        conv = self._attempt(x, stamp_sets, cols, iterations)
+        return cols[conv]

@@ -6,7 +6,9 @@ Thin argparse wrapper over the library for interactive use:
 * ``faults``    — fault dictionary (exhaustive or IFA-weighted);
 * ``tps``       — tps-graph of one fault under one configuration;
 * ``generate``  — the Fig. 6 generation run (JSON output optional);
-* ``compact``   — generation + collapse + coverage, the full flow.
+* ``compact``   — generation + collapse + coverage, the full flow;
+* ``mc``        — Monte Carlo detection probabilities under process
+  spread (vectorized tolerance screening).
 
 Examples::
 
@@ -15,6 +17,8 @@ Examples::
     python -m repro tps --macro iv-converter --config thd \\
         --fault bridge:n2:n3 --impact 34k --grid 7
     python -m repro compact --macro rc-ladder --delta 0.1
+    python -m repro mc --macro iv-converter --config dc-output \\
+        --samples 256 --jobs 4
 """
 
 from __future__ import annotations
@@ -22,6 +26,8 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+
+import numpy as np
 
 from repro.compaction import (
     CompactionSettings,
@@ -37,7 +43,9 @@ from repro.testgen import (
     MacroTestbench,
     compute_tps_graph,
     generate_tests,
+    mc_screen_dictionary_sharded,
 )
+from repro.tolerance import screen_dictionary_montecarlo
 from repro.units import format_value, parse_value
 
 __all__ = ["main", "build_parser"]
@@ -95,6 +103,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_compact.add_argument("--jobs", type=int, default=1)
     p_compact.add_argument("--delta", type=float, default=0.1,
                            help="acceptable sensitivity-loss fraction")
+
+    p_mc = sub.add_parser(
+        "mc", help="Monte Carlo detection probabilities under "
+                   "process spread")
+    add_macro_arg(p_mc)
+    p_mc.add_argument("--config", required=True,
+                      help="configuration name (see 'describe')")
+    p_mc.add_argument("--samples", type=int, default=256,
+                      help="process samples to draw")
+    p_mc.add_argument("--seed", type=int, default=0,
+                      help="RNG seed of the sample batch")
+    p_mc.add_argument("--threshold", type=float, default=0.9,
+                      help="detection-probability coverage bar")
+    p_mc.add_argument("--faults", type=int, default=None,
+                      help="limit to the first N faults")
+    p_mc.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (sharded execution)")
+    p_mc.add_argument("--scalar", action="store_true",
+                      help="use the scalar one-sample-at-a-time "
+                           "reference path instead of the batched "
+                           "SMW solver")
 
     return parser
 
@@ -206,12 +235,58 @@ def _cmd_compact(args) -> int:
     return 0
 
 
+def _cmd_mc(args) -> int:
+    macro = get_macro(args.macro)
+    configs = [c for c in macro.test_configurations()
+               if c.name == args.config]
+    if not configs:
+        names = [c.name for c in macro.test_configurations()]
+        print(f"error: no configuration {args.config!r}; have {names}",
+              file=sys.stderr)
+        return 2
+    config = configs[0]
+    faults = list(macro.fault_dictionary())
+    if args.faults:
+        faults = faults[:args.faults]
+    vector = list(config.parameters.seeds)
+    if args.jobs > 1:
+        result = mc_screen_dictionary_sharded(
+            macro.circuit, config, faults, vector, macro.options,
+            n_samples=args.samples, seed=args.seed,
+            vectorized=not args.scalar, max_workers=args.jobs)
+    else:
+        result = screen_dictionary_montecarlo(
+            macro.circuit, config, faults, vector, macro.options,
+            n_samples=args.samples, seed=args.seed,
+            vectorized=not args.scalar)
+    rows = [[e.fault_id, e.fault_type,
+             f"{e.detection_probability:.3f}",
+             f"{float(np.mean(e.margins)):+.3g}",
+             str(e.n_confirmed)]
+            for e in result.estimates]
+    print(render_table(
+        ["fault", "type", "P(detect)", "mean margin", "confirmed"], rows,
+        title=f"Monte Carlo screen: {config.name}, "
+              f"{result.n_samples} samples, seed {result.seed}"))
+    covered = sum(1 for e in result.estimates
+                  if e.detection_probability >= args.threshold)
+    print(f"covered at P >= {args.threshold:g}: "
+          f"{covered}/{len(result.estimates)}")
+    stats = result.stats
+    print(f"factorizations: {stats.factorizations}, columns "
+          f"screened/confirmed/failed: {stats.columns_screened}/"
+          f"{stats.columns_confirmed}/{stats.columns_failed}, "
+          f"scalar solves: {stats.scalar_solves}")
+    return 0
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "faults": _cmd_faults,
     "tps": _cmd_tps,
     "generate": _cmd_generate,
     "compact": _cmd_compact,
+    "mc": _cmd_mc,
 }
 
 

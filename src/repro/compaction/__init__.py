@@ -11,6 +11,7 @@ from repro.compaction.coverage import (
     CoverageReport,
     FaultCoverage,
     evaluate_coverage,
+    select_covering_tests,
 )
 from repro.compaction.grouping import farthest_pair_split, single_linkage_groups
 from repro.compaction.ordering import (
@@ -35,4 +36,5 @@ __all__ = [
     "FaultCoverage",
     "CoverageReport",
     "evaluate_coverage",
+    "select_covering_tests",
 ]

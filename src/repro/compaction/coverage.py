@@ -6,28 +6,55 @@ still *detects every dictionary fault at its dictionary impact*.  This
 module verifies exactly that, either against each fault's assigned group
 test only (cheap) or against the whole set (a fault counts as covered if
 *any* test fires — the realistic production question).
+
+Two coverage semantics are supported:
+
+* ``deterministic`` — the classic verdict at the nominal process point:
+  a fault is covered by a test iff ``S_f < 0`` there.
+* ``detection_probability`` — the manufacturing verdict: each test's
+  verdict for a fault is the *fraction of process samples* in which the
+  fault escapes the tolerance box (vectorized Monte Carlo screen, one
+  factorization per overlay base), and the fault counts as covered only
+  if some test reaches ``P(detect) >= detection_threshold``.  A fault
+  that fires at nominal but only for half the manufactured devices is
+  deterministically covered yet probabilistically *uncovered* — exactly
+  the escapes the compact set must not hide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.errors import TestGenerationError
 from repro.faults.base import FaultModel
 from repro.testgen.configuration import Test
 from repro.testgen.execution import MacroTestbench
 
-__all__ = ["FaultCoverage", "CoverageReport", "evaluate_coverage"]
+__all__ = [
+    "FaultCoverage",
+    "CoverageReport",
+    "evaluate_coverage",
+    "select_covering_tests",
+]
 
 
 @dataclass(frozen=True)
 class FaultCoverage:
-    """Coverage record of one fault against a test set."""
+    """Coverage record of one fault against a test set.
+
+    ``detection_probability`` is the best (largest) per-test detection
+    probability observed for the fault; ``NaN`` in deterministic mode,
+    where no Monte Carlo sampling happened.
+    """
 
     fault_id: str
     fault_type: str
     covered: bool
     best_sensitivity: float
     detecting_tests: tuple[str, ...]
+    detection_probability: float = float("nan")
 
 
 @dataclass(frozen=True)
@@ -76,6 +103,11 @@ def evaluate_coverage(
     faults: list[FaultModel] | tuple[FaultModel, ...],
     tests: list[Test] | tuple[Test, ...],
     stop_at_first: bool = True,
+    *,
+    mode: str = "deterministic",
+    detection_threshold: float = 0.9,
+    n_samples: int = 64,
+    seed: int = 0,
 ) -> CoverageReport:
     """Evaluate which faults (at their own impact) the test set detects.
 
@@ -86,30 +118,66 @@ def evaluate_coverage(
         tests: the test set to grade.
         stop_at_first: stop probing a fault after its first detection
             (cheaper); set False to enumerate every detecting test.
+        mode: ``"deterministic"`` grades each (fault, test) pair at the
+            nominal process point (``S_f < 0``);
+            ``"detection_probability"`` grades it by the Monte Carlo
+            detection probability under process spread — a fault is
+            detected by a test only if ``P(detect) >=
+            detection_threshold``.
+        detection_threshold: coverage bar for the probabilistic mode.
+        n_samples / seed: process-sample batch per test (probabilistic
+            mode only; the same seed per test keeps grading a pure
+            function of the test set).
 
     Note:
         Grading iterates tests in the outer loop so each test probes its
         whole remaining fault population in one batched SMW screen
-        (:meth:`~repro.testgen.execution.TestExecutor.screen_faults`) —
-        one factorization per test instead of up to
+        (:meth:`~repro.testgen.execution.TestExecutor.screen_faults`, or
+        the Monte Carlo screen in probabilistic mode) — one
+        factorization per (test, overlay base) instead of up to
         ``len(faults) * len(tests)`` independent solves.  Verdicts are
         identical to per-fault evaluation (the screen certifies against
         the same Newton contract and margin-confirms borderline cases).
     """
+    if mode not in ("deterministic", "detection_probability"):
+        raise TestGenerationError(
+            f"unknown coverage mode {mode!r}; use 'deterministic' or "
+            "'detection_probability'")
+    if not 0.0 < detection_threshold <= 1.0:
+        raise TestGenerationError(
+            "detection_threshold must be in (0, 1], got "
+            f"{detection_threshold}")
+    probabilistic = mode == "detection_probability"
     n_faults = len(faults)
     best = [float("inf")] * n_faults
+    probability = [0.0] * n_faults
     detecting: list[list[str]] = [[] for _ in range(n_faults)]
     pending = list(range(n_faults))
     for test in tests:
         if not pending:
             break
         executor = testbench.executor(test.config_name)
-        reports = executor.screen_faults(
-            [faults[i] for i in pending], test.values)
+        probe = [faults[i] for i in pending]
+        if probabilistic:
+            result = executor.detection_probabilities(
+                probe, test.values, n_samples=n_samples, seed=seed)
+            hits = [e.detection_probability >= detection_threshold
+                    for e in result.estimates]
+            # The "sensitivity" of a probabilistic verdict is the mean
+            # detection margin over the sample batch: the expected
+            # distance from the tolerance box, not the nominal one.
+            values = [float(np.mean(e.margins)) for e in result.estimates]
+            probs = [e.detection_probability for e in result.estimates]
+        else:
+            reports = executor.screen_faults(probe, test.values)
+            hits = [report.detected for report in reports]
+            values = [report.value for report in reports]
+            probs = [0.0] * len(reports)
         still_pending: list[int] = []
-        for i, report in zip(pending, reports):
-            best[i] = min(best[i], report.value)
-            if report.detected:
+        for i, hit, value, prob in zip(pending, hits, values, probs):
+            best[i] = min(best[i], value)
+            probability[i] = max(probability[i], prob)
+            if hit:
                 detecting[i].append(str(test))
                 if stop_at_first:
                     continue
@@ -118,6 +186,55 @@ def evaluate_coverage(
     entries = tuple(FaultCoverage(
         fault_id=fault.fault_id, fault_type=fault.fault_type,
         covered=bool(detecting[i]), best_sensitivity=best[i],
-        detecting_tests=tuple(detecting[i]))
+        detecting_tests=tuple(detecting[i]),
+        detection_probability=(probability[i] if probabilistic
+                               else float("nan")))
         for i, fault in enumerate(faults))
     return CoverageReport(entries=entries, n_tests=len(tests))
+
+
+def select_covering_tests(
+    testbench: MacroTestbench,
+    faults: list[FaultModel] | tuple[FaultModel, ...],
+    tests: list[Test] | tuple[Test, ...],
+    *,
+    mode: str = "deterministic",
+    detection_threshold: float = 0.9,
+    n_samples: int = 64,
+    seed: int = 0,
+) -> tuple[Test, ...]:
+    """Greedy minimal test subset preserving the given coverage.
+
+    Compaction against coverage: grade every (fault, test) pair once
+    (``stop_at_first=False``), then greedily keep the test covering the
+    most still-uncovered faults until coverage stops improving.  Under
+    ``mode="detection_probability"`` the pair verdict is probabilistic
+    (``P(detect) >= detection_threshold``), so the compact set is the
+    smallest one that still catches every fault *across process spread*
+    — a strictly harder bar than nominal-point coverage, and the one a
+    production test program has to meet.
+
+    Faults no test covers are ignored (they constrain nothing); ties
+    break on test order, so the selection is deterministic.  The kept
+    tests are returned in their original order.
+    """
+    report = evaluate_coverage(
+        testbench, faults, tests, stop_at_first=False, mode=mode,
+        detection_threshold=detection_threshold, n_samples=n_samples,
+        seed=seed)
+    names = [str(test) for test in tests]
+    coverage_sets = [
+        {i for i, entry in enumerate(report.entries)
+         if name in entry.detecting_tests}
+        for name in names]
+    uncovered = set().union(*coverage_sets) if coverage_sets else set()
+    keep: set[int] = set()
+    while uncovered:
+        gains = [len(covers & uncovered) if t not in keep else -1
+                 for t, covers in enumerate(coverage_sets)]
+        t_best = int(np.argmax(gains))
+        if gains[t_best] <= 0:
+            break
+        keep.add(t_best)
+        uncovered -= coverage_sets[t_best]
+    return tuple(test for t, test in enumerate(tests) if t in keep)

@@ -47,6 +47,7 @@ from repro.testgen.sharding import (
     DEFAULT_SHARD_COUNT,
     ShardedScreenResult,
     ShardResult,
+    mc_screen_dictionary_sharded,
     screen_dictionary_sharded,
     shard_assignments,
     shard_faults,
@@ -99,5 +100,6 @@ __all__ = [
     "shard_faults",
     "ShardResult",
     "ShardedScreenResult",
+    "mc_screen_dictionary_sharded",
     "screen_dictionary_sharded",
 ]

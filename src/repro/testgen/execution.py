@@ -345,6 +345,51 @@ class TestExecutor:
                 deviations=deviations[k], boxes=boxes, params=params_arr))
         return tuple(reports)
 
+    def detection_probabilities(self, faults: Sequence[FaultModel],
+                                vector: Sequence[float], *,
+                                variation=None,
+                                n_samples: int = 256,
+                                seed: int = 0,
+                                boxes: np.ndarray | None = None,
+                                confirm_margin: float = 0.02,
+                                vectorized: bool = True):
+        """Per-fault detection probabilities under process spread.
+
+        Runs the vectorized Monte Carlo tolerance screen
+        (:func:`repro.tolerance.montecarlo.screen_dictionary_montecarlo`)
+        for this executor's configuration at parameter *vector*: every
+        (process sample x fault) pair is served from one factorized
+        nominal system per overlay base, and each fault's verdict is the
+        fraction of samples in which its deviation escapes the tolerance
+        box.  This is the probabilistic analog of :meth:`screen_faults` —
+        where a sensitivity report answers *does the nominal device
+        detect the fault*, the returned
+        :class:`~repro.tolerance.montecarlo.MonteCarloScreenResult`
+        answers *how often a manufactured device does*.
+
+        Args:
+            faults: fault dictionary slice to screen (unique ids).
+            vector: configuration parameter vector (clipped to bounds).
+            variation: process-spread specification; default
+                :data:`repro.tolerance.process.DEFAULT_PROCESS`.
+            n_samples / seed: process-sample batch geometry.
+            boxes: externally supplied box half-widths (``None`` derives
+                the empirical box from this run's fault-free spread).
+            confirm_margin / vectorized: forwarded to the screen.
+        """
+        # Imported lazily: the tolerance layer type-checks against
+        # testgen.configuration, so a module-level import would tie the
+        # two packages into an import cycle.
+        from repro.tolerance.montecarlo import screen_dictionary_montecarlo
+        from repro.tolerance.process import DEFAULT_PROCESS
+        if variation is None:
+            variation = DEFAULT_PROCESS
+        return screen_dictionary_montecarlo(
+            self.nominal_circuit, self.configuration, list(faults),
+            list(vector), self.options, variation=variation,
+            n_samples=n_samples, seed=seed, boxes=boxes,
+            confirm_margin=confirm_margin, vectorized=vectorized)
+
     def evaluate_test(self, fault: FaultModel, test: Test) -> SensitivityReport:
         """Evaluate ``S_f`` for *fault* at a concrete :class:`Test`.
 
@@ -417,6 +462,14 @@ class MacroTestbench:
         """Batched ``S_f`` screening of a fault list under one
         configuration (see :meth:`TestExecutor.screen_faults`)."""
         return self.executor(config_name).screen_faults(faults, vector)
+
+    def detection_probabilities(self, config_name: str,
+                                faults: Sequence[FaultModel],
+                                vector: Sequence[float], **kwargs):
+        """Monte Carlo detection probabilities under one configuration
+        (see :meth:`TestExecutor.detection_probabilities`)."""
+        return self.executor(config_name).detection_probabilities(
+            faults, vector, **kwargs)
 
     def evaluate_test(self, fault: FaultModel,
                       test: Test) -> SensitivityReport:

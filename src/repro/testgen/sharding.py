@@ -39,6 +39,14 @@ from repro.faults.base import FaultModel
 from repro.testgen.configuration import TestConfiguration
 from repro.testgen.execution import ExecutorStats, TestExecutor
 from repro.testgen.sensitivity import SensitivityReport
+from repro.tolerance.montecarlo import (
+    FaultDetectionEstimate,
+    MonteCarloScreenResult,
+    MonteCarloStats,
+    empirical_process_boxes,
+    screen_dictionary_montecarlo,
+)
+from repro.tolerance.process import DEFAULT_PROCESS, ProcessVariation
 
 __all__ = [
     "DEFAULT_SHARD_COUNT",
@@ -47,6 +55,7 @@ __all__ = [
     "shard_faults",
     "ShardResult",
     "ShardedScreenResult",
+    "mc_screen_dictionary_sharded",
     "screen_dictionary_sharded",
 ]
 
@@ -229,3 +238,125 @@ def screen_dictionary_sharded(
         shard_sizes=tuple(len(s) for s in shards),
         engine_stats=engine_stats,
         executor_stats=executor_stats)
+
+
+def _run_mc_shard(circuit: Circuit, configuration: TestConfiguration,
+                  options: SimOptions, vector: tuple[float, ...],
+                  faults: tuple[FaultModel, ...],
+                  mc_kwargs: dict) -> MonteCarloScreenResult:
+    """Monte Carlo screen of one shard (worker-side entry point).
+
+    The shard rebuilds the full process-sample batch from the shared
+    seed, so every shard scores the *same* manufactured devices — only
+    the fault subset differs.
+    """
+    return screen_dictionary_montecarlo(
+        circuit, configuration, list(faults), list(vector), options,
+        **mc_kwargs)
+
+
+def mc_screen_dictionary_sharded(
+    circuit: Circuit,
+    configuration: TestConfiguration,
+    faults: Sequence[FaultModel],
+    vector: Sequence[float],
+    options: SimOptions = DEFAULT_OPTIONS,
+    *,
+    variation: ProcessVariation = DEFAULT_PROCESS,
+    n_samples: int = 256,
+    seed: int = 0,
+    boxes=None,
+    confirm_margin: float = 0.02,
+    vectorized: bool = True,
+    n_shards: int | None = None,
+    max_workers: int | None = None,
+) -> MonteCarloScreenResult:
+    """Monte Carlo detection probabilities of a dictionary, sharded.
+
+    The sharded analog of
+    :func:`~repro.tolerance.montecarlo.screen_dictionary_montecarlo`:
+    faults partition with :func:`shard_faults` (content-addressed, so
+    the partition never depends on worker count), each shard screens its
+    subset against the same seeded process-sample batch, and per-fault
+    estimates merge back in dictionary order.  Two properties make the
+    merged result a pure function of
+    ``(circuit, configuration, faults, vector, n_samples, seed,
+    n_shards)``:
+
+    * every shard redraws the identical sample batch from *seed* — a
+      fault's estimate depends only on its own columns, never on which
+      other faults share its shard;
+    * the tolerance box is computed **once** in the parent
+      (:func:`~repro.tolerance.montecarlo.empirical_process_boxes`) and
+      passed to every shard, so no shard derives its own.
+
+    The worker count therefore only changes wall-clock time — the
+    determinism contract the sharding test suite pins bitwise.
+
+    Args:
+        circuit / configuration / faults / vector / options: as in the
+            unsharded screen.
+        variation / n_samples / seed / confirm_margin / vectorized:
+            forwarded to each shard's screen.
+        boxes: shared box half-widths; computed once from the fault-free
+            spread when None.
+        n_shards: partition size; default :data:`DEFAULT_SHARD_COUNT`,
+            clamped to the dictionary size.
+        max_workers: process count; default
+            :func:`default_worker_count`, clamped to the shard count.
+    """
+    fault_list = tuple(faults)
+    if not fault_list:
+        raise TestGenerationError("sharded MC screen needs >= 1 fault")
+    ids = [f.fault_id for f in fault_list]
+    if len(set(ids)) != len(ids):
+        raise TestGenerationError(
+            "sharded MC screen needs unique fault ids (results merge "
+            "by id)")
+    if boxes is None:
+        boxes = empirical_process_boxes(
+            circuit, configuration, vector, options, variation=variation,
+            n_samples=n_samples, seed=seed, vectorized=vectorized)
+    if n_shards is None:
+        n_shards = min(DEFAULT_SHARD_COUNT, len(fault_list))
+    shards = shard_faults(fault_list, n_shards)
+    vector_t = tuple(float(v) for v in vector)
+    mc_kwargs = dict(variation=variation, n_samples=n_samples, seed=seed,
+                     boxes=boxes, confirm_margin=confirm_margin,
+                     vectorized=vectorized)
+    work = [members for members in shards if members]
+
+    if max_workers is None:
+        max_workers = default_worker_count()
+    max_workers = max(1, min(max_workers, len(work)))
+    _LOG.info("MC-screening %d faults x %d samples in %d shards on %d "
+              "worker(s)", len(fault_list), n_samples, n_shards,
+              max_workers)
+
+    if max_workers == 1:
+        results = [_run_mc_shard(circuit, configuration, options, vector_t,
+                                 members, mc_kwargs) for members in work]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(_run_mc_shard, circuit, configuration,
+                                   options, vector_t, members, mc_kwargs)
+                       for members in work]
+            results = [f.result() for f in futures]
+
+    by_id: dict[str, FaultDetectionEstimate] = {}
+    stats = MonteCarloStats()
+    for result in results:
+        stats = stats.merged(result.stats)
+        for estimate in result.estimates:
+            by_id[estimate.fault_id] = estimate
+    first = results[0]
+    return MonteCarloScreenResult(
+        fault_ids=tuple(ids),
+        estimates=tuple(by_id[fault_id] for fault_id in ids),
+        n_samples=n_samples,
+        seed=seed,
+        vectorized=all(r.vectorized for r in results),
+        nominal_reading=first.nominal_reading,
+        sample_readings=first.sample_readings,
+        boxes=first.boxes,
+        stats=stats)

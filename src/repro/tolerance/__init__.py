@@ -18,7 +18,20 @@ from repro.tolerance.equipment import (
     DEFAULT_EQUIPMENT,
     EquipmentSpec,
 )
-from repro.tolerance.process import DEFAULT_PROCESS, ProcessVariation, Spread
+from repro.tolerance.montecarlo import (
+    FaultDetectionEstimate,
+    MonteCarloScreenResult,
+    MonteCarloStats,
+    empirical_process_boxes,
+    empirical_tolerance_box,
+    screen_dictionary_montecarlo,
+)
+from repro.tolerance.process import (
+    DEFAULT_PROCESS,
+    ProcessSampleBatch,
+    ProcessVariation,
+    Spread,
+)
 
 __all__ = [
     "ToleranceBox",
@@ -33,5 +46,12 @@ __all__ = [
     "DEFAULT_EQUIPMENT",
     "Spread",
     "ProcessVariation",
+    "ProcessSampleBatch",
     "DEFAULT_PROCESS",
+    "FaultDetectionEstimate",
+    "MonteCarloScreenResult",
+    "MonteCarloStats",
+    "empirical_process_boxes",
+    "empirical_tolerance_box",
+    "screen_dictionary_montecarlo",
 ]

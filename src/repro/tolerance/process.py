@@ -26,7 +26,8 @@ from repro.circuit.mosfet import Mosfet
 from repro.circuit.netlist import Circuit
 from repro.errors import ToleranceError
 
-__all__ = ["Spread", "ProcessVariation", "DEFAULT_PROCESS"]
+__all__ = ["Spread", "ProcessVariation", "ProcessSampleBatch",
+           "DEFAULT_PROCESS"]
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,109 @@ class ProcessVariation:
         return float(np.clip(rng.standard_normal(), -self.clip_sigma,
                              self.clip_sigma))
 
+    def sample_batch(self, circuit: Circuit, rng: np.random.Generator,
+                     n_samples: int) -> "ProcessSampleBatch":
+        """Draw *n_samples* circuit variants as one vectorized batch.
+
+        The batch consumes the generator in **exactly** the order
+        ``n_samples`` sequential :meth:`sample` calls would (per sample:
+        the six global draws, then one mismatch draw per resistor and
+        capacitor and two per MOSFET, in circuit iteration order), and
+        every perturbed value is computed with the same elementwise
+        arithmetic — so ``batch.circuit(i)`` is bitwise identical to the
+        ``i``-th :meth:`sample` result from the same generator state.
+        That equivalence is what pins the vectorized Monte Carlo
+        screening path to the scalar reference path.
+        """
+        if n_samples < 1:
+            raise ToleranceError(
+                f"sample batch needs n_samples >= 1, got {n_samples}")
+        labels = ["global:mos_vto:nmos", "global:mos_vto:pmos",
+                  "global:mos_kp:nmos", "global:mos_kp:pmos",
+                  "global:resistor", "global:capacitor"]
+        elements = list(circuit)
+        for element in elements:
+            if isinstance(element, Resistor):
+                labels.append(f"mismatch:{element.name}:resistance")
+            elif isinstance(element, Capacitor):
+                labels.append(f"mismatch:{element.name}:capacitance")
+            elif isinstance(element, Mosfet):
+                labels.append(f"mismatch:{element.name}:vto")
+                labels.append(f"mismatch:{element.name}:kp")
+        # One row per sample, columns in draw order: reshaping the flat
+        # stream row-major reproduces the per-sample sequential order.
+        draws = np.clip(
+            rng.standard_normal((n_samples, len(labels))),
+            -self.clip_sigma, self.clip_sigma)
+
+        res_names: list[str] = []
+        res_nom: list[float] = []
+        res_cols: list[np.ndarray] = []
+        cap_names: list[str] = []
+        cap_nom: list[float] = []
+        cap_cols: list[np.ndarray] = []
+        mos_names: list[str] = []
+        mos_vto_nom: list[float] = []
+        mos_kp_nom: list[float] = []
+        mos_vto_cols: list[np.ndarray] = []
+        mos_kp_cols: list[np.ndarray] = []
+
+        col = 6
+        g_vto = {"nmos": draws[:, 0], "pmos": draws[:, 1]}
+        g_kp = {"nmos": draws[:, 2], "pmos": draws[:, 3]}
+        g_res = draws[:, 4]
+        g_cap = draws[:, 5]
+        for element in elements:
+            if isinstance(element, Resistor):
+                new_r = self.resistor.perturb(
+                    element.resistance, g_res, draws[:, col])
+                res_names.append(element.name)
+                res_nom.append(element.resistance)
+                res_cols.append(np.maximum(new_r, 1e-3))
+                col += 1
+            elif isinstance(element, Capacitor):
+                new_c = self.capacitor.perturb(
+                    element.capacitance, g_cap, draws[:, col])
+                cap_names.append(element.name)
+                cap_nom.append(element.capacitance)
+                cap_cols.append(np.maximum(new_c, 1e-18))
+                col += 1
+            elif isinstance(element, Mosfet):
+                kind = element.params.kind
+                vto_mag = abs(element.params.vto)
+                new_vto_mag = self.mos_vto.perturb(
+                    vto_mag, g_vto[kind], draws[:, col])
+                new_vto = np.copysign(np.maximum(new_vto_mag, 1e-3),
+                                      element.params.vto)
+                new_kp = np.maximum(self.mos_kp.perturb(
+                    element.params.kp, g_kp[kind], draws[:, col + 1]), 1e-9)
+                mos_names.append(element.name)
+                mos_vto_nom.append(element.params.vto)
+                mos_kp_nom.append(element.params.kp)
+                mos_vto_cols.append(new_vto)
+                mos_kp_cols.append(new_kp)
+                col += 2
+
+        def _stack(cols: list[np.ndarray]) -> np.ndarray:
+            if not cols:
+                return np.zeros((n_samples, 0))
+            return np.stack(cols, axis=1)
+
+        return ProcessSampleBatch(
+            variation=self, nominal=circuit, n_samples=n_samples,
+            draws=draws, param_labels=tuple(labels),
+            resistor_names=tuple(res_names),
+            resistor_nominals=np.array(res_nom, dtype=float),
+            resistances=_stack(res_cols),
+            capacitor_names=tuple(cap_names),
+            capacitor_nominals=np.array(cap_nom, dtype=float),
+            capacitances=_stack(cap_cols),
+            mosfet_names=tuple(mos_names),
+            mos_vto_nominals=np.array(mos_vto_nom, dtype=float),
+            mos_kp_nominals=np.array(mos_kp_nom, dtype=float),
+            mos_vto=_stack(mos_vto_cols),
+            mos_kp=_stack(mos_kp_cols))
+
     def sample(self, circuit: Circuit,
                rng: np.random.Generator) -> Circuit:
         """Return a perturbed variant of *circuit*.
@@ -128,6 +232,85 @@ class ProcessVariation:
                     Mosfet(element.name, element.d, element.g, element.s,
                            element.b, params, element.w, element.l,
                            element.m))
+        return variant
+
+
+@dataclass(frozen=True)
+class ProcessSampleBatch:
+    """A seeded batch of process samples in vector form.
+
+    Built by :meth:`ProcessVariation.sample_batch`.  The normalized draw
+    matrix (``draws``) and the derived per-element parameter arrays are
+    row-per-sample; ``circuit(i)`` materializes row *i* as a netlist for
+    the scalar reference path (bitwise identical to what
+    :meth:`ProcessVariation.sample` would have produced from the same
+    generator state).
+
+    Attributes:
+        variation: the spread specification the batch was drawn from.
+        nominal: the unperturbed circuit.
+        n_samples: number of process samples (rows).
+        draws: ``(n_samples, n_params)`` clipped N(0,1) draw matrix.
+        param_labels: one label per draw column
+            (``"global:..."`` / ``"mismatch:<element>:<param>"``).
+        resistor_names / capacitor_names / mosfet_names: perturbed
+            element names, in circuit iteration order.
+        resistor_nominals / capacitor_nominals: nominal values per name.
+        resistances / capacitances: ``(n_samples, n_elements)`` perturbed
+            values (floored exactly like the scalar path).
+        mos_vto_nominals / mos_kp_nominals: nominal model-card values.
+        mos_vto / mos_kp: ``(n_samples, n_mosfets)`` perturbed values.
+    """
+
+    variation: ProcessVariation
+    nominal: Circuit
+    n_samples: int
+    draws: np.ndarray
+    param_labels: tuple[str, ...]
+    resistor_names: tuple[str, ...]
+    resistor_nominals: np.ndarray
+    resistances: np.ndarray
+    capacitor_names: tuple[str, ...]
+    capacitor_nominals: np.ndarray
+    capacitances: np.ndarray
+    mosfet_names: tuple[str, ...]
+    mos_vto_nominals: np.ndarray
+    mos_kp_nominals: np.ndarray
+    mos_vto: np.ndarray
+    mos_kp: np.ndarray
+
+    @property
+    def n_params(self) -> int:
+        """Number of draw columns per sample."""
+        return self.draws.shape[1]
+
+    def circuit(self, i: int) -> Circuit:
+        """Materialize sample *i* as a perturbed circuit variant."""
+        if not 0 <= i < self.n_samples:
+            raise ToleranceError(
+                f"sample index {i} outside batch of {self.n_samples}")
+        variant = self.nominal.copy(name=f"{self.nominal.name}~mc")
+        ri = ci = mi = 0
+        for element in self.nominal:
+            if isinstance(element, Resistor):
+                variant = variant.replace_element(
+                    Resistor(element.name, element.n1, element.n2,
+                             float(self.resistances[i, ri])))
+                ri += 1
+            elif isinstance(element, Capacitor):
+                variant = variant.replace_element(
+                    Capacitor(element.name, element.n1, element.n2,
+                              float(self.capacitances[i, ci])))
+                ci += 1
+            elif isinstance(element, Mosfet):
+                params = element.params.scaled(
+                    vto=float(self.mos_vto[i, mi]),
+                    kp=float(self.mos_kp[i, mi]))
+                variant = variant.replace_element(
+                    Mosfet(element.name, element.d, element.g, element.s,
+                           element.b, params, element.w, element.l,
+                           element.m))
+                mi += 1
         return variant
 
 

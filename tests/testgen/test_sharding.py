@@ -14,10 +14,15 @@ from repro.faults import BridgingFault
 from repro.testgen import (
     GenerationSettings,
     generate_tests,
+    mc_screen_dictionary_sharded,
     screen_dictionary_sharded,
     shard_assignments,
     shard_faults,
     shard_index,
+)
+from repro.tolerance import (
+    empirical_process_boxes,
+    screen_dictionary_montecarlo,
 )
 
 
@@ -130,6 +135,93 @@ class TestShardedScreening:
             screen_dictionary_sharded(
                 macro.circuit, config, [twin, twin.with_impact(2e3)],
                 vector, macro.options)
+
+
+class TestMonteCarloSharding:
+    """Determinism contract of the sharded Monte Carlo screen: detection
+    probabilities are **bitwise** identical across repeat runs and
+    across worker counts (shards redraw the same seeded batch and score
+    against one parent-computed box)."""
+
+    N_SAMPLES = 16
+    SEED = 3
+
+    @pytest.fixture(scope="class")
+    def mc_setup(self, rc_macro):
+        configs = {c.name: c for c in rc_macro.test_configurations()}
+        config = configs["dc-out"]
+        return (rc_macro, config, list(rc_macro.fault_dictionary()),
+                list(config.parameters.seeds))
+
+    def _run(self, setup, **kwargs):
+        macro, config, faults, vector = setup
+        return mc_screen_dictionary_sharded(
+            macro.circuit, config, faults, vector, macro.options,
+            n_samples=self.N_SAMPLES, seed=self.SEED, **kwargs)
+
+    def test_merges_in_dictionary_order(self, mc_setup):
+        result = self._run(mc_setup, n_shards=4, max_workers=1)
+        _, __, faults, ___ = mc_setup
+        assert result.fault_ids == tuple(f.fault_id for f in faults)
+        assert result.n_samples == self.N_SAMPLES
+        assert result.seed == self.SEED
+        assert result.vectorized
+
+    def test_bitwise_identical_across_worker_counts(self, mc_setup):
+        serial = self._run(mc_setup, n_shards=3, max_workers=1)
+        parallel = self._run(mc_setup, n_shards=3, max_workers=2)
+        assert serial.fault_ids == parallel.fault_ids
+        np.testing.assert_array_equal(serial.boxes, parallel.boxes)
+        np.testing.assert_array_equal(serial.sample_readings,
+                                      parallel.sample_readings)
+        for a, b in zip(serial.estimates, parallel.estimates):
+            np.testing.assert_array_equal(a.margins, b.margins)
+            np.testing.assert_array_equal(a.detected, b.detected)
+            assert a.detection_probability == b.detection_probability
+
+    def test_bitwise_identical_across_runs(self, mc_setup):
+        first = self._run(mc_setup, n_shards=4, max_workers=2)
+        second = self._run(mc_setup, n_shards=4, max_workers=2)
+        for a, b in zip(first.estimates, second.estimates):
+            np.testing.assert_array_equal(a.margins, b.margins)
+            np.testing.assert_array_equal(a.detected, b.detected)
+
+    def test_verdicts_match_unsharded_screen(self, mc_setup):
+        """With the canonical box shared, sharded and unsharded runs
+        reach identical detection verdicts."""
+        macro, config, faults, vector = mc_setup
+        boxes = empirical_process_boxes(
+            macro.circuit, config, vector, macro.options,
+            n_samples=self.N_SAMPLES, seed=self.SEED)
+        sharded = self._run(mc_setup, boxes=boxes, n_shards=3,
+                            max_workers=1)
+        whole = screen_dictionary_montecarlo(
+            macro.circuit, config, faults, vector, macro.options,
+            n_samples=self.N_SAMPLES, seed=self.SEED, boxes=boxes)
+        for a, b in zip(sharded.estimates, whole.estimates):
+            np.testing.assert_array_equal(a.detected, b.detected)
+            np.testing.assert_allclose(a.margins, b.margins,
+                                       rtol=1e-6, atol=1e-9)
+
+    def test_stats_merged_across_shards(self, mc_setup):
+        result = self._run(mc_setup, n_shards=4, max_workers=1)
+        # 4 shards x (nominal base factorization) plus any overlay bases.
+        assert result.stats.factorizations >= 4
+        total_columns = (result.stats.columns_screened
+                         + result.stats.columns_confirmed
+                         + result.stats.columns_failed)
+        # Every shard screens its faults' columns plus a fault-free pass.
+        assert total_columns >= len(result.fault_ids) * self.N_SAMPLES
+
+    def test_empty_and_duplicate_inputs_rejected(self, mc_setup):
+        macro, config, faults, vector = mc_setup
+        with pytest.raises(TestGenerationError):
+            mc_screen_dictionary_sharded(macro.circuit, config, [],
+                                         vector, macro.options)
+        with pytest.raises(TestGenerationError):
+            mc_screen_dictionary_sharded(
+                macro.circuit, config, [faults[0], faults[0]], vector,
+                macro.options)
 
 
 class TestShardedGeneration:

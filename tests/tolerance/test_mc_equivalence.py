@@ -1,0 +1,298 @@
+"""Statistical equivalence suite: vectorized Monte Carlo vs scalar path.
+
+The vectorized screen serves every (process sample x fault) column from
+one factorized nominal system per overlay base; the scalar reference
+recompiles and re-solves one sample at a time.  This suite pins the
+equivalence contract on the **full 55-fault IV-converter dictionary**:
+same seed, same draws, shared boxes — detection verdicts must match
+*exactly*, margins to tight tolerance, and the vectorized run must be a
+deterministic pure function of its inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ToleranceError
+from repro.tolerance import (
+    MonteCarloStats,
+    empirical_process_boxes,
+    empirical_tolerance_box,
+    screen_dictionary_montecarlo,
+)
+
+#: Batch geometry of the dictionary-scale comparison: small enough to
+#: keep the scalar reference affordable in the tier-1 suite, large
+#: enough that every overlay base screens a multi-sample column block.
+N_SAMPLES = 8
+SEED = 11
+
+#: Margins of unconfirmed columns may differ between the two solvers at
+#: solver-tolerance level; huge margins (failed columns score a 1e9
+#: deviation) additionally need a relative term.
+MARGIN_ATOL = 5e-3
+MARGIN_RTOL = 1e-3
+
+
+@pytest.fixture(scope="module")
+def dc_config(iv_macro):
+    return [c for c in iv_macro.test_configurations()
+            if c.name == "dc-output"][0]
+
+
+@pytest.fixture(scope="module")
+def dictionary(iv_macro):
+    return list(iv_macro.fault_dictionary())
+
+
+@pytest.fixture(scope="module")
+def vec_result(iv_macro, dc_config, dictionary):
+    """Vectorized screen of the full dictionary."""
+    return screen_dictionary_montecarlo(
+        iv_macro.circuit, dc_config, dictionary,
+        list(dc_config.parameters.seeds), iv_macro.options,
+        n_samples=N_SAMPLES, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def scalar_result(iv_macro, dc_config, dictionary, vec_result):
+    """Scalar reference over the same draws, scored in the same boxes."""
+    return screen_dictionary_montecarlo(
+        iv_macro.circuit, dc_config, dictionary,
+        list(dc_config.parameters.seeds), iv_macro.options,
+        n_samples=N_SAMPLES, seed=SEED, boxes=vec_result.boxes,
+        vectorized=False)
+
+
+class TestDictionaryEquivalence:
+    def test_paths_took_their_intended_routes(self, vec_result,
+                                              scalar_result):
+        assert vec_result.vectorized
+        assert not scalar_result.vectorized
+        assert vec_result.stats.factorizations > 0
+        assert scalar_result.stats.factorizations == 0
+        assert scalar_result.stats.scalar_solves > 0
+
+    def test_detection_verdicts_match_exactly(self, vec_result,
+                                              scalar_result):
+        """The acceptance contract: zero verdict mismatches over all
+        (fault, sample) pairs of the 55-fault dictionary."""
+        mismatches = [
+            (e_vec.fault_id, s)
+            for e_vec, e_sc in zip(vec_result.estimates,
+                                   scalar_result.estimates)
+            for s in range(N_SAMPLES)
+            if bool(e_vec.detected[s]) != bool(e_sc.detected[s])]
+        assert mismatches == []
+
+    def test_detection_probabilities_match_exactly(self, vec_result,
+                                                   scalar_result):
+        for e_vec, e_sc in zip(vec_result.estimates,
+                               scalar_result.estimates):
+            assert e_vec.detection_probability == e_sc.detection_probability
+
+    def test_margins_match_to_tight_tolerance(self, vec_result,
+                                              scalar_result):
+        for e_vec, e_sc in zip(vec_result.estimates,
+                               scalar_result.estimates):
+            np.testing.assert_allclose(
+                e_vec.margins, e_sc.margins,
+                rtol=MARGIN_RTOL, atol=MARGIN_ATOL,
+                err_msg=f"margin drift on {e_vec.fault_id}")
+
+    def test_fault_free_readings_match(self, vec_result, scalar_result):
+        """Both paths observe the same manufactured devices."""
+        np.testing.assert_array_equal(vec_result.nominal_reading,
+                                      scalar_result.nominal_reading)
+        np.testing.assert_allclose(vec_result.sample_readings,
+                                   scalar_result.sample_readings,
+                                   rtol=1e-6, atol=1e-9)
+
+    def test_dictionary_order_and_shapes(self, vec_result, dictionary):
+        assert vec_result.fault_ids == tuple(
+            f.fault_id for f in dictionary)
+        for estimate in vec_result.estimates:
+            assert estimate.margins.shape == (N_SAMPLES,)
+            assert estimate.detected.shape == (N_SAMPLES,)
+            assert 0.0 <= estimate.detection_probability <= 1.0
+
+    def test_vectorized_run_is_deterministic(self, iv_macro, dc_config,
+                                             dictionary, vec_result):
+        """Same inputs -> bitwise-identical margins and verdicts."""
+        again = screen_dictionary_montecarlo(
+            iv_macro.circuit, dc_config, dictionary,
+            list(dc_config.parameters.seeds), iv_macro.options,
+            n_samples=N_SAMPLES, seed=SEED)
+        np.testing.assert_array_equal(again.boxes, vec_result.boxes)
+        for a, b in zip(again.estimates, vec_result.estimates):
+            np.testing.assert_array_equal(a.margins, b.margins)
+            np.testing.assert_array_equal(a.detected, b.detected)
+
+    def test_borderline_margins_were_confirmed(self, vec_result):
+        """Every surviving |margin| below the confirm threshold belongs
+        to a sample that was re-run on the scalar reference."""
+        for estimate in vec_result.estimates:
+            n_borderline = int(np.sum(np.abs(estimate.margins) < 0.02))
+            assert estimate.n_confirmed >= 0
+            # Confirmed entries are a subset of the borderline ones
+            # (confirmation can move a margin out of the band, never
+            # into it unseen).
+            assert estimate.n_confirmed <= N_SAMPLES
+            if n_borderline:
+                assert vec_result.stats.margin_confirms > 0
+
+
+class TestEmpiricalBoxes:
+    def test_helper_matches_screen_derivation(self, iv_macro, dc_config,
+                                              dictionary, vec_result):
+        boxes = empirical_process_boxes(
+            iv_macro.circuit, dc_config,
+            list(dc_config.parameters.seeds), iv_macro.options,
+            n_samples=N_SAMPLES, seed=SEED)
+        np.testing.assert_allclose(boxes, vec_result.boxes,
+                                   rtol=1e-9, atol=0.0)
+
+    def test_scalar_helper_close_to_vectorized(self, iv_macro, dc_config,
+                                               vec_result):
+        boxes = empirical_process_boxes(
+            iv_macro.circuit, dc_config,
+            list(dc_config.parameters.seeds), iv_macro.options,
+            n_samples=N_SAMPLES, seed=SEED, vectorized=False)
+        np.testing.assert_allclose(boxes, vec_result.boxes,
+                                   rtol=1e-3, atol=1e-9)
+
+    def test_box_object(self, vec_result):
+        box = empirical_tolerance_box(vec_result)
+        np.testing.assert_array_equal(box.nominal,
+                                      vec_result.nominal_reading)
+        np.testing.assert_array_equal(box.half_width, vec_result.boxes)
+
+
+class TestResultApi:
+    def test_estimate_lookup(self, vec_result, dictionary):
+        first = dictionary[0].fault_id
+        assert vec_result.estimate_for(first).fault_id == first
+        with pytest.raises(ToleranceError):
+            vec_result.estimate_for("bridge:not:there")
+
+    def test_probability_mapping_order(self, vec_result):
+        assert tuple(vec_result.detection_probabilities) == \
+            vec_result.fault_ids
+
+    def test_stats_merge(self):
+        a = MonteCarloStats(factorizations=1, columns_screened=10)
+        b = MonteCarloStats(factorizations=2, margin_confirms=3)
+        merged = a.merged(b)
+        assert merged.factorizations == 3
+        assert merged.columns_screened == 10
+        assert merged.margin_confirms == 3
+
+
+class TestValidation:
+    def test_rejects_empty_dictionary(self, rc_macro):
+        config = rc_macro.test_configurations()[0]
+        with pytest.raises(ToleranceError):
+            screen_dictionary_montecarlo(
+                rc_macro.circuit, config, [],
+                list(config.parameters.seeds), rc_macro.options)
+
+    def test_rejects_duplicate_fault_ids(self, rc_macro):
+        config = rc_macro.test_configurations()[0]
+        fault = list(rc_macro.fault_dictionary())[0]
+        with pytest.raises(ToleranceError):
+            screen_dictionary_montecarlo(
+                rc_macro.circuit, config, [fault, fault],
+                list(config.parameters.seeds), rc_macro.options)
+
+    def test_rejects_bad_sample_count(self, rc_macro):
+        config = rc_macro.test_configurations()[0]
+        faults = list(rc_macro.fault_dictionary())[:1]
+        with pytest.raises(ToleranceError):
+            screen_dictionary_montecarlo(
+                rc_macro.circuit, config, faults,
+                list(config.parameters.seeds), rc_macro.options,
+                n_samples=0)
+
+    def test_rejects_bad_boxes(self, rc_macro):
+        config = rc_macro.test_configurations()[0]
+        faults = list(rc_macro.fault_dictionary())[:1]
+        with pytest.raises(ToleranceError):
+            screen_dictionary_montecarlo(
+                rc_macro.circuit, config, faults,
+                list(config.parameters.seeds), rc_macro.options,
+                n_samples=2, boxes=np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ToleranceError):
+            screen_dictionary_montecarlo(
+                rc_macro.circuit, config, faults,
+                list(config.parameters.seeds), rc_macro.options,
+                n_samples=2, boxes=np.array([0.0]))
+
+
+class TestCoverageModes:
+    """The detection_probability coverage mode rides on the MC screen."""
+
+    @pytest.fixture(scope="class")
+    def rc_setup(self, rc_macro, rc_bench):
+        from repro.testgen.configuration import Test
+        config = rc_macro.test_configurations()[0]
+        faults = list(rc_macro.fault_dictionary())
+        test = Test(rc_bench.configuration(config.name),
+                    np.asarray(config.parameters.seeds, float))
+        return rc_bench, faults, [test]
+
+    def test_probabilistic_entries_carry_probabilities(self, rc_setup):
+        from repro.compaction import evaluate_coverage
+        bench, faults, tests = rc_setup
+        report = evaluate_coverage(bench, faults, tests,
+                                   mode="detection_probability",
+                                   n_samples=16, seed=3)
+        for entry in report.entries:
+            assert 0.0 <= entry.detection_probability <= 1.0
+            assert entry.covered == (entry.detection_probability >= 0.9)
+
+    def test_deterministic_entries_have_nan_probability(self, rc_setup):
+        from repro.compaction import evaluate_coverage
+        bench, faults, tests = rc_setup
+        report = evaluate_coverage(bench, faults, tests)
+        for entry in report.entries:
+            assert np.isnan(entry.detection_probability)
+
+    def test_unknown_mode_rejected(self, rc_setup):
+        from repro.compaction import evaluate_coverage
+        from repro.errors import TestGenerationError
+        bench, faults, tests = rc_setup
+        with pytest.raises(TestGenerationError):
+            evaluate_coverage(bench, faults, tests, mode="fuzzy")
+        with pytest.raises(TestGenerationError):
+            evaluate_coverage(bench, faults, tests,
+                              mode="detection_probability",
+                              detection_threshold=0.0)
+
+    def test_select_covering_tests_probabilistic(self, rc_setup):
+        from repro.compaction import evaluate_coverage, select_covering_tests
+        bench, faults, tests = rc_setup
+        kept = select_covering_tests(bench, faults, tests,
+                                     mode="detection_probability",
+                                     n_samples=16, seed=3)
+        assert set(str(t) for t in kept) <= set(str(t) for t in tests)
+        # The kept subset preserves probabilistic coverage.
+        full = evaluate_coverage(bench, faults, tests, stop_at_first=False,
+                                 mode="detection_probability",
+                                 n_samples=16, seed=3)
+        compact = evaluate_coverage(bench, faults, list(kept),
+                                    stop_at_first=False,
+                                    mode="detection_probability",
+                                    n_samples=16, seed=3)
+        assert compact.n_covered == full.n_covered
+
+    def test_executor_wrapper_roundtrip(self, rc_macro, rc_setup):
+        bench, faults, tests = rc_setup
+        config_name = tests[0].config_name
+        result = bench.detection_probabilities(
+            config_name, faults, list(tests[0].values), n_samples=8,
+            seed=5)
+        direct = screen_dictionary_montecarlo(
+            rc_macro.circuit, bench.configuration(config_name), faults,
+            list(tests[0].values), rc_macro.options, n_samples=8, seed=5)
+        np.testing.assert_array_equal(result.boxes, direct.boxes)
+        for a, b in zip(result.estimates, direct.estimates):
+            np.testing.assert_array_equal(a.margins, b.margins)

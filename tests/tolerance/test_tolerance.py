@@ -54,6 +54,36 @@ class TestAccuracy:
         assert clone.error_bound("voltage", 1.0) == \
             DEFAULT_EQUIPMENT.error_bound("voltage", 1.0)
 
+    def test_rejects_negative_relative_term(self):
+        with pytest.raises(ToleranceError):
+            AccuracySpec(offset=1e-3, relative=-0.01)
+
+    def test_accuracy_lookup_returns_spec_objects(self):
+        volt = AccuracySpec(offset=1e-3)
+        spec = EquipmentSpec(accuracies={"voltage": volt})
+        assert spec.accuracy("voltage") == volt
+        assert spec.accuracy("no-such-kind") == spec.default
+
+    def test_accuracies_mapping_defensively_copied(self):
+        """Mutating the source mapping after construction must not
+        change the spec (it is pickled into worker processes)."""
+        source = {"voltage": AccuracySpec(offset=1e-3)}
+        spec = EquipmentSpec(accuracies=source)
+        source["voltage"] = AccuracySpec(offset=9.0)
+        source["current"] = AccuracySpec(offset=9.0)
+        assert spec.error_bound("voltage", 0.0) == pytest.approx(1e-3)
+        assert spec.accuracy("current") == spec.default
+
+    def test_error_bound_uses_reading_magnitude(self):
+        spec = EquipmentSpec(
+            accuracies={"gain_db": AccuracySpec(offset=0.1, relative=0.5)})
+        assert spec.error_bound("gain_db", -2.0) == \
+            spec.error_bound("gain_db", 2.0)
+
+    def test_default_equipment_covers_gain_db(self):
+        assert DEFAULT_EQUIPMENT.error_bound("gain_db", 0.0) == \
+            pytest.approx(0.1)
+
 
 class TestProcessVariation:
     def test_sample_perturbs_resistors(self, divider_circuit, rng):
@@ -183,6 +213,59 @@ class TestBoxFunctions:
         fn = InterpolatedBoxFunction(grid, widths, np.array([[0.0, 1.0]]))
         value = fn([x])[0]
         assert 0.1 - 1e-12 <= value <= 0.5 + 1e-12
+
+    @given(st.floats(-10.0, 10.0))
+    def test_interpolated_clips_outside_bounds(self, x):
+        """Queries outside the calibrated parameter bounds still return
+        values inside the calibrated range — far queries converge to a
+        distance-weighted mean, never to an extrapolated runaway."""
+        grid = np.array([[0.0], [0.5], [1.0]])
+        widths = np.array([[0.1], [0.5], [0.2]])
+        fn = InterpolatedBoxFunction(grid, widths, np.array([[0.0, 1.0]]))
+        value = fn([x])[0]
+        assert 0.1 - 1e-12 <= value <= 0.5 + 1e-12
+
+    def test_interpolated_exact_hit_returns_copy(self):
+        """Mutating a returned width vector must not corrupt the grid."""
+        grid = np.array([[0.0], [1.0]])
+        widths = np.array([[0.1], [0.3]])
+        fn = InterpolatedBoxFunction(grid, widths, np.array([[0.0, 1.0]]))
+        out = fn([0.0])
+        out[0] = 99.0
+        assert fn([0.0])[0] == pytest.approx(0.1)
+
+    def test_interpolated_rejects_wrong_query_dimension(self):
+        fn = InterpolatedBoxFunction(np.array([[0.0], [1.0]]),
+                                     np.array([[0.1], [0.3]]),
+                                     np.array([[0.0, 1.0]]))
+        with pytest.raises(ToleranceError):
+            fn([0.5, 0.5])
+
+    def test_interpolated_rejects_empty_grid(self):
+        with pytest.raises(ToleranceError):
+            InterpolatedBoxFunction(np.zeros((0, 1)), np.zeros((0, 1)),
+                                    np.array([[0.0, 1.0]]))
+
+    def test_interpolated_rejects_non_positive_widths(self):
+        with pytest.raises(ToleranceError):
+            InterpolatedBoxFunction(np.array([[0.0], [1.0]]),
+                                    np.array([[0.1], [0.0]]),
+                                    np.array([[0.0, 1.0]]))
+
+    def test_interpolated_rejects_zero_span_bounds(self):
+        with pytest.raises(ToleranceError):
+            InterpolatedBoxFunction(np.array([[0.0], [1.0]]),
+                                    np.array([[0.1], [0.3]]),
+                                    np.array([[1.0, 1.0]]))
+
+    def test_interpolated_1d_widths_promoted(self):
+        """A flat half-width vector is accepted as one return value."""
+        fn = InterpolatedBoxFunction(np.array([[0.0], [1.0]]),
+                                     np.array([0.1, 0.3]),
+                                     np.array([[0.0, 1.0]]))
+        assert fn([0.0]).shape == (1,)
+        assert fn.n_grid_points == 2
+        assert "2 points" in repr(fn)
 
 
 class TestGrid:
