@@ -1,0 +1,263 @@
+"""Sparse-vs-dense screening cost across the active-filter ladder family.
+
+The sparse linear-algebra backend (:mod:`repro.analysis.backend`) exists
+for one reason: on large macros, every dense factorization and batched
+Newton solve pays ``O(n^3)`` where the circuit matrix is structurally
+sparse.  This bench sweeps the parameterized
+:class:`~repro.macros.activefilter.ActiveFilterMacro` ladder over a
+range of section counts and screens each size's IFA fault dictionary at
+a grid of stimulus points under both backends (forced via
+:func:`~repro.analysis.backend.backend_override`), mirroring what the
+Fig. 6 generation loop does: factorize once per (base, stimulus) pair,
+then serve thousands of per-fault evaluations from the warm engine.
+
+Two per-fault costs are recorded per (size, backend) cell:
+
+* **cold** — first contact: per-stimulus factorizations plus the
+  first-screen Newton confirmations of strongly-shifted faults;
+* **steady** — repeat screens on the warmed engine, the amortized
+  chord-certified path the generation loop pays at every tps-graph
+  grid point.  This is the headline *per-fault eval cost*: the
+  acceptance asserts its dense/sparse speedup at the largest size
+  (>= 5x) and the ~linear log-log slope of the sparse curve.
+
+Dense and sparse verdicts must match exactly at every size and
+stimulus point (zero mismatches).  The record is appended to
+``results/BENCH_engine.json``.  ``--smoke`` (CI's headless docs job)
+runs a miniature sweep that still pins the zero-mismatch contract but
+applies no speedup floor.  Without SciPy the sweep degrades to
+dense-only and checks nothing but its own plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.analysis.backend import backend_override, sparse_available
+from repro.macros import ActiveFilterMacro
+from repro.reporting import render_table
+from repro.testgen.execution import TestExecutor
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+BENCH_RECORD_PATH = RESULTS_DIR / "BENCH_engine.json"
+
+#: Ladder sizes of the full sweep (sections -> 2N+3 unknowns).
+FULL_SECTIONS = (60, 125, 250, 500, 1000)
+
+#: Miniature sweep for --smoke (still >= 3 sizes for the slope fit).
+SMOKE_SECTIONS = (10, 20, 40)
+
+#: Stimulus grid: each point costs one factorization per overlay base.
+FULL_POINTS = 6
+SMOKE_POINTS = 3
+
+#: IFA dictionary trim per size (screening cost scales with faults).
+FAULT_TOP_N = 16
+
+#: Steady-state timing repeats (minimum is reported).
+STEADY_REPEATS = 2
+
+#: Acceptance floor: steady-state sparse speedup at the largest size.
+MIN_SPEEDUP = 5.0
+
+#: Acceptance ceiling on the sparse steady log-log cost slope
+#: (~linear; the dense batched solves approach 2-3).
+MAX_SPARSE_SLOPE = 1.5
+
+
+def _emit_record(record: dict) -> None:
+    """Append this run's record to results/BENCH_engine.json."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    history = []
+    if BENCH_RECORD_PATH.exists():
+        try:
+            history = json.loads(BENCH_RECORD_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    BENCH_RECORD_PATH.write_text(json.dumps(history, indent=1))
+
+
+def _screen_size(macro, faults, mode, n_points):
+    """Cold + steady screening cost of one (size, backend) cell.
+
+    Screens the full fault list at *n_points* stimulus levels: the cold
+    pass on a fresh engine (factorizations + first-contact confirms),
+    then :data:`STEADY_REPEATS` warm passes whose fastest total is the
+    steady cost.  Returns per-fault-eval seconds for both, the steady
+    ``(detected, value)`` verdicts across all points, and engine stats.
+    """
+    configuration = [c for c in macro.test_configurations(box_mode="fast")
+                     if c.name == "dc-out"][0]
+    bound = configuration.parameters["level"]
+    span = bound.upper - bound.lower
+    vectors = [[bound.lower + span * i / (n_points - 1)]
+               for i in range(n_points)]
+    with backend_override(mode):
+        executor = TestExecutor(macro.circuit, configuration, macro.options)
+        started = time.perf_counter()
+        for vector in vectors:
+            executor.screen_faults(faults, vector)
+        cold_s = time.perf_counter() - started
+        steady_s = math.inf
+        for _ in range(STEADY_REPEATS):
+            started = time.perf_counter()
+            per_point = [executor.screen_faults(faults, vector)
+                         for vector in vectors]
+            steady_s = min(steady_s, time.perf_counter() - started)
+    verdicts = [(bool(r.detected), float(r.value))
+                for reports in per_point for r in reports]
+    n_evals = len(faults) * n_points
+    return cold_s / n_evals, steady_s / n_evals, verdicts, \
+        executor.engine.stats
+
+
+def _fit_slope(sizes, costs):
+    """Least-squares slope of log(cost) against log(size)."""
+    n = len(sizes)
+    lx = [math.log(s) for s in sizes]
+    ly = [math.log(max(c, 1e-12)) for c in costs]
+    mx, my = sum(lx) / n, sum(ly) / n
+    sxx = sum((x - mx) ** 2 for x in lx)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    return sxy / sxx
+
+
+def _run_bench(sections, n_points, *, smoke=False, min_speedup=None,
+               max_slope=None):
+    """Sweep the ladder sizes, emit + assert the scaling record."""
+    have_sparse = sparse_available()
+    modes = ("dense", "sparse") if have_sparse else ("dense",)
+    rows, cells, mismatch_total = [], [], 0
+    for n_sections in sections:
+        macro = ActiveFilterMacro(n_sections=n_sections,
+                                  fault_top_n=FAULT_TOP_N)
+        faults = list(macro.fault_dictionary())
+        unknowns = 2 * n_sections + 3
+        cell = {"n_sections": n_sections, "unknowns": unknowns,
+                "n_faults": len(faults), "n_points": n_points}
+        verdicts = {}
+        for mode in modes:
+            cold, steady, verdicts[mode], stats = _screen_size(
+                macro, faults, mode, n_points)
+            cell[mode] = {
+                "cold_per_fault_s": cold,
+                "steady_per_fault_s": steady,
+                "factorizations": stats.factorizations,
+                "sparse_factorizations": stats.sparse_factorizations,
+            }
+        if have_sparse:
+            mismatches = sum(
+                d[0] != s[0] for d, s in zip(verdicts["dense"],
+                                             verdicts["sparse"]))
+            mismatch_total += mismatches
+            cell["verdict_mismatches"] = mismatches
+            cell["max_value_delta"] = max(
+                abs(d[1] - s[1]) for d, s in zip(verdicts["dense"],
+                                                 verdicts["sparse"]))
+            cell["cold_speedup"] = (cell["dense"]["cold_per_fault_s"] /
+                                    max(cell["sparse"]["cold_per_fault_s"],
+                                        1e-12))
+            cell["steady_speedup"] = (
+                cell["dense"]["steady_per_fault_s"] /
+                max(cell["sparse"]["steady_per_fault_s"], 1e-12))
+        cells.append(cell)
+        rows.append([
+            n_sections, unknowns, len(faults),
+            f"{cell['dense']['steady_per_fault_s'] * 1e3:.3f}",
+            (f"{cell['sparse']['steady_per_fault_s'] * 1e3:.3f}"
+             if have_sparse else "-"),
+            (f"{cell['steady_speedup']:.1f}x" if have_sparse else "-"),
+            (f"{cell['cold_speedup']:.1f}x" if have_sparse else "-"),
+            cell.get("verdict_mismatches", "-"),
+        ])
+
+    sizes = [c["unknowns"] for c in cells]
+    dense_slope = _fit_slope(sizes, [c["dense"]["steady_per_fault_s"]
+                                     for c in cells])
+    sparse_slope = (_fit_slope(sizes, [c["sparse"]["steady_per_fault_s"]
+                                       for c in cells])
+                    if have_sparse else None)
+
+    record = {
+        "bench": "sparse_scaling",
+        "unix_time": time.time(),
+        "smoke": smoke,
+        "sparse_available": have_sparse,
+        "fault_top_n": FAULT_TOP_N,
+        "steady_repeats": STEADY_REPEATS,
+        "sizes": cells,
+        "dense_steady_loglog_slope": dense_slope,
+        "sparse_steady_loglog_slope": sparse_slope,
+        "largest_steady_speedup":
+            cells[-1].get("steady_speedup") if have_sparse else None,
+        "largest_cold_speedup":
+            cells[-1].get("cold_speedup") if have_sparse else None,
+        "verdict_mismatches": mismatch_total if have_sparse else None,
+    }
+    _emit_record(record)
+
+    title = "Sparse-vs-dense screening scaling (active-filter ladder)"
+    if smoke:
+        title += " (smoke subset)"
+    if not have_sparse:
+        title += " [scipy absent: dense only]"
+    print()
+    print(render_table(
+        ["sections", "unknowns", "faults", "dense ms/eval",
+         "sparse ms/eval", "steady speedup", "cold speedup",
+         "mismatches"], rows, title=title))
+    slope_txt = (f"{sparse_slope:.2f}" if sparse_slope is not None
+                 else "n/a")
+    print(f"steady log-log cost slope: dense {dense_slope:.2f}, "
+          f"sparse {slope_txt}")
+    print(f"record appended to {BENCH_RECORD_PATH}")
+
+    if have_sparse:
+        assert mismatch_total == 0, \
+            f"{mismatch_total} dense/sparse verdict mismatches"
+        largest = cells[-1]
+        assert largest["sparse"]["sparse_factorizations"] > 0, \
+            "sparse mode never reached the sparse factorization path"
+        if min_speedup is not None:
+            assert largest["steady_speedup"] >= min_speedup, \
+                (f"steady sparse speedup {largest['steady_speedup']:.2f}x "
+                 f"at {largest['unknowns']} unknowns below "
+                 f"{min_speedup}x floor")
+        if max_slope is not None:
+            assert sparse_slope <= max_slope, \
+                (f"sparse steady cost slope {sparse_slope:.2f} above "
+                 f"{max_slope} (not ~linear)")
+    return record
+
+
+def bench_sparse_scaling():
+    """Per-fault screening cost vs circuit size, dense vs sparse."""
+    _run_bench(FULL_SECTIONS, FULL_POINTS, min_speedup=MIN_SPEEDUP,
+               max_slope=MAX_SPARSE_SLOPE)
+
+
+def main(argv=None) -> int:
+    """Script entry point (CI runs ``--smoke`` headless)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="miniature sweep: small ladders, parity "
+                             "checked, no speedup floor")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        _run_bench(SMOKE_SECTIONS, SMOKE_POINTS, smoke=True)
+    else:
+        _run_bench(FULL_SECTIONS, FULL_POINTS, min_speedup=MIN_SPEEDUP,
+                   max_slope=MAX_SPARSE_SLOPE)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

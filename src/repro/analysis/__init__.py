@@ -11,9 +11,21 @@ Public entry points:
 * :class:`BatchedOverlaySolver` — batched Sherman-Morrison-Woodbury
   fault screening on one LU factorization per (base, stimulus) pair
   (see :mod:`repro.analysis.batched`).
+* :func:`select_backend` / :func:`backend_override` — dense-vs-sparse
+  linear-algebra backend selection (``REPRO_BACKEND``; see
+  :mod:`repro.analysis.backend`).
 """
 
 from repro.analysis.ac import ac_analysis
+from repro.analysis.backend import (
+    BACKEND_AUTO,
+    BACKEND_DENSE,
+    BACKEND_SPARSE,
+    backend_mode,
+    backend_override,
+    select_backend,
+    sparse_available,
+)
 from repro.analysis.batched import BatchedOverlaySolver, ScreenedSolution
 from repro.analysis.dc import dc_sweep, operating_point
 from repro.analysis.engine import (
@@ -35,6 +47,13 @@ from repro.analysis.transient import transient
 __all__ = [
     "CompiledCircuit",
     "Factorization",
+    "BACKEND_AUTO",
+    "BACKEND_DENSE",
+    "BACKEND_SPARSE",
+    "backend_mode",
+    "backend_override",
+    "select_backend",
+    "sparse_available",
     "SimulationEngine",
     "EngineStats",
     "WarmStart",

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.backend import BACKEND_DENSE, solve_columns, static_operator
 from repro.analysis.mna import CompiledCircuit, Factorization
 from repro.analysis.newton import absolute_tolerances, step_converged
 from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
@@ -152,12 +153,16 @@ class _StampStack:
         self.u_all = u_all
         self.z_all = factorization.solve(u_all)
 
-        # Per-fault Woodbury capacitance inverse (C^-1 + U^T Z)^-1; a
-        # singular capacitance marks the fault unscreenable up front.
+        # Per-fault Woodbury capacitance factor-and-solve: instead of an
+        # explicit (C^-1 + U^T Z)^-1 — the last dense inverses that used
+        # to live on the hot path — precombine M = Z (C^-1 + U^T Z)^-1
+        # via transposed solves, so every later inverse application is a
+        # single small matmul.  A singular capacitance marks the fault
+        # unscreenable up front, exactly as before.
         ranks = np.diff(self.offsets)
         self.rank1 = bool(self.n_faults and np.all(ranks == 1))
         self.singular = np.zeros(self.n_faults, dtype=bool)
-        self.cap_inv_k: np.ndarray | None = None
+        self.cap_m3: np.ndarray | None = None
         if self.rank1:
             duz = (self._gather(self.z_all, self.sp, np.arange(len(sp)))
                    - self._gather(self.z_all, self.sn, np.arange(len(sp))))
@@ -165,13 +170,13 @@ class _StampStack:
             self.singular = ~np.isfinite(denom) | (np.abs(denom) < 1e-300)
             with np.errstate(divide="ignore"):
                 self.cap_inv_1 = np.where(self.singular, 0.0, 1.0 / denom)
-            self.cap_inv: list[np.ndarray | None] = []
+            self.cap_m: list[np.ndarray | None] = []
             return
-        self.cap_inv = []
+        self.cap_m = []
         uniform = bool(self.n_faults and ranks[0] > 1
                        and np.all(ranks == ranks[0]))
         if uniform:
-            # Uniform rank k: one batched inverse serves every column
+            # Uniform rank k: one batched solve serves every column
             # (the Monte Carlo layout — each column carries the same
             # resistor-delta stamps plus at most one fault stamp).
             k = int(ranks[0])
@@ -184,21 +189,25 @@ class _StampStack:
             try:
                 if not np.all(np.isfinite(cap)):
                     raise np.linalg.LinAlgError
-                self.cap_inv_k = np.linalg.inv(cap)
+                # M3[:, c, :] = Z3[:, c, :] @ cap[c]^-1, one batched
+                # LAPACK solve on cap^T instead of explicit inverses.
+                m3t = np.linalg.solve(np.swapaxes(cap, 1, 2),
+                                      z3.transpose(1, 2, 0))
+                self.cap_m3 = m3t.transpose(2, 0, 1)
                 self.u3 = u3
-                self.z3 = z3
                 return
             except np.linalg.LinAlgError:
-                self.cap_inv_k = None  # fall through to per-column loop
+                self.cap_m3 = None  # fall through to per-column loop
         for col in range(self.n_faults):
             lo, hi = self.offsets[col], self.offsets[col + 1]
             u = self.u_all[:, lo:hi]
             z = self.z_all[:, lo:hi]
             cap = np.diag(1.0 / self.sg[lo:hi]) + u.T @ z
             try:
-                self.cap_inv.append(np.linalg.inv(cap))
+                # M = Z cap^-1 by factor-and-solve on cap^T.
+                self.cap_m.append(np.linalg.solve(cap.T, z.T).T)
             except np.linalg.LinAlgError:
-                self.cap_inv.append(None)
+                self.cap_m.append(None)
                 self.singular[col] = True
 
     @staticmethod
@@ -237,17 +246,16 @@ class _StampStack:
             duy = (self._gather(y, self.sp[stamp_idx], cols)
                    - self._gather(y, self.sn[stamp_idx], cols))
             return y - self.z_all[:, stamp_idx] * (duy * self.cap_inv_1)
-        if self.cap_inv_k is not None:
+        if self.cap_m3 is not None:
             w = np.einsum("sck,sc->ck", self.u3, y)
-            v = np.einsum("ckl,cl->ck", self.cap_inv_k, w)
-            return y - np.einsum("sck,ck->sc", self.z3, v)
+            return y - np.einsum("sck,ck->sc", self.cap_m3, w)
         out = y.copy()
         for col in range(self.n_faults):
-            if self.cap_inv[col] is None:
+            if self.cap_m[col] is None:
                 continue
             lo, hi = self.offsets[col], self.offsets[col + 1]
             w = self.u_all[:, lo:hi].T @ y[:, col]
-            out[:, col] -= self.z_all[:, lo:hi] @ (self.cap_inv[col] @ w)
+            out[:, col] -= self.cap_m[col] @ w
         return out
 
 
@@ -315,13 +323,22 @@ class BatchedOverlaySolver:
         self.b0 = b0.copy()
         self.factorization = (factorization if factorization is not None
                               else Factorization(g0))
+        #: Backend kind serving this solver ("dense" or "sparse") — taken
+        #: from the factorization so every stage (SMW solves, chord
+        #: residual matmuls, batched Newton columns) routes consistently.
+        self.backend = getattr(self.factorization, "backend", BACKEND_DENSE)
         #: Linear nominal solution (== the Newton iterate after x_op).
         self.x_base = self.factorization.solve(self.b0)
 
         # Snapshots for batched residual/Jacobian assembly: the static
         # matrix is copied so overlays pushed on the base later (e.g. by
-        # the fallback path) cannot corrupt this solver.
+        # the fallback path) cannot corrupt this solver.  Under the
+        # sparse backend the residual matmul runs on a CSR copy, making
+        # the per-chord-sweep cost O(nnz * faults) instead of
+        # O(n^2 * faults); the dense snapshot stays for stacked-Jacobian
+        # assembly in the Newton confirm stage.
         self._a_static = compiled._g_static.copy()
+        self._a_op = static_operator(self._a_static, self.backend)
         self._abs_tol = absolute_tolerances(compiled, options)
         self._nl_mask = compiled.nonlinear_node_mask
         # Stamp stacks are pure functions of (stamps, factorization);
@@ -375,7 +392,7 @@ class BatchedOverlaySolver:
         n_faults = x.shape[1]
         xa = np.vstack([x, np.zeros((1, n_faults))])
 
-        r = self._a_static @ xa
+        r = self._a_op @ xa
         if b_scale is None:
             r -= self.b_aug[:, None]
         else:
@@ -731,18 +748,16 @@ class BatchedOverlaySolver:
                 b_scale=None if b_scale is None else b_scale[live],
                 cap_geq=None if cap_geq is None else cap_geq[:, live],
                 cap_ieq=None if cap_ieq is None else cap_ieq[:, live])
+            # Solve only the active columns: a singular settled column
+            # would otherwise poison the batched LAPACK call — and force
+            # the per-column loop — on *every* remaining iteration.
+            act = np.flatnonzero(active)
             dx = np.zeros_like(xw)
-            try:
-                dx[:, :] = -np.linalg.solve(
-                    ga, r.T[:, :, None])[:, :, 0].T
-            except np.linalg.LinAlgError:
-                for k in np.flatnonzero(active):
-                    try:
-                        dx[:, k] = -np.linalg.solve(ga[k], r[:, k])
-                    except np.linalg.LinAlgError:
-                        dx[:, k] = 0.0
-                        dead[live[k]] = True
-            dx[:, ~active] = 0.0
+            step, bad_cols = solve_columns(ga[act], -r[:, act],
+                                           self.backend)
+            dx[:, act] = step
+            if bad_cols.any():
+                dead[live[act[bad_cols]]] = True
             blown = ~np.isfinite(dx).all(axis=0)
             if blown.any():
                 dx[:, blown] = 0.0
@@ -868,16 +883,9 @@ class MonteCarloOverlaySolver(BatchedOverlaySolver):
         xs = x[:, idx]
         r, ga = self._assemble(xs, stack, jacobian=True, cols=idx)
         accepted = certified.copy()
-        dx = np.zeros_like(xs)
-        try:
-            dx[:, :] = -np.linalg.solve(ga, r.T[:, :, None])[:, :, 0].T
-        except np.linalg.LinAlgError:
-            for k in range(idx.size):
-                try:
-                    dx[:, k] = -np.linalg.solve(ga[k], r[:, k])
-                except np.linalg.LinAlgError:
-                    accepted[idx[k]] = False
-                    dx[:, k] = 0.0
+        dx, bad_cols = solve_columns(ga, -r, self.backend)
+        if bad_cols.any():
+            accepted[idx[bad_cols]] = False
         bad = ~np.isfinite(dx).all(axis=0)
         if bad.any():
             accepted[idx[bad]] = False

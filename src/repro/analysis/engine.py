@@ -78,6 +78,9 @@ class EngineStats:
             SMW+chord screen (no per-fault solve of any kind).
         screen_newton_confirms: faulty evaluations that needed the
             batched Newton confirm stage.
+        sparse_factorizations: how many of those factorizations the
+            size-selected backend served sparsely (CSC + SuperLU; see
+            :mod:`repro.analysis.backend`).
         screen_fallbacks: screened faults that escalated to the full
             per-fault robust overlay path.
     """
@@ -90,6 +93,7 @@ class EngineStats:
     base_evictions: int = 0
     warm_start_hits: int = 0
     factorizations: int = 0
+    sparse_factorizations: int = 0
     screened_simulations: int = 0
     screen_newton_confirms: int = 0
     screen_fallbacks: int = 0
@@ -398,6 +402,8 @@ class SimulationEngine:
             solver = BatchedOverlaySolver(base, x_op, b_sources,
                                           self.options)
         self.stats.factorizations += 1
+        if solver.backend == "sparse":
+            self.stats.sparse_factorizations += 1
         self._screen_solvers[cache_key] = solver
         while len(self._screen_solvers) > self.max_factorizations:
             self._screen_solvers.popitem(last=False)

@@ -39,13 +39,12 @@ from dataclasses import replace
 
 import numpy as np
 
-try:  # SciPy is optional: LU with cached pivots when present.
-    from scipy.linalg import LinAlgWarning as _ScipyLinAlgWarning
-    from scipy.linalg import lu_factor as _scipy_lu_factor
-    from scipy.linalg import lu_solve as _scipy_lu_solve
-except ImportError:  # pragma: no cover - environment-dependent
-    _scipy_lu_factor = _scipy_lu_solve = _ScipyLinAlgWarning = None
-
+from repro.analysis.backend import (
+    BACKEND_SPARSE,
+    SparseLU,
+    factorize_matrix,
+    select_backend,
+)
 from repro.circuit.diode import Diode, diode_eval
 from repro.circuit.elements import (
     Capacitor,
@@ -74,66 +73,41 @@ class Factorization:
     right-hand side — including whole matrices of stacked per-fault RHS
     columns — costs only triangular solves.
 
-    Backends: SciPy's ``lu_factor``/``lu_solve`` when available, with a
-    NumPy fallback that pre-computes the explicit inverse (adequate for
-    the well-scaled dense systems this library compiles; the fallback
-    keeps the package importable on NumPy-only installs).
+    Backends (see :mod:`repro.analysis.backend`): dense SciPy
+    ``lu_factor``/``lu_solve`` (NumPy explicit-inverse fallback on
+    SciPy-less installs) for small systems, CSC + ``splu`` (SuperLU) for
+    large ones.  Selection is automatic by system size; the
+    ``REPRO_BACKEND=dense|sparse|auto`` environment override and the
+    *mode* argument pin it explicitly.
 
     Args:
         matrix: the square system matrix.  Copied — callers may pass the
             reusable views returned by :meth:`CompiledCircuit.linearize`.
+        mode: optional backend mode overriding the environment selection
+            (``"dense"``, ``"sparse"`` or ``"auto"``).
 
     Attributes:
         count: class-level counter of factorizations performed since
             process start (instrumentation, like
             :attr:`CompiledCircuit.compile_count`).
+        backend: the backend actually serving this factorization —
+            ``"dense"`` or ``"sparse"`` (a sparse request degrades to
+            dense when SciPy is absent).
     """
 
     #: Process-wide factorization counter (instrumentation, monotonic).
     count: int = 0
 
-    def __init__(self, matrix: np.ndarray) -> None:
+    def __init__(self, matrix: np.ndarray,
+                 mode: str | None = None) -> None:
         Factorization.count += 1
-        a = np.array(matrix, dtype=float)
-        if a.ndim != 2 or a.shape[0] != a.shape[1]:
-            raise AnalysisError(
-                f"factorization needs a square matrix, got {a.shape}")
-        self.n = a.shape[0]
-        try:
-            if _scipy_lu_factor is not None:
-                import warnings
-
-                with warnings.catch_warnings():
-                    # SciPy warns on exact zero pivots; the explicit
-                    # singularity check below raises instead.
-                    warnings.simplefilter("ignore", _ScipyLinAlgWarning)
-                    self._lu_piv = _scipy_lu_factor(a)
-                self._inv = None
-            else:
-                self._lu_piv = None
-                self._inv = np.linalg.inv(a)
-        except (np.linalg.LinAlgError, ValueError) as exc:
-            raise SingularMatrixError(
-                f"singular matrix in factorization: {exc}") from exc
-        if self._lu_piv is not None:
-            # SciPy's lu_factor only *warns* on an exact zero pivot;
-            # match numpy.linalg.solve and fail loudly instead.
-            diagonal = np.diagonal(self._lu_piv[0])
-            if (not np.all(np.isfinite(self._lu_piv[0]))
-                    or np.any(diagonal == 0.0)):
-                raise SingularMatrixError(
-                    "singular matrix in factorization: zero pivot")
+        self._impl = factorize_matrix(matrix, mode)
+        self.n = self._impl.n
+        self.backend = self._impl.backend
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs`` for a vector or a matrix of RHS columns."""
-        rhs = np.asarray(rhs, dtype=float)
-        if rhs.shape[0] != self.n:
-            raise AnalysisError(
-                f"RHS has leading dimension {rhs.shape[0]}, "
-                f"factorization is {self.n}x{self.n}")
-        if self._inv is not None:
-            return self._inv @ rhs
-        return _scipy_lu_solve(self._lu_piv, rhs)
+        return self._impl.solve(rhs)
 
 
 class CompiledCircuit:
@@ -643,10 +617,19 @@ class CompiledCircuit:
     # solution unpacking
     # ------------------------------------------------------------------
     def solve_linear(self, g: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Dense solve with a clear error on singular systems."""
+        """One-shot solve with a clear error on singular systems.
+
+        Routed through the size-selected backend
+        (:func:`repro.analysis.backend.select_backend`): large systems
+        assemble CSC and solve via SuperLU, so a single Newton iteration
+        on a 500-node macro costs ``O(nnz)``-ish instead of ``O(n^3)``;
+        small systems keep the dense LAPACK path.
+        """
         try:
+            if select_backend(self.size) == BACKEND_SPARSE:
+                return SparseLU(g).solve(b)
             return np.linalg.solve(g, b)
-        except np.linalg.LinAlgError as exc:
+        except (np.linalg.LinAlgError, SingularMatrixError) as exc:
             raise SingularMatrixError(
                 f"singular MNA matrix for circuit {self.circuit.name!r}: "
                 f"{exc}") from exc

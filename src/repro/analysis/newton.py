@@ -4,6 +4,12 @@
 :func:`robust_solve` escalates through the SPICE-style convergence aids —
 gmin stepping, then source stepping — before raising
 :class:`~repro.errors.ConvergenceError`.
+
+Every iteration's linear solve goes through
+:meth:`CompiledCircuit.solve_linear`, which routes by system size to the
+dense-or-sparse backend of :mod:`repro.analysis.backend` — on the large
+macro zoo each Newton iteration costs a SuperLU factorization of a
+sparse CSC matrix instead of a dense ``O(n^3)`` LAPACK solve.
 """
 
 from __future__ import annotations

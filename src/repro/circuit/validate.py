@@ -39,11 +39,15 @@ class _UnionFind:
         self._parent: dict[str, str] = {}
 
     def find(self, key: str) -> str:
-        parent = self._parent.setdefault(key, key)
-        if parent != key:
-            parent = self.find(parent)
-            self._parent[key] = parent
-        return parent
+        # Iterative with full path compression: resistor chains in the
+        # large-macro zoo produce parent chains thousands deep, which a
+        # recursive walk cannot survive.
+        root = self._parent.setdefault(key, key)
+        while root != self._parent[root]:
+            root = self._parent[root]
+        while key != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
 
     def union(self, a: str, b: str) -> None:
         ra, rb = self.find(a), self.find(b)

@@ -63,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--macro", default="rc-ladder",
                        choices=available_macros(),
                        help="macro type to operate on")
+        p.add_argument("--sections", type=int, default=None,
+                       help="section count for parameterized macros "
+                            "(active-filter)")
 
     p_describe = sub.add_parser(
         "describe", help="macro structure and configuration cards")
@@ -128,8 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_macro(args):
+    """Instantiate the selected macro, forwarding size arguments."""
+    kwargs = {}
+    if getattr(args, "sections", None) is not None:
+        kwargs["n_sections"] = args.sections
+    try:
+        return get_macro(args.macro, **kwargs)
+    except TypeError:
+        raise ReproError(
+            f"macro {args.macro!r} does not accept --sections") from None
+
+
 def _cmd_describe(args) -> int:
-    macro = get_macro(args.macro)
+    macro = _make_macro(args)
     print(macro.circuit.summary())
     print(f"standard nodes: {', '.join(macro.standard_nodes)}")
     print()
@@ -142,7 +157,7 @@ def _cmd_describe(args) -> int:
 
 
 def _cmd_faults(args) -> int:
-    macro = get_macro(args.macro)
+    macro = _make_macro(args)
     if args.ifa:
         faults = ifa_fault_dictionary(macro.circuit,
                                       nodes=macro.standard_nodes,
@@ -158,7 +173,7 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_tps(args) -> int:
-    macro = get_macro(args.macro)
+    macro = _make_macro(args)
     configs = [c for c in macro.test_configurations()
                if c.name == args.config]
     if not configs:
@@ -178,7 +193,7 @@ def _cmd_tps(args) -> int:
 
 
 def _run_generation(args):
-    macro = get_macro(args.macro)
+    macro = _make_macro(args)
     configurations = macro.test_configurations()
     faults = list(macro.fault_dictionary())
     if getattr(args, "faults", None):
@@ -236,7 +251,7 @@ def _cmd_compact(args) -> int:
 
 
 def _cmd_mc(args) -> int:
-    macro = get_macro(args.macro)
+    macro = _make_macro(args)
     configs = [c for c in macro.test_configurations()
                if c.name == args.config]
     if not configs:

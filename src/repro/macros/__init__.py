@@ -3,9 +3,16 @@
 * :class:`IVConverterMacro` — the paper's evaluation vehicle
   (reconstruction; see DESIGN.md §3.1).
 * :class:`RCLadderMacro` — a tiny linear macro for fast pipeline tests.
+* :class:`TwoStageOpampMacro` / :class:`FoldedCascodeOTAMacro` /
+  :class:`ActiveFilterMacro` — the large-macro zoo, composed from the
+  functional-block vocabulary of :mod:`repro.macros.blocks`; the
+  parameterized filter ladder scales to hundreds of nodes and exercises
+  the sparse linear-algebra backend.
 """
 
+from repro.macros.activefilter import ActiveFilterMacro
 from repro.macros.base import Macro
+from repro.macros.foldedcascode import FoldedCascodeOTAMacro
 from repro.macros.ivconverter import IVConverterMacro, IV_NMOS, IV_PMOS
 from repro.macros.ota import OTAMacro
 from repro.macros.rcladder import RCLadderMacro
@@ -14,12 +21,16 @@ from repro.macros.registry import (
     get_macro,
     register_macro,
 )
+from repro.macros.twostage import TwoStageOpampMacro
 
 __all__ = [
     "Macro",
     "IVConverterMacro",
     "RCLadderMacro",
     "OTAMacro",
+    "TwoStageOpampMacro",
+    "FoldedCascodeOTAMacro",
+    "ActiveFilterMacro",
     "IV_NMOS",
     "IV_PMOS",
     "register_macro",

@@ -1,0 +1,156 @@
+"""Reusable functional-block builders for composing macro netlists.
+
+FUBOCO-style composition (PAPERS.md): an op-amp is not drawn transistor
+by transistor but assembled from a small vocabulary of *functional
+blocks* — bias chains, differential pairs, current mirrors, cascode
+devices, compensation networks — each of which knows how to stamp itself
+into a :class:`~repro.circuit.builder.CircuitBuilder`.  The zoo macros
+(:mod:`repro.macros.twostage`, :mod:`repro.macros.foldedcascode`,
+:mod:`repro.macros.activefilter`) are thin topology descriptions over
+this vocabulary, which is exactly what makes generating *families* of
+macros (the parameterized filter ladder) a loop instead of a netlist.
+
+Every builder takes the :class:`CircuitBuilder` first, then a *prefix*
+that namespaces the element names it creates, then explicit node names.
+Blocks only add elements — node naming stays with the caller, so blocks
+can be wired to each other freely.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.mosfet import MosfetParams
+
+__all__ = [
+    "bias_chain",
+    "bias_divider",
+    "biased_mosfet",
+    "common_source_stage",
+    "current_mirror",
+    "differential_pair",
+    "feedback_divider",
+    "gm_inverter_section",
+    "miller_compensation",
+    "output_load",
+]
+
+
+def bias_divider(b: CircuitBuilder, prefix: str, node: str, *,
+                 vdd: str = "vdd", gnd: str = "0",
+                 r_top: float | str, r_bot: float | str) -> None:
+    """Resistive bias voltage: ``vdd -R_top- node -R_bot- gnd``."""
+    b.resistor(f"{prefix}RT", vdd, node, r_top)
+    b.resistor(f"{prefix}RB", node, gnd, r_bot)
+
+
+def bias_chain(b: CircuitBuilder, prefix: str, node: str, *,
+               params: MosfetParams, vdd: str = "vdd", gnd: str = "0",
+               r: float | str = "200k", w: float | str = "20u",
+               l: float | str = "2u") -> None:
+    """Resistor + diode-connected MOSFET current reference.
+
+    Sets *node* one ``V_GS`` above *gnd*; every sink gated from *node*
+    mirrors the reference current scaled by its W/L.
+    """
+    b.resistor(f"{prefix}R", vdd, node, r)
+    b.mosfet(f"{prefix}M", node, node, gnd, gnd, params, w, l)
+
+
+def biased_mosfet(b: CircuitBuilder, name: str, *, drain: str, gate: str,
+                  source: str, bulk: str | None = None,
+                  params: MosfetParams, w: float | str = "20u",
+                  l: float | str = "2u") -> None:
+    """One gate-biased device: a current sink/source or a cascode.
+
+    The same primitive covers a tail sink (source at a rail), a cascode
+    (source at an internal branch node) and a mirrored current source —
+    what changes is only the wiring, which the caller owns.
+    """
+    b.mosfet(name, drain, gate, source,
+             source if bulk is None else bulk, params, w, l)
+
+
+def differential_pair(b: CircuitBuilder, prefix: str, *,
+                      gate_a: str, gate_b: str, drain_a: str,
+                      drain_b: str, tail: str, bulk: str,
+                      params: MosfetParams, w: float | str = "40u",
+                      l: float | str = "2u") -> None:
+    """Matched input pair ``{prefix}A`` / ``{prefix}B`` on one tail."""
+    b.mosfet(f"{prefix}A", drain_a, gate_a, tail, bulk, params, w, l)
+    b.mosfet(f"{prefix}B", drain_b, gate_b, tail, bulk, params, w, l)
+
+
+def current_mirror(b: CircuitBuilder, prefix: str, *, diode_node: str,
+                   out_node: str, rail: str, params: MosfetParams,
+                   w: float | str = "40u", l: float | str = "2u") -> None:
+    """Diode-connected reference ``{prefix}D`` mirrored to ``{prefix}O``."""
+    b.mosfet(f"{prefix}D", diode_node, diode_node, rail, rail, params, w, l)
+    b.mosfet(f"{prefix}O", out_node, diode_node, rail, rail, params, w, l)
+
+
+def common_source_stage(b: CircuitBuilder, prefix: str, *, vin: str,
+                        vout: str, vdd: str = "vdd", gnd: str = "0",
+                        nbias: str, p_params: MosfetParams,
+                        n_params: MosfetParams,
+                        wp: float | str = "60u", wn: float | str = "40u",
+                        l: float | str = "2u") -> None:
+    """PMOS common-source gain device with an NMOS current-sink load."""
+    b.mosfet(f"{prefix}P", vout, vin, vdd, vdd, p_params, wp, l)
+    b.mosfet(f"{prefix}N", vout, nbias, gnd, gnd, n_params, wn, l)
+
+
+def miller_compensation(b: CircuitBuilder, prefix: str, *, n_hi: str,
+                        n_out: str, n_mid: str, c: float | str = "10p",
+                        rz: float | str = "3k") -> None:
+    """Pole-splitting ``C_C`` + zero-nulling ``R_Z`` across a gain stage.
+
+    *n_mid* is the internal node between the capacitor and the resistor;
+    the caller names it so it can appear in the standard-node list.
+    """
+    b.capacitor(f"{prefix}C", n_hi, n_mid, c)
+    b.resistor(f"{prefix}R", n_mid, n_out, rz)
+
+
+def output_load(b: CircuitBuilder, prefix: str, node: str, *,
+                gnd: str = "0", r: float | str = "500k",
+                c: float | str = "10p") -> None:
+    """Resistive/capacitive test load at an output node."""
+    b.resistor(f"{prefix}R", node, gnd, r)
+    b.capacitor(f"{prefix}C", node, gnd, c)
+
+
+def feedback_divider(b: CircuitBuilder, prefix: str, *, vout: str,
+                     vfb: str, gnd: str = "0",
+                     r_top: float | str = "100k",
+                     r_bot: float | str | None = "100k") -> None:
+    """Feedback network ``vout -R_top- vfb [-R_bot- gnd]``.
+
+    With *r_bot* the closed-loop gain is ``1 + r_top/r_bot``; without it
+    (``None``) the amplifier runs as a unity-gain buffer — *vfb* drives
+    a MOS gate, so no DC current flows and ``V(vfb) == V(vout)``.
+    """
+    b.resistor(f"{prefix}RT", vout, vfb, r_top)
+    if r_bot is not None:
+        b.resistor(f"{prefix}RB", vfb, gnd, r_bot)
+
+
+def gm_inverter_section(b: CircuitBuilder, index: int, *, n_in: str,
+                        n_mid: str, n_out: str, gnd: str = "0",
+                        r_series: float | str = "1k",
+                        c_in: float | str = "1n",
+                        gm: float | str = "1m",
+                        r_load: float | str = "1k",
+                        c_load: float | str = "1n") -> None:
+    """One active-RC low-pass section: RC pole + inverting gm stage.
+
+    ``n_in -R- n_mid (C to ground) -gm- n_out (R_load || C_load)``; the
+    VCCS sinks ``gm * V(n_mid)`` out of *n_out*, so the DC gain per
+    section is ``-gm * R_load`` (unity-magnitude with the defaults).
+    Chaining N sections yields the parameterized filter-ladder family —
+    two nodes per section, structurally sparse, any length.
+    """
+    b.resistor(f"RS{index}", n_in, n_mid, r_series)
+    b.capacitor(f"CS{index}", n_mid, gnd, c_in)
+    b.vccs(f"G{index}", n_out, gnd, n_mid, gnd, gm)
+    b.resistor(f"RO{index}", n_out, gnd, r_load)
+    b.capacitor(f"CO{index}", n_out, gnd, c_load)

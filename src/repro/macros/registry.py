@@ -12,10 +12,13 @@ downstream users a single place to register their own macros::
 from __future__ import annotations
 
 from repro.errors import TestGenerationError
+from repro.macros.activefilter import ActiveFilterMacro
 from repro.macros.base import Macro
+from repro.macros.foldedcascode import FoldedCascodeOTAMacro
 from repro.macros.ivconverter import IVConverterMacro
 from repro.macros.ota import OTAMacro
 from repro.macros.rcladder import RCLadderMacro
+from repro.macros.twostage import TwoStageOpampMacro
 
 __all__ = ["register_macro", "get_macro", "available_macros"]
 
@@ -23,6 +26,9 @@ _REGISTRY: dict[str, type[Macro]] = {
     IVConverterMacro.macro_type: IVConverterMacro,
     RCLadderMacro.macro_type: RCLadderMacro,
     OTAMacro.macro_type: OTAMacro,
+    TwoStageOpampMacro.macro_type: TwoStageOpampMacro,
+    FoldedCascodeOTAMacro.macro_type: FoldedCascodeOTAMacro,
+    ActiveFilterMacro.macro_type: ActiveFilterMacro,
 }
 
 

@@ -1,0 +1,167 @@
+"""Large-macro zoo: structure, registry, and full-pipeline contracts.
+
+The zoo (two-stage Miller op-amp, folded-cascode OTA, N-section active
+filter) exists to prove the sparse backend on realistic macros.  These
+tests pin:
+
+* block-composed netlists bias correctly (closed loops settle where the
+  feedback equation says they must);
+* registry / CLI integration (``--macro``, ``--sections``);
+* the *full* generate -> collapse -> coverage pipeline runs unmodified
+  on a >= 100-node zoo member through the sparse backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import operating_point
+from repro.analysis.backend import (
+    BACKEND_SPARSE,
+    backend_override,
+    sparse_available,
+)
+from repro import errors
+from repro.cli import main as cli_main
+from repro.compaction import CompactionSettings, collapse_test_set, \
+    evaluate_coverage
+from repro.macros import (
+    ActiveFilterMacro,
+    FoldedCascodeOTAMacro,
+    TwoStageOpampMacro,
+    available_macros,
+    get_macro,
+)
+from repro.testgen import GenerationSettings, MacroTestbench, \
+    generate_tests
+
+needs_scipy = pytest.mark.skipif(not sparse_available(),
+                                 reason="scipy.sparse unavailable")
+
+
+class TestTwoStageOpamp:
+    def test_bias_and_closed_loop_gain(self):
+        macro = TwoStageOpampMacro()
+        op = operating_point(macro.circuit)
+        # Feedback divider fixes vout = 2 * vinp; vinn sits at vinp.
+        assert op.v("vout") == pytest.approx(3.0, abs=0.05)
+        assert op.v("vinn") == pytest.approx(1.5, abs=0.025)
+        # Bias chain and tail in saturation territory.
+        assert 0.8 < op.v("nbias") < 1.5
+        assert 0.2 < op.v("ntail") < 1.0
+
+    def test_transfer_tracks_gain_of_two(self):
+        macro = TwoStageOpampMacro()
+        from repro.analysis import dc_sweep
+        levels = np.linspace(1.1, 1.9, 5)
+        sweep = dc_sweep(macro.circuit, "VINP", levels)
+        vouts = [p.v("vout") for p in sweep.points]
+        np.testing.assert_allclose(vouts, 2.0 * levels, rtol=0.02)
+
+    def test_configurations_and_dictionary(self):
+        macro = TwoStageOpampMacro(fault_top_n=24)
+        names = [d.name for d in macro.configuration_descriptions()]
+        assert names == ["dc-transfer", "dc-supply-current",
+                         "step-settle"]
+        faults = list(macro.fault_dictionary())
+        assert len(faults) == 24
+        assert macro.test_configurations()  # fast boxes build
+
+
+class TestFoldedCascode:
+    def test_unity_buffer_bias(self):
+        macro = FoldedCascodeOTAMacro()
+        op = operating_point(macro.circuit)
+        # Unity feedback through a gate: vout == vinn == ~vinp.
+        assert op.v("vout") == pytest.approx(op.v("vinn"), abs=1e-6)
+        assert op.v("vout") == pytest.approx(1.5, abs=0.05)
+        # Fold nodes low, cascoded mirror node near the top rail.
+        assert 0.3 < op.v("nfa") < 1.2
+        assert 0.3 < op.v("nfb") < 1.2
+        assert 3.0 < op.v("na") < 4.5
+
+    def test_buffer_tracks_input(self):
+        macro = FoldedCascodeOTAMacro()
+        from repro.analysis import dc_sweep
+        levels = np.linspace(1.25, 1.75, 5)
+        sweep = dc_sweep(macro.circuit, "VINP", levels)
+        vouts = [p.v("vout") for p in sweep.points]
+        np.testing.assert_allclose(vouts, levels, atol=0.02)
+
+    def test_dictionary_covers_mosfets(self):
+        macro = FoldedCascodeOTAMacro(fault_top_n=None)
+        faults = list(macro.fault_dictionary())
+        pinholes = [f for f in faults if f.fault_type == "pinhole"]
+        assert len(pinholes) == 11  # one per device
+
+
+class TestActiveFilter:
+    def test_size_scales_linearly(self):
+        for n in (2, 10, 60):
+            macro = ActiveFilterMacro(n_sections=n)
+            nodes = {node for e in macro.circuit for node in e.nodes}
+            assert len(nodes) == 2 * n + 2  # vin + 2/section + ground
+
+    def test_rejects_tiny_ladder(self):
+        with pytest.raises(errors.TestGenerationError, match="sections"):
+            ActiveFilterMacro(n_sections=1)
+
+    def test_unity_dc_transfer_even_sections(self):
+        macro = ActiveFilterMacro(n_sections=10)
+        op = operating_point(macro.circuit)
+        assert op.v("vout") == pytest.approx(2.0, rel=1e-6)
+
+    def test_standard_nodes_are_sparse_taps(self):
+        macro = ActiveFilterMacro(n_sections=60)
+        nodes = macro.standard_nodes
+        assert nodes[0] == "vin" and nodes[-1] == "vout"
+        assert len(nodes) <= 8  # pads only, not the whole ladder
+        assert macro.mid_tap in nodes
+
+
+class TestRegistryAndCli:
+    def test_zoo_registered(self):
+        names = available_macros()
+        for name in ("two-stage-opamp", "folded-cascode-ota",
+                     "active-filter"):
+            assert name in names
+
+    def test_get_macro_forwards_kwargs(self):
+        macro = get_macro("active-filter", n_sections=8)
+        assert macro.n_sections == 8
+
+    def test_cli_describe_zoo_macro(self, capsys):
+        assert cli_main(["describe", "--macro", "active-filter",
+                         "--sections", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "dc-out" in out and "dc-mid" in out
+
+    def test_cli_sections_rejected_for_fixed_macro(self, capsys):
+        assert cli_main(["describe", "--macro", "iv-converter",
+                         "--sections", "4"]) != 0
+        assert "--sections" in capsys.readouterr().err
+
+
+@needs_scipy
+class TestSparsePipeline:
+    def test_full_pipeline_on_large_ladder(self):
+        """generate -> collapse -> coverage on a 100+-node macro, all
+        through the sparse backend (the tentpole acceptance run)."""
+        macro = ActiveFilterMacro(n_sections=60, fault_top_n=8)
+        faults = macro.fault_dictionary()
+        configurations = macro.test_configurations()
+        with backend_override(BACKEND_SPARSE):
+            result = generate_tests(macro.circuit, configurations,
+                                    faults, GenerationSettings())
+            bench = MacroTestbench(macro.circuit, configurations,
+                                   macro.options)
+            compaction = collapse_test_set(result, bench,
+                                           CompactionSettings())
+            detected = [t.fault for t in result.tests
+                        if t.detected_at_dictionary]
+            assert detected, "generation detected no faults"
+            report = evaluate_coverage(bench, detected,
+                                       list(compaction.tests))
+        assert compaction.n_compact_tests <= compaction.n_original_tests
+        assert report.n_covered >= 0.5 * report.n_faults
