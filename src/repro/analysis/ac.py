@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.backend import solve_dense
 from repro.analysis.dc import operating_point
 from repro.analysis.mna import CompiledCircuit
 from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
@@ -78,8 +79,8 @@ def ac_analysis(
     for k, freq in enumerate(freqs):
         system = g + 1j * 2.0 * np.pi * freq * c
         try:
-            x = np.linalg.solve(system, b)
-        except np.linalg.LinAlgError as exc:
+            x = solve_dense(system, b)
+        except SingularMatrixError as exc:
             raise SingularMatrixError(
                 f"AC system singular at f={freq:g} Hz") from exc
         phasors[:, k] = x[:compiled.n_nodes]

@@ -70,6 +70,7 @@ __all__ = [
     "factorize_matrix",
     "select_backend",
     "solve_columns",
+    "solve_dense",
     "sparse_available",
     "sparse_threshold",
     "static_operator",
@@ -274,6 +275,24 @@ def factorize_matrix(matrix: np.ndarray,
     if select_backend(n, mode) == BACKEND_SPARSE:
         return SparseLU(a)
     return DenseLU(a)
+
+
+def solve_dense(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """One-shot dense solve through the backend contract.
+
+    Thin chokepoint around LAPACK's dense solve so no caller outside
+    this module touches ``numpy.linalg`` directly (the contract enforced
+    by ``tools/lint_repro.py``).  Unlike the LU classes this supports
+    complex dtypes and stacked (batched) operands, which is what the AC
+    sweep and the batched SMW capacitance solves need.
+
+    Raises:
+        SingularMatrixError: if LAPACK reports a singular system.
+    """
+    try:
+        return np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(str(exc)) from exc
 
 
 def static_operator(a_static: np.ndarray, kind: str):

@@ -43,13 +43,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.backend import BACKEND_DENSE, solve_columns, static_operator
+from repro.analysis.backend import (
+    BACKEND_DENSE,
+    solve_columns,
+    solve_dense,
+    static_operator,
+)
 from repro.analysis.mna import CompiledCircuit, Factorization
 from repro.analysis.newton import absolute_tolerances, step_converged
 from repro.analysis.options import DEFAULT_OPTIONS, SimOptions
 from repro.circuit.diode import diode_eval
 from repro.circuit.mosfet import mos_level1
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, SingularMatrixError
 
 __all__ = ["ScreenedSolution", "BatchedOverlaySolver",
            "MonteCarloOverlaySolver"]
@@ -186,18 +191,19 @@ class _StampStack:
             diag = np.arange(k)
             with np.errstate(divide="ignore"):
                 cap[:, diag, diag] += 1.0 / self.sg.reshape(self.n_faults, k)
-            try:
-                if not np.all(np.isfinite(cap)):
-                    raise np.linalg.LinAlgError
-                # M3[:, c, :] = Z3[:, c, :] @ cap[c]^-1, one batched
-                # LAPACK solve on cap^T instead of explicit inverses.
-                m3t = np.linalg.solve(np.swapaxes(cap, 1, 2),
+            self.cap_m3 = None  # per-column loop unless the solve lands
+            if np.all(np.isfinite(cap)):
+                try:
+                    # M3[:, c, :] = Z3[:, c, :] @ cap[c]^-1, one batched
+                    # LAPACK solve on cap^T instead of explicit inverses.
+                    m3t = solve_dense(np.swapaxes(cap, 1, 2),
                                       z3.transpose(1, 2, 0))
-                self.cap_m3 = m3t.transpose(2, 0, 1)
-                self.u3 = u3
-                return
-            except np.linalg.LinAlgError:
-                self.cap_m3 = None  # fall through to per-column loop
+                except SingularMatrixError:
+                    pass
+                else:
+                    self.cap_m3 = m3t.transpose(2, 0, 1)
+                    self.u3 = u3
+                    return
         for col in range(self.n_faults):
             lo, hi = self.offsets[col], self.offsets[col + 1]
             u = self.u_all[:, lo:hi]
@@ -205,8 +211,8 @@ class _StampStack:
             cap = np.diag(1.0 / self.sg[lo:hi]) + u.T @ z
             try:
                 # M = Z cap^-1 by factor-and-solve on cap^T.
-                self.cap_m.append(np.linalg.solve(cap.T, z.T).T)
-            except np.linalg.LinAlgError:
+                self.cap_m.append(solve_dense(cap.T, z.T).T)
+            except SingularMatrixError:
                 self.cap_m.append(None)
                 self.singular[col] = True
 

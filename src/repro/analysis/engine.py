@@ -169,6 +169,11 @@ class SimulationEngine:
             (it only cross-checks faulty ones).  Set False for such
             circuits; everything still runs compile-once, just from
             cold Newton starts.
+        preflight: run the static lint gate (:mod:`repro.lint`) over
+            the circuit before anything compiles.  ``None`` (default)
+            skips it, ``"error"`` raises :class:`~repro.errors.LintError`
+            on error-severity findings, ``"strict"`` also blocks on
+            warnings.
     """
 
     def __init__(self, circuit: Circuit,
@@ -179,7 +184,18 @@ class SimulationEngine:
                  max_bases: int = 32,
                  max_warm_states: int = 128,
                  max_factorizations: int = 32,
-                 warm_start: bool = True) -> None:
+                 warm_start: bool = True,
+                 preflight: str | None = None) -> None:
+        if preflight not in (None, "error", "strict"):
+            raise ValueError(
+                f"preflight must be None, 'error' or 'strict', "
+                f"got {preflight!r}")
+        if preflight is not None:
+            # Imported lazily: repro.lint is a downstream consumer of
+            # the analysis package, not a dependency of it.
+            from repro.lint import preflight_check
+            preflight_check(circuit, strict=(preflight == "strict"),
+                            stage="SimulationEngine pre-flight lint")
         self.circuit = circuit
         self.options = options
         self.validate_overlay = validate_overlay

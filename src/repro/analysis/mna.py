@@ -44,6 +44,7 @@ from repro.analysis.backend import (
     SparseLU,
     factorize_matrix,
     select_backend,
+    solve_dense,
 )
 from repro.circuit.diode import Diode, diode_eval
 from repro.circuit.elements import (
@@ -628,8 +629,8 @@ class CompiledCircuit:
         try:
             if select_backend(self.size) == BACKEND_SPARSE:
                 return SparseLU(g).solve(b)
-            return np.linalg.solve(g, b)
-        except (np.linalg.LinAlgError, SingularMatrixError) as exc:
+            return solve_dense(g, b)
+        except SingularMatrixError as exc:
             raise SingularMatrixError(
                 f"singular MNA matrix for circuit {self.circuit.name!r}: "
                 f"{exc}") from exc

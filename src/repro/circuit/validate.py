@@ -1,79 +1,27 @@
-"""Structural netlist validation.
+"""Structural netlist validation (back-compat wrapper).
 
-Run before analysis to catch the classic authoring mistakes that otherwise
-surface as cryptic singular-matrix errors:
+Historically this module carried four hand-coded checks; they now live
+as registered rules in the :mod:`repro.lint` framework (see
+``docs/lint.md`` for the full catalog).  :func:`validate_circuit` keeps
+its original contract on top of them:
 
-* no ground reference anywhere in the circuit;
-* nodes with a single element terminal (dangling);
-* nodes without a DC path to ground (only capacitors / MOS gates attach);
-* loops made purely of ideal voltage sources.
+* hard errors (empty circuit, no ground reference) raise
+  :class:`~repro.errors.NetlistError` with the original messages;
+* soft findings (dangling nodes, DC-floating nodes, current sources
+  into high-impedance nodes) come back as a deterministically ordered
+  list of warning strings — the gmin conductances added by the engine
+  make some of them simulable anyway.
 
-:func:`validate_circuit` raises :class:`~repro.errors.NetlistError` for hard
-errors and returns a list of human-readable warnings for soft issues (the
-gmin conductances added by the engine make some of them simulable anyway).
+For richer checks (structural rank prediction, voltage-source loops,
+value sanity, ...) call :func:`repro.lint.lint_circuit` directly.
 """
 
 from __future__ import annotations
 
-from repro.errors import NetlistError
-from repro.circuit.elements import (
-    Capacitor,
-    CurrentSource,
-    Inductor,
-    Resistor,
-    VCVS,
-    VoltageSource,
-    is_ground,
-)
-from repro.circuit.diode import Diode
-from repro.circuit.mosfet import Mosfet
 from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
 
 __all__ = ["validate_circuit"]
-
-
-class _UnionFind:
-    """Tiny union-find over node names for connectivity checks."""
-
-    def __init__(self) -> None:
-        self._parent: dict[str, str] = {}
-
-    def find(self, key: str) -> str:
-        # Iterative with full path compression: resistor chains in the
-        # large-macro zoo produce parent chains thousands deep, which a
-        # recursive walk cannot survive.
-        root = self._parent.setdefault(key, key)
-        while root != self._parent[root]:
-            root = self._parent[root]
-        while key != root:
-            self._parent[key], key = root, self._parent[key]
-        return root
-
-    def union(self, a: str, b: str) -> None:
-        ra, rb = self.find(a), self.find(b)
-        if ra != rb:
-            self._parent[ra] = rb
-
-
-def _canonical(node: str) -> str:
-    return "0" if is_ground(node) else node
-
-
-def _dc_conducting_pairs(circuit: Circuit) -> list[tuple[str, str]]:
-    """Node pairs joined by an element that conducts DC current."""
-    pairs: list[tuple[str, str]] = []
-    for element in circuit:
-        if isinstance(element, (Resistor, Inductor, VoltageSource, Diode)):
-            pairs.append((element.n1, element.n2)
-                         if not isinstance(element, Diode)
-                         else (element.anode, element.cathode))
-        elif isinstance(element, VCVS):
-            pairs.append((element.np, element.nn))
-        elif isinstance(element, Mosfet):
-            # Channel conducts d<->s; the bulk junctions conduct weakly.
-            pairs.append((element.d, element.s))
-            pairs.append((element.s, element.b))
-    return pairs
 
 
 def validate_circuit(circuit: Circuit) -> list[str]:
@@ -83,50 +31,16 @@ def validate_circuit(circuit: Circuit) -> list[str]:
         NetlistError: if no ground node exists, or the circuit is empty.
 
     Returns:
-        Warnings for dangling nodes, DC-floating nodes and current sources
-        into high-impedance nodes.  An empty list means a clean bill.
+        Warnings for dangling nodes, DC-floating nodes and current
+        sources into high-impedance nodes.  An empty list means a clean
+        bill.  Ordering is deterministic: rule id, then subject.
     """
-    if len(circuit) == 0:
-        raise NetlistError(f"circuit {circuit.name!r} has no elements")
-    if not any(is_ground(n) for e in circuit for n in e.nodes):
-        raise NetlistError(
-            f"circuit {circuit.name!r} has no ground reference ('0' or 'gnd')")
+    # Imported lazily: repro.lint pulls in fault/testgen helpers whose
+    # packages import repro.circuit right back during initialization.
+    from repro.lint.circuit_rules import LEGACY_VALIDATE_RULES
+    from repro.lint.runner import lint_circuit
 
-    warnings: list[str] = []
-
-    # Terminal counts per node (dangling-node check).
-    terminal_count: dict[str, int] = {}
-    for element in circuit:
-        for node in element.nodes:
-            node = _canonical(node)
-            terminal_count[node] = terminal_count.get(node, 0) + 1
-    for node, count in sorted(terminal_count.items()):
-        if node != "0" and count < 2:
-            warnings.append(f"node {node!r} has a single terminal (dangling)")
-
-    # DC path to ground.
-    uf = _UnionFind()
-    uf.find("0")
-    for a, b in _dc_conducting_pairs(circuit):
-        uf.union(_canonical(a), _canonical(b))
-    ground_root = uf.find("0")
-    for node in circuit.nodes():
-        if uf.find(_canonical(node)) != ground_root:
-            warnings.append(
-                f"node {node!r} has no DC path to ground "
-                "(only capacitors/gates attach; gmin will be relied on)")
-
-    # Current source into a node with no other DC-conducting element.
-    dc_nodes = {(_canonical(a)) for a, b in _dc_conducting_pairs(circuit)}
-    dc_nodes |= {(_canonical(b)) for a, b in _dc_conducting_pairs(circuit)}
-    for source in circuit.elements_of_type(CurrentSource):
-        for node in source.nodes:
-            node = _canonical(node)
-            if node != "0" and node not in dc_nodes:
-                attached = [e.name for e in circuit.elements_at(node)
-                            if not isinstance(e, (CurrentSource, Capacitor))]
-                if not attached:
-                    warnings.append(
-                        f"current source {source.name!r} drives node "
-                        f"{node!r} which has no DC-conducting element")
-    return warnings
+    report = lint_circuit(circuit, rules=LEGACY_VALIDATE_RULES)
+    for diagnostic in report.errors:
+        raise NetlistError(diagnostic.message)
+    return [diagnostic.message for diagnostic in report.warnings]

@@ -8,7 +8,9 @@ Thin argparse wrapper over the library for interactive use:
 * ``generate``  — the Fig. 6 generation run (JSON output optional);
 * ``compact``   — generation + collapse + coverage, the full flow;
 * ``mc``        — Monte Carlo detection probabilities under process
-  spread (vectorized tolerance screening).
+  spread (vectorized tolerance screening);
+* ``lint``      — static pre-flight checks over a macro's circuit,
+  fault dictionary and test configurations (no simulation).
 
 Examples::
 
@@ -17,6 +19,8 @@ Examples::
     python -m repro tps --macro iv-converter --config thd \\
         --fault bridge:n2:n3 --impact 34k --grid 7
     python -m repro compact --macro rc-ladder --delta 0.1
+    python -m repro lint --all --strict
+    python -m repro lint --macro ota --format json
     python -m repro mc --macro iv-converter --config dc-output \\
         --samples 256 --jobs 4
 """
@@ -127,6 +131,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="use the scalar one-sample-at-a-time "
                            "reference path instead of the batched "
                            "SMW solver")
+
+    p_lint = sub.add_parser(
+        "lint", help="static pre-flight checks (circuit, dictionary, "
+                     "test program) — no simulation")
+    add_macro_arg(p_lint)
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every registered macro (ignores "
+                             "--macro/--sections)")
+    p_lint.add_argument("--ifa", action="store_true",
+                        help="lint the IFA-weighted dictionary instead "
+                             "of the exhaustive one")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="warnings block too, not just errors")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
 
     return parser
 
@@ -295,6 +314,44 @@ def _cmd_mc(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json as json_module
+
+    from repro.lint import lint_scenario, render_text, report_to_dict
+
+    if args.all:
+        names = list(available_macros())
+        macros = [get_macro(name) for name in names]
+    else:
+        names = [args.macro]
+        macros = [_make_macro(args)]
+
+    payload: dict[str, dict] = {}
+    all_ok = True
+    for name, macro in zip(names, macros):
+        circuit = macro.circuit
+        if args.ifa:
+            faults = ifa_fault_dictionary(circuit,
+                                          nodes=macro.standard_nodes)
+        else:
+            faults = macro.fault_dictionary()
+        configurations = macro.test_configurations()
+        report = lint_scenario(circuit, faults, configurations)
+        ok = report.ok(strict=args.strict)
+        all_ok &= ok
+        if args.format == "json":
+            payload[name] = report_to_dict(report, strict=args.strict)
+        else:
+            print(render_text(
+                report, strict=args.strict,
+                title=f"{name}: {len(circuit)} elements, "
+                      f"{len(tuple(faults))} faults, "
+                      f"{len(configurations)} configurations"))
+    if args.format == "json":
+        print(json_module.dumps(payload, indent=2))
+    return 0 if all_ok else 1
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "faults": _cmd_faults,
@@ -302,6 +359,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "compact": _cmd_compact,
     "mc": _cmd_mc,
+    "lint": _cmd_lint,
 }
 
 

@@ -73,6 +73,19 @@ class FaultModelError(ReproError):
     """Raised for invalid fault definitions or impossible injections."""
 
 
+class LintError(ReproError):
+    """Raised when a pre-flight lint pass rejects a scenario.
+
+    Carries the offending :class:`repro.lint.Diagnostic` records on the
+    ``diagnostics`` attribute so callers can render or filter them; the
+    message itself lists the blocking findings.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class ToleranceError(ReproError):
     """Raised for invalid tolerance-box or process-variation setups."""
 

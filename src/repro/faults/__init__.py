@@ -22,6 +22,7 @@ from repro.faults.dictionary import (
     enumerate_bridging_faults,
     enumerate_pinhole_faults,
     exhaustive_fault_dictionary,
+    validate_fault_nodes,
 )
 from repro.faults.ifa import (
     IfaWeights,
@@ -46,6 +47,7 @@ __all__ = [
     "enumerate_bridging_faults",
     "enumerate_pinhole_faults",
     "exhaustive_fault_dictionary",
+    "validate_fault_nodes",
     "inject_fault",
     "IfaWeights",
     "bridge_likelihood",

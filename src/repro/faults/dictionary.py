@@ -34,7 +34,33 @@ __all__ = [
     "enumerate_bridging_faults",
     "enumerate_pinhole_faults",
     "exhaustive_fault_dictionary",
+    "validate_fault_nodes",
 ]
+
+
+def validate_fault_nodes(circuit: Circuit,
+                         nodes: Iterable[str]) -> tuple[str, ...]:
+    """Check a bridging-node universe against *circuit* at build time.
+
+    Overlay stamps index compiled unknowns; a fault site that does not
+    exist in the circuit used to surface only at solve time, deep
+    inside a generation run.  Dictionary builders call this instead, so
+    the mistake fails fast with a list of every offending node.
+
+    Returns:
+        The node names as a tuple (evaluated once, safe to reuse).
+
+    Raises:
+        FaultModelError: naming all nodes absent from *circuit*.
+    """
+    node_list = tuple(nodes)
+    missing = sorted(n for n in node_list if not circuit.has_node(n))
+    if missing:
+        raise FaultModelError(
+            f"fault node(s) {', '.join(repr(n) for n in missing)} not "
+            f"present in circuit {circuit.name!r}: overlay stamps "
+            "would be out of range at solve time")
+    return node_list
 
 
 @dataclass(frozen=True)
@@ -142,6 +168,8 @@ def exhaustive_fault_dictionary(
     """
     if nodes is None:
         nodes = circuit.nodes(include_ground=True)
+    else:
+        nodes = validate_fault_nodes(circuit, nodes)
     bridges = enumerate_bridging_faults(nodes, bridge_resistance)
     pinholes = enumerate_pinhole_faults(circuit, pinhole_resistance,
                                         pinhole_position)

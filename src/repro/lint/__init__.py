@@ -1,0 +1,69 @@
+"""Pre-flight static analysis for circuits, fault dictionaries and
+test programs.
+
+The paper's premise is structural: fault lists and compact tests are
+derived from netlist structure before any simulation runs.  This
+package brings the matching static gate — a rule-based lint framework
+that rejects or flags bad (topology x dictionary x test) scenarios
+*before* any compile or factorization, instead of letting them surface
+mid-run as cryptic singular-matrix or convergence errors.
+
+Three pass families (see :mod:`repro.lint.circuit_rules`,
+:mod:`repro.lint.fault_rules`, :mod:`repro.lint.testgen_rules`) feed
+deterministic :class:`Diagnostic` records into a :class:`LintReport`::
+
+    from repro.lint import lint_scenario
+
+    report = lint_scenario(macro.circuit, macro.fault_dictionary(),
+                           macro.test_configurations())
+    if not report.ok(strict=True):
+        print(render_text(report))
+
+The same gate is exposed as the ``repro lint`` CLI subcommand and as
+the ``preflight=`` hook on ``SimulationEngine`` / ``generate_tests``.
+The rule catalog lives in ``docs/lint.md``.
+"""
+
+from repro.lint.core import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    LintContext,
+    LintReport,
+    LintRule,
+    all_rules,
+    get_rule,
+    register_rule,
+    rule,
+)
+from repro.lint.reporters import render_json, render_text, report_to_dict
+from repro.lint.runner import (
+    lint_circuit,
+    lint_faults,
+    lint_scenario,
+    lint_tests,
+    preflight_check,
+)
+
+__all__ = [
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "all_rules",
+    "get_rule",
+    "lint_circuit",
+    "lint_faults",
+    "lint_scenario",
+    "lint_tests",
+    "preflight_check",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+    "rule",
+]

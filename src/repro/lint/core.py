@@ -1,0 +1,271 @@
+"""Core of the lint framework: diagnostics, rules and reports.
+
+The framework is deliberately small: a rule is a named, registered
+function from a :class:`LintContext` (circuit + fault list + test
+configurations) to zero or more :class:`Diagnostic` records.  Reports
+collect diagnostics in a deterministic order — sorted by severity, rule
+id, subject and message — so lint output is stable across runs, Python
+hash seeds and machines, which the CI job and the back-compat
+``validate_circuit`` wrapper both rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+
+from repro.errors import LintError
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "rule",
+]
+
+#: Severity levels, most severe first.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: Pass families a rule can belong to.
+SCOPES = ("circuit", "faults", "tests")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured lint finding.
+
+    Attributes:
+        rule_id: stable identifier of the producing rule
+            (e.g. ``"circuit.structural-rank"``).
+        severity: ``"error"``, ``"warning"`` or ``"info"``.
+        subject: the thing being complained about — a node, fault id,
+            element or configuration name.  Used as a sort key, so it
+            must be stable.
+        location: human-readable place, e.g. ``"circuit 'ota'"``.
+        message: one-line description of the finding.
+        hint: optional fix suggestion.
+    """
+
+    rule_id: str
+    severity: str
+    subject: str
+    location: str
+    message: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def sort_key(self) -> tuple:
+        return (_SEVERITY_RANK[self.severity], self.rule_id,
+                self.subject, self.message)
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-ready mapping (keys in stable order)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "subject": self.subject,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One text-report line."""
+        text = (f"{self.severity:7s} [{self.rule_id}] "
+                f"{self.location}: {self.message}")
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect.
+
+    Rules must tolerate missing parts: a circuit-only lint leaves
+    ``faults``/``configurations`` empty, and fault rules receive the
+    *raw* fault sequence (which, unlike a
+    :class:`~repro.faults.dictionary.FaultDictionary`, may contain
+    duplicate ids — that is exactly what some rules look for).
+
+    Attributes:
+        circuit: the circuit under test (``None`` only for pure
+            fault/test lints without a reference netlist).
+        elements: raw element sequence as supplied by the caller.  When
+            the input was a :class:`~repro.circuit.netlist.Circuit` this
+            equals ``tuple(circuit)``; when it was a plain element list
+            it may contain duplicate names the ``Circuit`` constructor
+            would have rejected.
+        faults: fault models to vet (possibly with duplicate ids).
+        configurations: test configurations to vet.
+        cache: per-run scratch space shared by rules (e.g. compiled
+            overlay-base node indices), never part of the result.
+    """
+
+    circuit: object | None = None
+    elements: tuple = ()
+    faults: tuple = ()
+    configurations: tuple = ()
+    cache: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered, named static check.
+
+    Attributes:
+        rule_id: stable dotted identifier, ``<scope>.<slug>``.
+        scope: pass family — ``"circuit"``, ``"faults"`` or ``"tests"``.
+        severity: default severity of the diagnostics it emits.
+        summary: one-line description (rule catalog).
+        rationale: why the finding matters (rule catalog).
+        check: the rule body; yields :class:`Diagnostic` records.
+    """
+
+    rule_id: str
+    scope: str
+    severity: str
+    summary: str
+    rationale: str
+    check: Callable[[LintContext], Iterable[Diagnostic]]
+
+    def run(self, context: LintContext) -> tuple[Diagnostic, ...]:
+        """Execute the rule; diagnostics come back deterministically sorted."""
+        return tuple(sorted(self.check(context), key=lambda d: d.sort_key))
+
+
+_RULES: dict[str, LintRule] = {}
+
+
+def register_rule(lint_rule: LintRule) -> LintRule:
+    """Add a rule to the global registry (ids must be unique)."""
+    if lint_rule.scope not in SCOPES:
+        raise ValueError(f"unknown rule scope {lint_rule.scope!r}")
+    if lint_rule.rule_id in _RULES:
+        raise ValueError(f"duplicate lint rule id {lint_rule.rule_id!r}")
+    _RULES[lint_rule.rule_id] = lint_rule
+    return lint_rule
+
+
+def rule(rule_id: str, *, scope: str, severity: str,
+         summary: str, rationale: str = ""):
+    """Decorator registering a check function as a :class:`LintRule`."""
+    def decorate(fn):
+        register_rule(LintRule(rule_id=rule_id, scope=scope,
+                               severity=severity, summary=summary,
+                               rationale=rationale, check=fn))
+        return fn
+    return decorate
+
+
+def all_rules(scope: str | None = None) -> tuple[LintRule, ...]:
+    """Registered rules, sorted by id; optionally one scope only."""
+    rules = sorted(_RULES.values(), key=lambda r: r.rule_id)
+    if scope is not None:
+        rules = [r for r in rules if r.scope == scope]
+    return tuple(rules)
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """Look up one rule by id."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise LintError(f"no such lint rule: {rule_id!r}") from None
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Deterministically ordered collection of diagnostics."""
+
+    diagnostics: tuple[Diagnostic, ...]
+
+    @staticmethod
+    def from_iterable(diagnostics: Iterable[Diagnostic]) -> "LintReport":
+        return LintReport(tuple(sorted(diagnostics,
+                                       key=lambda d: d.sort_key)))
+
+    @staticmethod
+    def merge(*reports: "LintReport") -> "LintReport":
+        """Combine reports, re-sorting into canonical order."""
+        combined: list[Diagnostic] = []
+        for report in reports:
+            combined.extend(report.diagnostics)
+        return LintReport.from_iterable(combined)
+
+    def of_severity(self, severity: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity == severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.of_severity(ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.of_severity(WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.of_severity(INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def ok(self, strict: bool = False) -> bool:
+        """Clean bill: no errors (strict: no warnings either)."""
+        if strict:
+            return not (self.errors or self.warnings)
+        return not self.errors
+
+    def counts(self) -> dict[str, int]:
+        """``{"error": n, "warning": n, "info": n}``."""
+        return {severity: len(self.of_severity(severity))
+                for severity in (ERROR, WARNING, INFO)}
+
+    def raise_for_errors(self, strict: bool = False,
+                         stage: str = "lint") -> None:
+        """Raise :class:`~repro.errors.LintError` if not :meth:`ok`."""
+        if self.ok(strict):
+            return
+        blocking = self.errors + (self.warnings if strict else ())
+        shown = "\n".join(d.render() for d in blocking[:8])
+        more = len(blocking) - min(len(blocking), 8)
+        if more:
+            shown += f"\n... and {more} more"
+        raise LintError(
+            f"{stage} failed with {len(blocking)} blocking "
+            f"finding(s):\n{shown}", diagnostics=blocking)
+
+    def restricted(self, rule_ids: Sequence[str]) -> "LintReport":
+        """Sub-report containing only the given rule ids."""
+        wanted = set(rule_ids)
+        return LintReport(tuple(d for d in self.diagnostics
+                                if d.rule_id in wanted))
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+
+def downgraded(diagnostic: Diagnostic, severity: str) -> Diagnostic:
+    """Copy of *diagnostic* at a different severity (rule-local use)."""
+    return replace(diagnostic, severity=severity)

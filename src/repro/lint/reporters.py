@@ -1,0 +1,46 @@
+"""Text and JSON rendering of lint reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import LintReport
+
+__all__ = ["render_text", "render_json", "report_to_dict"]
+
+
+def render_text(report: LintReport, *, title: str | None = None,
+                strict: bool = False) -> str:
+    """Human-readable report: one line per diagnostic plus a summary."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for diagnostic in report.diagnostics:
+        lines.append("  " + diagnostic.render() if title
+                     else diagnostic.render())
+    counts = report.counts()
+    summary = (f"{counts['error']} error(s), "
+               f"{counts['warning']} warning(s), "
+               f"{counts['info']} info")
+    verdict = "clean" if report.ok(strict) else "FAILED"
+    prefix = "  " if title else ""
+    lines.append(f"{prefix}{verdict}: {summary}"
+                 + (" [strict]" if strict else ""))
+    return "\n".join(lines)
+
+
+def report_to_dict(report: LintReport, *, strict: bool = False) -> dict:
+    """JSON-ready mapping with stable key order."""
+    return {
+        "ok": report.ok(strict),
+        "strict": strict,
+        "counts": report.counts(),
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+    }
+
+
+def render_json(report: LintReport, *, strict: bool = False,
+                indent: int = 2) -> str:
+    """Machine-readable report (stable ordering, ASCII-safe)."""
+    return json.dumps(report_to_dict(report, strict=strict),
+                      indent=indent, sort_keys=False)

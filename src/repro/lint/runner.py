@@ -1,0 +1,123 @@
+"""Entry points that assemble a context and run registered rules."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.errors import LintError, NetlistError
+from repro.lint import circuit_rules, fault_rules, testgen_rules  # noqa: F401 - rule registration
+from repro.lint.core import (
+    Diagnostic,
+    LintContext,
+    LintReport,
+    all_rules,
+    get_rule,
+)
+
+__all__ = [
+    "lint_circuit",
+    "lint_faults",
+    "lint_scenario",
+    "lint_tests",
+    "preflight_check",
+]
+
+
+def _coerce_circuit(circuit_or_elements):
+    """Accept a :class:`Circuit` or a raw element iterable.
+
+    Raw sequences may contain duplicate names (which ``Circuit``
+    rejects); the duplicates are dropped from the working circuit and
+    left in ``elements`` for the ``circuit.duplicate-name`` rule.
+    """
+    if circuit_or_elements is None:
+        return None, ()
+    if isinstance(circuit_or_elements, Circuit):
+        return circuit_or_elements, tuple(circuit_or_elements)
+    elements = tuple(circuit_or_elements)
+    circuit = Circuit("lint-input")
+    for element in elements:
+        try:
+            circuit.add(element)
+        except NetlistError:
+            pass
+    return circuit, elements
+
+
+def _run(context: LintContext, scopes: Sequence[str],
+         rules: Sequence[str] | None) -> LintReport:
+    if rules is not None:
+        selected = [get_rule(rule_id) for rule_id in rules]
+    else:
+        selected = [r for scope in scopes for r in all_rules(scope)]
+    diagnostics: list[Diagnostic] = []
+    for lint_rule in selected:
+        diagnostics.extend(lint_rule.run(context))
+    return LintReport.from_iterable(diagnostics)
+
+
+def lint_circuit(circuit_or_elements, *,
+                 rules: Sequence[str] | None = None) -> LintReport:
+    """Run the circuit pass family.
+
+    Args:
+        circuit_or_elements: a :class:`Circuit` or any iterable of
+            elements (raw sequences additionally enable the
+            duplicate-name rule, which circuits structurally preclude).
+        rules: optional explicit rule-id subset.
+    """
+    circuit, elements = _coerce_circuit(circuit_or_elements)
+    context = LintContext(circuit=circuit, elements=elements)
+    return _run(context, ("circuit",), rules)
+
+
+def lint_faults(circuit, faults: Iterable, *,
+                rules: Sequence[str] | None = None) -> LintReport:
+    """Run the fault-dictionary pass family against *circuit*.
+
+    *faults* may be a :class:`~repro.faults.dictionary.FaultDictionary`
+    or any fault-model sequence (raw sequences may carry duplicate ids,
+    which is itself a reportable finding).
+    """
+    circuit, elements = _coerce_circuit(circuit)
+    context = LintContext(circuit=circuit, elements=elements,
+                          faults=tuple(faults))
+    return _run(context, ("faults",), rules)
+
+
+def lint_tests(circuit, configurations: Iterable, *,
+               rules: Sequence[str] | None = None) -> LintReport:
+    """Run the test-program pass family against *circuit*."""
+    circuit, elements = _coerce_circuit(circuit)
+    context = LintContext(circuit=circuit, elements=elements,
+                          configurations=tuple(configurations))
+    return _run(context, ("tests",), rules)
+
+
+def lint_scenario(circuit, faults: Iterable = (),
+                  configurations: Iterable = (), *,
+                  rules: Sequence[str] | None = None) -> LintReport:
+    """Run every applicable pass family over one (circuit, dictionary,
+    test-program) scenario — the full pre-flight gate."""
+    circuit_obj, elements = _coerce_circuit(circuit)
+    context = LintContext(circuit=circuit_obj, elements=elements,
+                          faults=tuple(faults),
+                          configurations=tuple(configurations))
+    scopes = ["circuit"]
+    if context.faults:
+        scopes.append("faults")
+    if context.configurations:
+        scopes.append("tests")
+    return _run(context, tuple(scopes), rules)
+
+
+def preflight_check(circuit, faults: Iterable = (),
+                    configurations: Iterable = (), *,
+                    strict: bool = False,
+                    stage: str = "pre-flight lint") -> LintReport:
+    """Lint a scenario and raise :class:`~repro.errors.LintError` when
+    it is not clean (``strict`` promotes warnings to blocking)."""
+    report = lint_scenario(circuit, faults, configurations)
+    report.raise_for_errors(strict=strict, stage=stage)
+    return report

@@ -1,0 +1,308 @@
+"""Structural (symbolic) analysis of the MNA incidence pattern.
+
+Everything here works on *which* matrix entries a circuit stamps, never
+on their values — so these predicates run before any compile or
+factorization:
+
+* :class:`MNAPattern` mirrors the unknown ordering of
+  :class:`repro.analysis.mna.CompiledCircuit` (node unknowns first, then
+  the branch currents of voltage sources / inductors / VCVS, in netlist
+  order) and records the structural nonzero pattern of the DC Jacobian,
+  including the bias-dependent MOSFET/diode entries, which are present
+  at every operating point.
+* :func:`structural_rank` computes the maximum bipartite matching
+  between equations and unknowns (Hopcroft–Karp, iterative — ladder
+  macros reach thousands of unknowns).  A structural rank below the
+  system size means the matrix is singular for *every* choice of element
+  values; with ``gmin`` diagonals included this flags exactly the
+  systems the engine cannot rescue.
+* :func:`voltage_source_loops` finds cycles made purely of ideal
+  voltage-defined branches (V sources, DC-shorted inductors, VCVS
+  outputs).  These are structurally full rank but numerically singular
+  — the complementary failure mode.
+* :func:`dc_components` / :func:`dc_conducting_pairs` expose the DC
+  connectivity used by the floating-node and current-source-cutset
+  rules (shared with the legacy ``validate_circuit`` checks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.circuit.diode import Diode
+from repro.circuit.elements import (
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    is_ground,
+)
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+
+__all__ = [
+    "MNAPattern",
+    "UnionFind",
+    "build_pattern",
+    "canonical",
+    "dc_components",
+    "dc_conducting_pairs",
+    "structural_rank",
+    "voltage_source_loops",
+]
+
+
+def canonical(node: str) -> str:
+    """Canonical node name (all ground aliases collapse to ``"0"``)."""
+    return "0" if is_ground(node) else node
+
+
+class UnionFind:
+    """Union-find over node names, iterative with path compression.
+
+    Iterative on purpose: resistor chains in the large-macro zoo produce
+    parent chains thousands deep, which a recursive walk cannot survive.
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def find(self, key: str) -> str:
+        root = self._parent.setdefault(key, key)
+        while root != self._parent[root]:
+            root = self._parent[root]
+        while key != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: str, b: str) -> bool:
+        """Merge the sets of *a* and *b*; False if already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[ra] = rb
+        return True
+
+
+def dc_conducting_pairs(circuit: Circuit) -> list[tuple[str, str]]:
+    """Node pairs joined by an element that conducts DC current."""
+    pairs: list[tuple[str, str]] = []
+    for element in circuit:
+        if isinstance(element, Diode):
+            pairs.append((element.anode, element.cathode))
+        elif isinstance(element, (Resistor, Inductor, VoltageSource)):
+            pairs.append((element.n1, element.n2))
+        elif isinstance(element, VCVS):
+            pairs.append((element.np, element.nn))
+        elif isinstance(element, Mosfet):
+            # Channel conducts d<->s; the bulk junctions conduct weakly.
+            pairs.append((element.d, element.s))
+            pairs.append((element.s, element.b))
+    return pairs
+
+
+def dc_components(circuit: Circuit) -> UnionFind:
+    """Union-find of DC connectivity (ground seeded at ``"0"``)."""
+    uf = UnionFind()
+    uf.find("0")
+    for a, b in dc_conducting_pairs(circuit):
+        uf.union(canonical(a), canonical(b))
+    return uf
+
+
+@dataclass(frozen=True)
+class MNAPattern:
+    """Structural nonzero pattern of a circuit's DC MNA Jacobian.
+
+    Attributes:
+        unknown_names: unknown labels in system order — node names, then
+            ``i(<element>)`` branch currents.
+        rows: for each equation index, the sorted tuple of structurally
+            nonzero column indices (without gmin).
+    """
+
+    unknown_names: tuple[str, ...]
+    rows: tuple[tuple[int, ...], ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.unknown_names)
+
+
+def build_pattern(circuit: Circuit) -> MNAPattern:
+    """Mirror ``CompiledCircuit``'s stamping, keeping only the pattern."""
+    node_names = circuit.nodes()
+    node_index = {name: i for i, name in enumerate(node_names)}
+    branch_elements = [e for e in circuit
+                       if isinstance(e, (VoltageSource, Inductor, VCVS))]
+    n_nodes = len(node_names)
+    size = n_nodes + len(branch_elements)
+    branch_index = {e.name: n_nodes + k
+                    for k, e in enumerate(branch_elements)}
+    gnd = size  # augmented ground slot, dropped at the end
+
+    def idx(node: str) -> int:
+        return gnd if is_ground(node) else node_index[node]
+
+    rows: list[set[int]] = [set() for _ in range(size + 1)]
+
+    def stamp(i: int, j: int) -> None:
+        rows[i].add(j)
+
+    def stamp_pair(p: int, n: int) -> None:
+        # Conductance-style two-terminal stamp; a self-loop (p == n)
+        # cancels arithmetically, so it contributes no pattern either.
+        if p == n:
+            return
+        for i in (p, n):
+            for j in (p, n):
+                stamp(i, j)
+
+    for element in circuit:
+        if isinstance(element, Resistor):
+            stamp_pair(idx(element.n1), idx(element.n2))
+        elif isinstance(element, Diode):
+            stamp_pair(idx(element.anode), idx(element.cathode))
+        elif isinstance(element, Mosfet):
+            # Level-1 Jacobian: KCL rows d and s carry derivatives with
+            # respect to every terminal voltage (vgs, vds, vbs).
+            d, g = idx(element.d), idx(element.g)
+            s, b = idx(element.s), idx(element.b)
+            if d != s:
+                for i in (d, s):
+                    for j in (d, g, s, b):
+                        stamp(i, j)
+        elif isinstance(element, VCCS):
+            p, n = idx(element.np), idx(element.nn)
+            cp, cn = idx(element.cp), idx(element.cn)
+            if p != n and cp != cn:
+                for i in (p, n):
+                    for j in (cp, cn):
+                        stamp(i, j)
+        elif isinstance(element, (VoltageSource, Inductor)):
+            r = branch_index[element.name]
+            p, n = idx(element.n1), idx(element.n2)
+            if p != n:
+                stamp(p, r)
+                stamp(n, r)
+                stamp(r, p)
+                stamp(r, n)
+        elif isinstance(element, VCVS):
+            r = branch_index[element.name]
+            p, n = idx(element.np), idx(element.nn)
+            cp, cn = idx(element.cp), idx(element.cn)
+            if p != n:
+                stamp(p, r)
+                stamp(n, r)
+                stamp(r, p)
+                stamp(r, n)
+            if element.gain != 0.0 and cp != cn:
+                stamp(r, cp)
+                stamp(r, cn)
+
+    # Drop the augmented ground row/column, exactly like the compiler.
+    trimmed = tuple(tuple(sorted(j for j in rows[i] if j != gnd))
+                    for i in range(size))
+    unknowns = tuple(node_names) + tuple(
+        f"i({e.name})" for e in branch_elements)
+    return MNAPattern(unknown_names=unknowns, rows=trimmed)
+
+
+def structural_rank(pattern: MNAPattern,
+                    with_gmin: bool = True) -> tuple[int, list[str]]:
+    """Maximum-matching structural rank of the pattern.
+
+    Args:
+        pattern: output of :func:`build_pattern`.
+        with_gmin: include the gmin diagonals the engine adds to every
+            *node* row.  With them, only deficiencies no conductance can
+            fix remain — e.g. an all-zero branch row from a voltage
+            source strapped between two ground aliases.
+
+    Returns:
+        ``(rank, unmatched)`` where *unmatched* names the unknowns whose
+        columns no equation can pivot on (empty when full rank).
+    """
+    size = pattern.size
+    n_nodes = sum(1 for name in pattern.unknown_names
+                  if not name.startswith("i("))
+    adjacency: list[tuple[int, ...]] = []
+    for i in range(size):
+        cols = set(pattern.rows[i])
+        if with_gmin and i < n_nodes:
+            cols.add(i)
+        adjacency.append(tuple(sorted(cols)))
+
+    # Maximum bipartite matching, rows (equations) -> cols (unknowns).
+    # Greedy seed first: with gmin every node row matches its own
+    # diagonal immediately, so BFS augmentation below only ever runs for
+    # the handful of branch rows — even 2000-unknown ladder macros stay
+    # effectively linear.
+    match_row = [-1] * size
+    match_col = [-1] * size
+    for r in range(size):
+        for c in adjacency[r]:
+            if match_col[c] == -1:
+                match_row[r], match_col[c] = c, r
+                break
+
+    def augment(start: int) -> bool:
+        # BFS over alternating paths: rows expand to all adjacent
+        # columns, columns continue only through their matched row.  On
+        # reaching a free column, flip the path via the parent links
+        # (iterative — no recursion-depth limits on long chains).
+        parent_col: dict[int, int] = {}
+        queue: deque[int] = deque([start])
+        while queue:
+            r = queue.popleft()
+            for c in adjacency[r]:
+                if c in parent_col:
+                    continue
+                parent_col[c] = r
+                r2 = match_col[c]
+                if r2 == -1:
+                    while True:
+                        row = parent_col[c]
+                        previous = match_row[row]
+                        match_row[row], match_col[c] = c, row
+                        if previous == -1:
+                            return True
+                        c = previous
+                else:
+                    queue.append(r2)
+        return False
+
+    rank = sum(1 for c in match_row if c != -1)
+    for r in range(size):
+        if match_row[r] == -1 and augment(r):
+            rank += 1
+    unmatched = tuple(pattern.unknown_names[c] for c in range(size)
+                      if match_col[c] == -1)
+    return rank, unmatched
+
+
+def voltage_source_loops(circuit: Circuit) -> list[tuple[str, str, str]]:
+    """Elements closing a loop of ideal voltage-defined DC branches.
+
+    Walks V sources, inductors (DC shorts) and VCVS outputs in netlist
+    order, union-finding their terminal nodes; any branch whose
+    endpoints are already connected through earlier such branches closes
+    a loop in which the branch currents are undetermined.
+
+    Returns:
+        ``(element_name, node_a, node_b)`` per loop-closing branch.
+    """
+    uf = UnionFind()
+    loops: list[tuple[str, str, str]] = []
+    for element in circuit:
+        if isinstance(element, (VoltageSource, Inductor)):
+            a, b = canonical(element.n1), canonical(element.n2)
+        elif isinstance(element, VCVS):
+            a, b = canonical(element.np), canonical(element.nn)
+        else:
+            continue
+        if a == b or not uf.union(a, b):
+            loops.append((element.name, a, b))
+    return loops

@@ -464,6 +464,7 @@ def generate_tests(
     options: SimOptions = DEFAULT_OPTIONS,
     n_jobs: int = 1,
     n_shards: int | None = None,
+    preflight: str | None = None,
 ) -> GenerationResult:
     """Generate the best test for every fault in the dictionary.
 
@@ -480,6 +481,12 @@ def generate_tests(
             :data:`~repro.testgen.sharding.DEFAULT_SHARD_COUNT`, clamped
             to the dictionary size).  Shard membership depends only on
             fault ids and this count — never on ``n_jobs``.
+        preflight: run the static lint gate (:mod:`repro.lint`) over
+            the full (circuit, dictionary, configurations) scenario
+            before any simulation.  ``None`` (default) skips it,
+            ``"error"`` raises :class:`~repro.errors.LintError` on
+            error-severity findings, ``"strict"`` also blocks on
+            warnings.
 
     Returns:
         :class:`GenerationResult` with one :class:`GeneratedTest` per
@@ -489,6 +496,20 @@ def generate_tests(
 
     fault_list = tuple(faults)
     configurations = tuple(configurations)
+
+    if preflight is not None:
+        if preflight not in ("error", "strict"):
+            raise ValueError(
+                f"preflight must be None, 'error' or 'strict', "
+                f"got {preflight!r}")
+        # Imported lazily — repro.lint must stay importable while this
+        # package initializes (the lint runner pulls no testgen code,
+        # but generator-level imports would still cycle).
+        from repro.lint import preflight_check
+        preflight_check(circuit, fault_list, configurations,
+                        strict=(preflight == "strict"),
+                        stage="generate_tests pre-flight lint")
+
     started = time.monotonic()
 
     if n_jobs <= 1:

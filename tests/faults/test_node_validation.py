@@ -1,0 +1,66 @@
+"""Regression tests: fault-node universes are validated at dictionary
+*build* time, not at solve time.
+
+Previously a bridging universe containing a node absent from the circuit
+built a dictionary without complaint; the mistake only surfaced as a
+FaultModelError when the overlay stamp failed to resolve, deep inside a
+generation run (possibly in a worker process).  ``validate_fault_nodes``
+now rejects it up front with the full list of offending nodes.
+"""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.errors import FaultModelError
+from repro.faults import (
+    exhaustive_fault_dictionary,
+    ifa_fault_dictionary,
+    validate_fault_nodes,
+)
+
+
+@pytest.fixture()
+def divider():
+    return (CircuitBuilder("divider")
+            .voltage_source("VIN", "in", "0", 5.0)
+            .resistor("R1", "in", "mid", "10k")
+            .resistor("R2", "mid", "0", "10k")
+            .build())
+
+
+class TestValidateFaultNodes:
+    def test_valid_nodes_pass_through(self, divider):
+        assert validate_fault_nodes(divider, ["in", "mid"]) == \
+            ("in", "mid")
+
+    def test_ground_aliases_accepted(self, divider):
+        assert validate_fault_nodes(divider, ["0", "gnd"]) == \
+            ("0", "gnd")
+
+    def test_missing_node_rejected_with_full_list(self, divider):
+        with pytest.raises(FaultModelError) as exc_info:
+            validate_fault_nodes(divider, ["in", "n2", "n3"])
+        message = str(exc_info.value)
+        assert "'n2'" in message and "'n3'" in message
+        assert "solve time" in message
+
+    def test_generator_input_consumed_once(self, divider):
+        nodes = validate_fault_nodes(divider,
+                                     (n for n in ("in", "mid")))
+        assert nodes == ("in", "mid")
+
+
+class TestBuildTimeRejection:
+    def test_exhaustive_dictionary_rejects_bad_universe(self, divider):
+        with pytest.raises(FaultModelError, match="n99"):
+            exhaustive_fault_dictionary(divider, nodes=["in", "n99"])
+
+    def test_ifa_dictionary_rejects_bad_universe(self, divider):
+        with pytest.raises(FaultModelError, match="n99"):
+            ifa_fault_dictionary(divider, nodes=("in", "n99"))
+
+    def test_default_universe_still_builds(self, divider):
+        # No explicit universe: nodes come from the circuit itself and
+        # are valid by construction.
+        dictionary = exhaustive_fault_dictionary(divider)
+        assert len(tuple(dictionary)) > 0

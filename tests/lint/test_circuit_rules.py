@@ -1,0 +1,255 @@
+"""Rule-by-rule tests for the circuit lint pass family.
+
+Every rule gets (at least) one fixture that triggers it and one clean
+fixture that must not.  The structural-rank case doubles as the
+acceptance fixture: a netlist that is structurally singular must be
+flagged by ``repro lint`` *before any factorization*.
+"""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, NMOS_DEFAULT
+from repro.circuit.elements import Resistor
+from repro.errors import NetlistError
+from repro.lint import lint_circuit
+from repro.lint.structure import (
+    build_pattern,
+    structural_rank,
+    voltage_source_loops,
+)
+
+
+def rule_ids(report):
+    return {d.rule_id for d in report}
+
+
+def clean_divider():
+    return (CircuitBuilder("divider")
+            .voltage_source("VIN", "in", "0", 5.0)
+            .resistor("R1", "in", "mid", "10k")
+            .resistor("R2", "mid", "0", "10k")
+            .build())
+
+
+class TestBasicRules:
+    def test_clean_circuit_lints_clean(self):
+        report = lint_circuit(clean_divider())
+        assert report.ok(strict=True)
+        assert len(report) == 0
+
+    def test_empty_circuit(self):
+        from repro.circuit import Circuit
+        report = lint_circuit(Circuit("empty"))
+        assert rule_ids(report) == {"circuit.empty"}
+        assert report.has_errors
+
+    def test_no_ground(self):
+        c = (CircuitBuilder("ng").resistor("R1", "a", "b", 1.0)
+             .build(validate=False))
+        report = lint_circuit(c)
+        assert "circuit.no-ground" in rule_ids(report)
+
+    def test_dangling_node(self):
+        c = (CircuitBuilder("d")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "b", 1.0)
+             .build(validate=False))
+        report = lint_circuit(c)
+        found = [d for d in report
+                 if d.rule_id == "circuit.dangling-node"]
+        assert len(found) == 1
+        assert found[0].subject == "b"
+        assert found[0].severity == "warning"
+
+    def test_dc_path(self):
+        c = (CircuitBuilder("c")
+             .voltage_source("V1", "a", "0", 1.0)
+             .capacitor("C1", "a", "x", 1e-12)
+             .capacitor("C2", "x", "0", 1e-12)
+             .build(validate=False))
+        assert "circuit.dc-path" in rule_ids(lint_circuit(c))
+
+    def test_isource_dc_path(self):
+        c = (CircuitBuilder("i")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "0", 1e3)
+             .current_source("I1", "0", "x", 1e-6)
+             .capacitor("CX", "x", "0", 1e-12)
+             .build(validate=False))
+        assert "circuit.isource-dc-path" in rule_ids(lint_circuit(c))
+
+
+class TestStructuralRules:
+    def test_duplicate_name_on_raw_element_list(self):
+        elements = [Resistor("R1", "a", "0", 1e3),
+                    Resistor("r1", "a", "0", 2e3)]
+        report = lint_circuit(elements)
+        found = [d for d in report
+                 if d.rule_id == "circuit.duplicate-name"]
+        assert found and found[0].severity == "error"
+
+    def test_self_loop(self):
+        c = (CircuitBuilder("s")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "0", 1e3)
+             .resistor("RS", "a", "a", 1e3)
+             .build(validate=False))
+        found = [d for d in lint_circuit(c)
+                 if d.rule_id == "circuit.self-loop"]
+        assert found and found[0].subject == "RS"
+
+    def test_ground_alias_self_loop(self):
+        # "0" and "gnd" are the same net; an element strapped between
+        # them is a self-loop even though the names differ.
+        c = (CircuitBuilder("alias")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "0", 1e3)
+             .resistor("RG", "0", "gnd", 1e3)
+             .build(validate=False))
+        assert "circuit.self-loop" in rule_ids(lint_circuit(c))
+
+    def test_control_loop(self):
+        c = (CircuitBuilder("cl")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "0", 1e3)
+             .vccs("G1", "a", "0", "b", "b", 1e-3)
+             .resistor("RB", "b", "0", 1e3)
+             .build(validate=False))
+        found = [d for d in lint_circuit(c)
+                 if d.rule_id == "circuit.control-loop"]
+        assert found and found[0].subject == "G1"
+
+    def test_value_sanity_extreme_resistor(self):
+        c = (CircuitBuilder("v")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "0", 1e15)
+             .build(validate=False))
+        found = [d for d in lint_circuit(c)
+                 if d.rule_id == "circuit.value-sanity"]
+        assert found and found[0].subject == "R1"
+
+    def test_value_sanity_clean_for_normal_values(self):
+        report = lint_circuit(clean_divider())
+        assert "circuit.value-sanity" not in rule_ids(report)
+
+    def test_floating_gate(self):
+        c = (CircuitBuilder("fg")
+             .voltage_source("VDD", "vdd", "0", 5.0)
+             .resistor("RD", "vdd", "d", 1e3)
+             .mosfet("M1", "d", "g", "0", "0", NMOS_DEFAULT,
+                     "10u", "2u")
+             .capacitor("CG", "g", "0", 1e-12)
+             .build(validate=False))
+        found = [d for d in lint_circuit(c)
+                 if d.rule_id == "circuit.floating-gate"]
+        assert found and found[0].subject == "g"
+        assert "M1" in found[0].message
+
+    def test_driven_gate_is_clean(self):
+        c = (CircuitBuilder("dg")
+             .voltage_source("VDD", "vdd", "0", 5.0)
+             .voltage_source("VG", "g", "0", 2.0)
+             .resistor("RD", "vdd", "d", 1e3)
+             .mosfet("M1", "d", "g", "0", "0", NMOS_DEFAULT,
+                     "10u", "2u")
+             .build(validate=False))
+        assert "circuit.floating-gate" not in rule_ids(lint_circuit(c))
+
+    def test_isource_cutset(self):
+        # Current source is the only link between two DC islands: its
+        # current has no return path at DC.
+        c = (CircuitBuilder("cut")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "0", 1e3)
+             .current_source("I1", "a", "x", 1e-6)
+             .capacitor("CX", "x", "0", 1e-12)
+             .build(validate=False))
+        assert "circuit.isource-cutset" in rule_ids(lint_circuit(c))
+
+
+class TestSingularityAcceptance:
+    """The ISSUE acceptance fixture: a structurally singular netlist is
+    flagged before any matrix is ever factorized."""
+
+    def singular_circuit(self):
+        return (CircuitBuilder("singular")
+                .voltage_source("V1", "0", "gnd", 1.0)
+                .resistor("R1", "a", "0", 1e3)
+                .voltage_source("V2", "a", "0", 1.0)
+                .build(validate=False))
+
+    def test_vsource_loop_flagged(self):
+        report = lint_circuit(self.singular_circuit())
+        found = [d for d in report
+                 if d.rule_id == "circuit.vsource-loop"]
+        assert found and found[0].severity == "error"
+        assert found[0].subject == "V1"
+
+    def test_structural_rank_flagged(self):
+        report = lint_circuit(self.singular_circuit())
+        found = [d for d in report
+                 if d.rule_id == "circuit.structural-rank"]
+        assert found and found[0].severity == "error"
+        assert "structural rank" in found[0].message
+
+    def test_parallel_vsources_also_loop(self):
+        c = (CircuitBuilder("pv")
+             .voltage_source("V1", "a", "0", 1.0)
+             .voltage_source("V2", "a", "0", 2.0)
+             .resistor("R1", "a", "0", 1e3)
+             .build(validate=False))
+        found = [d for d in lint_circuit(c)
+                 if d.rule_id == "circuit.vsource-loop"]
+        assert found and found[0].subject == "V2"
+
+    def test_clean_circuit_has_full_rank(self):
+        pattern = build_pattern(clean_divider())
+        rank, unmatched = structural_rank(pattern)
+        assert rank == pattern.size
+        assert unmatched == ()
+
+    def test_rank_deficit_names_branch_unknown(self):
+        pattern = build_pattern(self.singular_circuit())
+        rank, unmatched = structural_rank(pattern)
+        assert rank < pattern.size
+        assert any(name.startswith("i(") for name in unmatched)
+
+    def test_voltage_source_loops_helper(self):
+        loops = voltage_source_loops(self.singular_circuit())
+        assert [name for name, _, _ in loops] == ["V1"]
+
+
+class TestValidateCircuitBackCompat:
+    """`validate_circuit` stays a thin wrapper over the lint rules."""
+
+    def test_errors_still_raise_netlist_error(self):
+        from repro.circuit import Circuit, validate_circuit
+        with pytest.raises(NetlistError):
+            validate_circuit(Circuit("empty"))
+
+    def test_new_rules_do_not_leak_into_legacy_wrapper(self):
+        from repro.circuit import validate_circuit
+        # Extreme value triggers circuit.value-sanity in the full lint,
+        # but the legacy wrapper only runs the original five checks.
+        c = (CircuitBuilder("legacy")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "0", 1e15)
+             .build(validate=False))
+        assert validate_circuit(c) == []
+        assert "circuit.value-sanity" in rule_ids(lint_circuit(c))
+
+    def test_warning_order_is_deterministic(self):
+        from repro.circuit import validate_circuit
+        c = (CircuitBuilder("w")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "b", 1.0)
+             .capacitor("C1", "a", "x", 1e-12)
+             .capacitor("C2", "x", "0", 1e-12)
+             .current_source("I1", "0", "y", 1e-6)
+             .capacitor("CY", "y", "0", 1e-12)
+             .build(validate=False))
+        first = validate_circuit(c)
+        assert first == validate_circuit(c)
+        assert any("dangling" in w for w in first)
+        assert any("no DC path" in w for w in first)
+        assert any("I1" in w for w in first)

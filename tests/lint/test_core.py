@@ -1,0 +1,122 @@
+"""Unit tests for the lint framework core: diagnostics, reports, registry."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    LintReport,
+    all_rules,
+    get_rule,
+)
+
+
+def diag(rule_id="circuit.test", severity=WARNING, subject="x",
+         message="msg"):
+    return Diagnostic(rule_id, severity, subject, "circuit 'c'", message)
+
+
+class TestDiagnostic:
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            diag(severity="fatal")
+
+    def test_sort_orders_errors_first(self):
+        ordered = sorted(
+            [diag(severity=INFO), diag(severity=ERROR),
+             diag(severity=WARNING)],
+            key=lambda d: d.sort_key)
+        assert [d.severity for d in ordered] == [ERROR, WARNING, INFO]
+
+    def test_sort_is_deterministic_within_severity(self):
+        a = diag(rule_id="circuit.a", subject="n1")
+        b = diag(rule_id="circuit.a", subject="n2")
+        c = diag(rule_id="circuit.b", subject="n0")
+        assert sorted([c, b, a], key=lambda d: d.sort_key) == [a, b, c]
+
+    def test_to_dict_round_trip(self):
+        d = diag()
+        payload = d.to_dict()
+        assert payload["rule"] == d.rule_id
+        assert payload["severity"] == d.severity
+        assert payload["message"] == d.message
+
+    def test_render_mentions_rule_and_hint(self):
+        d = Diagnostic("circuit.x", ERROR, "s", "circuit 'c'", "boom",
+                       hint="fix it")
+        text = d.render()
+        assert "[circuit.x]" in text
+        assert "boom" in text
+        assert "fix it" in text
+
+
+class TestLintReport:
+    def test_from_iterable_sorts(self):
+        report = LintReport.from_iterable(
+            [diag(severity=INFO), diag(severity=ERROR)])
+        assert report.diagnostics[0].severity == ERROR
+
+    def test_severity_views_and_counts(self):
+        report = LintReport.from_iterable(
+            [diag(severity=ERROR), diag(severity=WARNING),
+             diag(severity=WARNING)])
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 2
+        assert report.counts() == {"error": 1, "warning": 2, "info": 0}
+
+    def test_ok_strict_promotes_warnings(self):
+        report = LintReport.from_iterable([diag(severity=WARNING)])
+        assert report.ok()
+        assert not report.ok(strict=True)
+
+    def test_info_never_blocks(self):
+        report = LintReport.from_iterable([diag(severity=INFO)])
+        assert report.ok(strict=True)
+
+    def test_raise_for_errors_carries_diagnostics(self):
+        report = LintReport.from_iterable([diag(severity=ERROR)])
+        with pytest.raises(LintError) as exc_info:
+            report.raise_for_errors(stage="unit test")
+        assert "unit test" in str(exc_info.value)
+        assert exc_info.value.diagnostics[0].rule_id == "circuit.test"
+
+    def test_merge_resorts(self):
+        r1 = LintReport.from_iterable([diag(severity=INFO)])
+        r2 = LintReport.from_iterable([diag(severity=ERROR)])
+        merged = LintReport.merge(r1, r2)
+        assert merged.diagnostics[0].severity == ERROR
+        assert len(merged) == 2
+
+    def test_restricted_filters_by_rule_id(self):
+        report = LintReport.from_iterable(
+            [diag(rule_id="circuit.a"), diag(rule_id="circuit.b")])
+        sub = report.restricted(["circuit.a"])
+        assert [d.rule_id for d in sub] == ["circuit.a"]
+
+
+class TestRegistry:
+    def test_all_rules_sorted_by_id(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) >= 15  # circuit + faults + tests families
+
+    def test_scope_filter(self):
+        for scope in ("circuit", "faults", "tests"):
+            scoped = all_rules(scope)
+            assert scoped, f"no rules registered for scope {scope!r}"
+            assert all(r.scope == scope for r in scoped)
+            assert all(r.rule_id.startswith(scope.rstrip('s') + ".")
+                       or r.rule_id.startswith(scope + ".")
+                       for r in scoped)
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(LintError):
+            get_rule("circuit.no-such-rule")
+
+    def test_every_rule_has_catalog_text(self):
+        for lint_rule in all_rules():
+            assert lint_rule.summary
+            assert lint_rule.rationale

@@ -1,0 +1,162 @@
+"""Tests for the repo-level AST contract linter (tools/lint_repro.py).
+
+The ISSUE's acceptance criterion: the linter must fail when
+``np.linalg.solve`` is introduced outside ``analysis/backend.py`` —
+demonstrated here by linting bad snippets, including alias-renamed
+imports that a grep-based check would miss.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINTER = REPO_ROOT / "tools" / "lint_repro.py"
+
+
+@pytest.fixture(scope="module")
+def linter():
+    spec = importlib.util.spec_from_file_location("lint_repro", LINTER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_on_snippet(linter, tmp_path, source, capsys):
+    path = tmp_path / "snippet.py"
+    path.write_text(source, encoding="utf-8")
+    code = linter.main([str(path)])
+    captured = capsys.readouterr()
+    return code, captured.out + captured.err
+
+
+class TestBackendContract:
+    def test_repo_itself_is_clean(self, linter, capsys):
+        assert linter.main([]) == 0
+        out = capsys.readouterr().out
+        assert "contracts hold" in out
+
+    def test_np_linalg_solve_outside_backend_fails(self, linter,
+                                                   tmp_path, capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path,
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.linalg.solve(a, b)\n",
+            capsys)
+        assert code == 1
+        assert "REPRO-LINALG" in output
+        assert "numpy.linalg.solve" in output
+
+    def test_alias_renamed_import_still_caught(self, linter, tmp_path,
+                                               capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path,
+            "from numpy.linalg import solve as harmless\n"
+            "def f(a, b):\n"
+            "    return harmless(a, b)\n",
+            capsys)
+        assert code == 1
+        assert "REPRO-LINALG" in output
+
+    def test_scipy_sparse_splu_caught(self, linter, tmp_path, capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path,
+            "from scipy.sparse.linalg import splu\n"
+            "lu = splu(None)\n",
+            capsys)
+        assert code == 1
+        assert "scipy.sparse.linalg.splu" in output
+
+    def test_backend_module_itself_is_exempt(self, linter, capsys):
+        backend = REPO_ROOT / "src" / "repro" / "analysis" / "backend.py"
+        assert linter.main([str(backend)]) == 0
+
+    def test_solve_dense_call_is_fine(self, linter, tmp_path, capsys):
+        code, _ = run_on_snippet(
+            linter, tmp_path,
+            "from repro.analysis.backend import solve_dense\n"
+            "def f(a, b):\n"
+            "    return solve_dense(a, b)\n",
+            capsys)
+        assert code == 0
+
+
+class TestDeterminismContract:
+    def test_wall_clock_caught(self, linter, tmp_path, capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path,
+            "import time\n"
+            "stamp = time.time()\n",
+            capsys)
+        assert code == 1
+        assert "REPRO-NONDET" in output
+
+    def test_monotonic_budget_timer_allowed(self, linter, tmp_path,
+                                            capsys):
+        code, _ = run_on_snippet(
+            linter, tmp_path,
+            "import time\n"
+            "start = time.monotonic()\n",
+            capsys)
+        assert code == 0
+
+    def test_unseeded_default_rng_caught(self, linter, tmp_path, capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n",
+            capsys)
+        assert code == 1
+        assert "without a seed" in output
+
+    def test_seeded_default_rng_allowed(self, linter, tmp_path, capsys):
+        code, _ = run_on_snippet(
+            linter, tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n",
+            capsys)
+        assert code == 0
+
+    def test_global_numpy_sampler_caught(self, linter, tmp_path, capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path,
+            "import numpy as np\n"
+            "x = np.random.normal(0.0, 1.0)\n",
+            capsys)
+        assert code == 1
+        assert "global-state RNG" in output
+
+    def test_stdlib_random_caught(self, linter, tmp_path, capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path,
+            "import random\n"
+            "x = random.random()\n",
+            capsys)
+        assert code == 1
+        assert "stdlib random.random" in output
+
+
+class TestScoping:
+    def test_sharding_seeds_are_reachable(self, linter):
+        modules = linter.package_files()
+        reachable = linter.reachable_modules(modules)
+        for seed in linter.DETERMINISM_SEEDS:
+            assert seed in reachable
+        # The engine underpins every sharded run.
+        assert "repro.analysis.engine" in reachable
+
+    def test_backend_module_name_resolution(self, linter):
+        backend = REPO_ROOT / "src" / "repro" / "analysis" / "backend.py"
+        assert linter.module_name(backend) == linter.BACKEND_MODULE
+
+    def test_missing_file_is_usage_error(self, linter, capsys):
+        assert linter.main(["/no/such/file.py"]) == 2
+
+
+def test_ci_runs_the_linter():
+    workflow = (REPO_ROOT / ".github" / "workflows" /
+                "ci.yml").read_text(encoding="utf-8")
+    assert "tools/lint_repro.py" in workflow
+    assert "lint --all --strict" in workflow

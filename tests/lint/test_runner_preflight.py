@@ -1,0 +1,156 @@
+"""Runner entry points, the pre-flight hooks and the CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.cli import main as cli_main
+from repro.errors import LintError
+from repro.faults import BridgingFault
+from repro.lint import (
+    lint_scenario,
+    preflight_check,
+    render_json,
+    render_text,
+    report_to_dict,
+)
+from repro.macros import RCLadderMacro
+
+
+def divider():
+    return (CircuitBuilder("divider")
+            .voltage_source("VIN", "in", "0", 5.0)
+            .resistor("R1", "in", "mid", "10k")
+            .resistor("R2", "mid", "0", "10k")
+            .build())
+
+
+def singular():
+    return (CircuitBuilder("singular")
+            .voltage_source("V1", "0", "gnd", 1.0)
+            .resistor("R1", "a", "0", 1e3)
+            .voltage_source("V2", "a", "0", 1.0)
+            .build(validate=False))
+
+
+class TestScenario:
+    def test_scenario_merges_all_families(self):
+        faults = [BridgingFault(node_a="mid", node_b="zz")]
+        report = lint_scenario(divider(), faults)
+        ids = {d.rule_id for d in report}
+        assert "fault.site-unknown" in ids
+        assert "fault.stamp-range" in ids
+
+    def test_clean_scenario(self):
+        macro = RCLadderMacro()
+        report = lint_scenario(macro.circuit, macro.fault_dictionary(),
+                               macro.test_configurations())
+        assert report.ok(strict=True), [d.render() for d in report]
+
+    def test_explicit_rule_subset(self):
+        report = lint_scenario(singular(),
+                               rules=["circuit.vsource-loop"])
+        assert {d.rule_id for d in report} == {"circuit.vsource-loop"}
+
+
+class TestPreflight:
+    def test_clean_circuit_passes(self):
+        report = preflight_check(divider())
+        assert report.ok(strict=True)
+
+    def test_singular_circuit_raises(self):
+        with pytest.raises(LintError) as exc_info:
+            preflight_check(singular())
+        assert any(d.rule_id == "circuit.structural-rank"
+                   for d in exc_info.value.diagnostics)
+
+    def test_strict_promotes_warnings(self):
+        c = (CircuitBuilder("warn")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "b", 1.0)
+             .build(validate=False))
+        preflight_check(c)  # dangling node is only a warning
+        with pytest.raises(LintError):
+            preflight_check(c, strict=True)
+
+
+class TestEngineHook:
+    def test_engine_preflight_rejects_singular(self):
+        from repro.analysis.engine import SimulationEngine
+        with pytest.raises(LintError):
+            SimulationEngine(singular(), preflight="error")
+
+    def test_engine_preflight_accepts_clean(self):
+        from repro.analysis.engine import SimulationEngine
+        engine = SimulationEngine(divider(), preflight="strict")
+        assert engine is not None
+
+    def test_engine_rejects_bad_mode(self):
+        from repro.analysis.engine import SimulationEngine
+        with pytest.raises(ValueError):
+            SimulationEngine(divider(), preflight="pedantic")
+
+    def test_engine_default_is_no_preflight(self):
+        from repro.analysis.engine import SimulationEngine
+        # Lint-rejected but numerically solvable circuits must still
+        # work by default (back-compat).
+        c = (CircuitBuilder("warn")
+             .voltage_source("V1", "a", "0", 1.0)
+             .resistor("R1", "a", "b", 1.0)
+             .resistor("R2", "b", "0", 1.0)
+             .resistor("RD", "a", "c", 1.0)
+             .build(validate=False))
+        SimulationEngine(c)
+
+
+class TestGeneratorHook:
+    def test_generate_tests_preflight_rejects_bad_faults(self):
+        from repro.testgen import GenerationSettings, generate_tests
+        macro = RCLadderMacro()
+        bad = [BridgingFault(node_a="in", node_b="no-such-node")]
+        with pytest.raises(LintError):
+            generate_tests(macro.circuit, macro.test_configurations(),
+                           bad, GenerationSettings(),
+                           preflight="error")
+
+
+class TestReporters:
+    def test_text_report_mentions_rules(self):
+        report = lint_scenario(singular())
+        text = render_text(report, title="singular", strict=True)
+        assert "singular" in text
+        assert "circuit.vsource-loop" in text
+        assert "FAILED" in text
+
+    def test_clean_text_report(self):
+        text = render_text(lint_scenario(divider()), strict=True)
+        assert "clean" in text
+
+    def test_json_round_trip(self):
+        report = lint_scenario(singular())
+        payload = json.loads(render_json(report))
+        assert payload == report_to_dict(report)
+        assert payload["ok"] is False
+        assert payload["counts"]["error"] >= 2
+        rules = [d["rule"] for d in payload["diagnostics"]]
+        assert "circuit.structural-rank" in rules
+
+
+class TestCli:
+    def test_lint_all_strict_passes(self, capsys):
+        assert cli_main(["lint", "--all", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "rc-ladder" in out
+        assert "clean" in out
+
+    def test_lint_single_macro_json(self, capsys):
+        assert cli_main(["lint", "--macro", "rc-ladder",
+                         "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rc-ladder"]["ok"] is True
+
+    def test_lint_ifa_dictionary(self, capsys):
+        assert cli_main(["lint", "--macro", "rc-ladder", "--ifa",
+                         "--strict"]) == 0
+        assert "clean" in capsys.readouterr().out

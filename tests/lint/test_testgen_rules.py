@@ -1,0 +1,232 @@
+"""Rule-by-rule tests for the test-program lint pass family.
+
+The real :class:`TestConfiguration` constructor already rejects many
+pathologies, so triggering fixtures use small duck-typed stand-ins (the
+rules deliberately access configurations duck-typed); the clean fixtures
+are the real macro configurations.
+"""
+
+import math
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.lint import lint_tests
+from repro.macros import RCLadderMacro
+from repro.testgen.parameters import BoundParameter, ParameterSpec
+from repro.testgen.procedures import Probe
+
+
+def divider():
+    return (CircuitBuilder("divider")
+            .voltage_source("VIN", "in", "0", 5.0)
+            .resistor("R1", "in", "mid", "10k")
+            .resistor("R2", "mid", "0", "10k")
+            .build())
+
+
+def rule_ids(report):
+    return {d.rule_id for d in report}
+
+
+def bound(name="level", unit="V", lower=0.0, upper=5.0, seed=1.0):
+    return BoundParameter(ParameterSpec(name, unit), lower, upper, seed)
+
+
+class FakeProcedure:
+    def __init__(self, **attrs):
+        self.probes = ()
+        self.__dict__.update(attrs)
+
+
+class FakeParameters:
+    """ParameterSet stand-in: iterable + bounds/seeds/names."""
+
+    def __init__(self, parameters):
+        self._parameters = tuple(parameters)
+
+    def __iter__(self):
+        return iter(self._parameters)
+
+    @property
+    def names(self):
+        return tuple(p.name for p in self._parameters)
+
+    @property
+    def bounds(self):
+        return [(p.lower, p.upper) for p in self._parameters]
+
+    @property
+    def seeds(self):
+        return [p.seed for p in self._parameters]
+
+
+class FakeBox:
+    def __init__(self, fn):
+        self._fn = fn
+
+    def half_widths(self, point):
+        return self._fn(point)
+
+
+class FakeConfig:
+    def __init__(self, name, parameters=(), procedure=None,
+                 box_function=None, n_return_values=1):
+        self.name = name
+        self.parameters = FakeParameters(parameters)
+        self.procedure = procedure or FakeProcedure(source="VIN",
+                                                    observe="mid")
+        self.box_function = box_function
+        self.n_return_values = n_return_values
+
+
+class TestDuplicateConfig:
+    def test_duplicate_names_error(self):
+        configs = [FakeConfig("dc", [bound()]),
+                   FakeConfig("DC", [bound()])]
+        report = lint_tests(divider(), configs)
+        found = [d for d in report
+                 if d.rule_id == "test.duplicate-config"
+                 and d.severity == "error"]
+        assert found and "2 times" in found[0].message
+
+    def test_identical_content_warns(self):
+        configs = [FakeConfig("a", [bound()]),
+                   FakeConfig("b", [bound()])]
+        report = lint_tests(divider(), configs)
+        found = [d for d in report
+                 if d.rule_id == "test.duplicate-config"
+                 and d.severity == "warning"]
+        assert found
+        assert "identical measurements" in found[0].message
+
+    def test_differing_procedure_state_is_distinct(self):
+        # Same source/observe/parameters but a different post-processing
+        # mode: NOT duplicates (the iv-converter step-max/step-accumulate
+        # pair regressed on exactly this).
+        configs = [
+            FakeConfig("a", [bound()],
+                       FakeProcedure(source="VIN", observe="mid",
+                                     mode="max")),
+            FakeConfig("b", [bound()],
+                       FakeProcedure(source="VIN", observe="mid",
+                                     mode="accumulate")),
+        ]
+        report = lint_tests(divider(), configs)
+        assert "test.duplicate-config" not in rule_ids(report)
+
+
+class TestUnknownNode:
+    def test_missing_stimulus_source(self):
+        config = FakeConfig("bad", [bound()],
+                            FakeProcedure(source="VXX", observe="mid"))
+        report = lint_tests(divider(), [config])
+        found = [d for d in report if d.rule_id == "test.unknown-node"]
+        assert found and "'VXX'" in found[0].message
+
+    def test_non_source_stimulus_element(self):
+        config = FakeConfig("bad", [bound()],
+                            FakeProcedure(source="R1", observe="mid"))
+        report = lint_tests(divider(), [config])
+        found = [d for d in report if d.rule_id == "test.unknown-node"]
+        assert found and "not a source" in found[0].message
+
+    def test_missing_observe_node(self):
+        config = FakeConfig("bad", [bound()],
+                            FakeProcedure(source="VIN", observe="zz"))
+        report = lint_tests(divider(), [config])
+        assert "test.unknown-node" in rule_ids(report)
+
+    def test_current_probe_must_carry_branch_current(self):
+        config = FakeConfig(
+            "bad", [bound()],
+            FakeProcedure(source="VIN", observe="mid",
+                          probes=(Probe("i", "R1"),)))
+        report = lint_tests(divider(), [config])
+        found = [d for d in report if d.rule_id == "test.unknown-node"]
+        assert found and "branch current" in found[0].message
+
+    def test_valid_probes_clean(self):
+        config = FakeConfig(
+            "ok", [bound()],
+            FakeProcedure(source="VIN", observe="mid",
+                          probes=(Probe("v", "mid"), Probe("i", "VIN"))))
+        report = lint_tests(divider(), [config])
+        assert "test.unknown-node" not in rule_ids(report)
+
+
+class TestStimulusRange:
+    def test_non_finite_bound_is_error(self):
+        config = FakeConfig("inf", [bound(lower=-math.inf,
+                                          upper=math.inf, seed=0.0)])
+        report = lint_tests(divider(), [config])
+        found = [d for d in report
+                 if d.rule_id == "test.stimulus-range"
+                 and d.severity == "error"]
+        assert found
+
+    def test_implausible_unit_magnitude_warns(self):
+        config = FakeConfig("kv", [bound(lower=0.0, upper=5e4,
+                                         seed=1.0)])
+        report = lint_tests(divider(), [config])
+        found = [d for d in report
+                 if d.rule_id == "test.stimulus-range"
+                 and d.severity == "warning"]
+        assert found and "plausible range" in found[0].message
+
+    def test_unknown_unit_not_checked(self):
+        config = FakeConfig("au", [bound(unit="furlong", lower=0.0,
+                                         upper=1e18, seed=1.0)])
+        report = lint_tests(divider(), [config])
+        assert "test.stimulus-range" not in rule_ids(report)
+
+
+class TestBoxRules:
+    def test_wrong_arity_is_error(self):
+        config = FakeConfig("arity", [bound()],
+                            box_function=FakeBox(lambda p: [1.0, 2.0]),
+                            n_return_values=1)
+        report = lint_tests(divider(), [config])
+        found = [d for d in report if d.rule_id == "test.box-sanity"]
+        assert found and "2 half-width(s)" in found[0].message
+
+    def test_negative_half_width_is_error(self):
+        config = FakeConfig("neg", [bound()],
+                            box_function=FakeBox(lambda p: [-1.0]))
+        report = lint_tests(divider(), [config])
+        found = [d for d in report if d.rule_id == "test.box-sanity"]
+        assert found and found[0].severity == "error"
+
+    def test_raising_box_is_error(self):
+        def explode(point):
+            raise ValueError("no calibration data")
+        config = FakeConfig("boom", [bound()],
+                            box_function=FakeBox(explode))
+        report = lint_tests(divider(), [config])
+        found = [d for d in report if d.rule_id == "test.box-sanity"]
+        assert found and "raised" in found[0].message
+
+    def test_midpoint_spike_warns(self):
+        def spiky(point):
+            # Blows up only near the axis midpoint (2.5 for [0, 5]).
+            return [100.0 if abs(point[0] - 2.5) < 0.1 else 1.0]
+        config = FakeConfig("spike", [bound()],
+                            box_function=FakeBox(spiky))
+        report = lint_tests(divider(), [config])
+        found = [d for d in report if d.rule_id == "test.box-monotonic"]
+        assert found and found[0].severity == "warning"
+        assert "spikes" in found[0].message
+
+    def test_smooth_box_clean(self):
+        config = FakeConfig("ok", [bound()],
+                            box_function=FakeBox(
+                                lambda p: [1.0 + 0.1 * p[0]]))
+        report = lint_tests(divider(), [config])
+        assert report.ok(strict=True)
+
+
+class TestRealConfigurationsClean:
+    def test_rc_ladder_configurations_lint_clean(self):
+        macro = RCLadderMacro()
+        report = lint_tests(macro.circuit, macro.test_configurations())
+        assert report.ok(strict=True), [d.render() for d in report]

@@ -1,0 +1,37 @@
+"""Zoo sweep: every registered macro must pass the strict lint gate.
+
+This is the ISSUE's cleanliness acceptance criterion — all macro
+circuits, their exhaustive *and* IFA fault dictionaries, and their test
+programs lint clean in ``--strict`` mode.  A new macro (or a new lint
+rule) that breaks this fails here with the offending diagnostics
+rendered, not in a downstream generation run.
+"""
+
+import pytest
+
+from repro.faults import ifa_fault_dictionary
+from repro.lint import lint_scenario
+from repro.macros import available_macros, get_macro
+
+
+@pytest.mark.parametrize("name", available_macros())
+def test_macro_lints_strict_clean(name):
+    macro = get_macro(name)
+    report = lint_scenario(macro.circuit, macro.fault_dictionary(),
+                           macro.test_configurations())
+    assert report.ok(strict=True), \
+        f"{name}:\n" + "\n".join(d.render() for d in report)
+
+
+@pytest.mark.parametrize("name", available_macros())
+def test_macro_ifa_dictionary_lints_strict_clean(name):
+    macro = get_macro(name)
+    faults = ifa_fault_dictionary(macro.circuit,
+                                  nodes=macro.standard_nodes)
+    report = lint_scenario(macro.circuit, faults)
+    assert report.ok(strict=True), \
+        f"{name}:\n" + "\n".join(d.render() for d in report)
+
+
+def test_zoo_is_not_empty():
+    assert len(available_macros()) >= 6
