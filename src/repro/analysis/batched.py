@@ -564,7 +564,7 @@ class BatchedOverlaySolver:
     # ------------------------------------------------------------------
     def screen(self, stamp_sets: Sequence[Sequence[tuple[str, str, float]]],
                warm: Sequence[np.ndarray | None] | None = None,
-               ) -> list[ScreenedSolution]:
+               *, memory: bool = True) -> list[ScreenedSolution]:
         """Screen one stamp set per fault; returns one solution each.
 
         Stamp tuples are ``(node_a, node_b, conductance)`` exactly as
@@ -579,6 +579,12 @@ class BatchedOverlaySolver:
                 multi-stable circuits.  ``None`` entries start from the
                 SMW linear solution (chord) / a cold start (Newton
                 confirm), exactly as a fresh per-fault solve would.
+            memory: when True (default) the solver reads and updates its
+                own per-fault solution memory at this stimulus, which
+                beats any caller-provided estimate.  Canonical-mode
+                callers (the serving layer) pass False so repeated
+                screens stay bitwise equal to the first one: the iterate
+                then depends only on *warm* and the stamps.
         """
         n_faults = len(stamp_sets)
         if n_faults == 0:
@@ -593,10 +599,11 @@ class BatchedOverlaySolver:
         # This solver's own memory of a fault's solution *at this
         # stimulus* beats any caller-provided estimate (engine slots are
         # shared across stimuli and trail by one stimulus change).
-        for f, key in enumerate(fault_keys):
-            remembered = self._warm_memory.get(key)
-            if remembered is not None:
-                warm_list[f] = remembered
+        if memory:
+            for f, key in enumerate(fault_keys):
+                remembered = self._warm_memory.get(key)
+                if remembered is not None:
+                    warm_list[f] = remembered
         warmed = np.array([w is not None for w in warm_list], dtype=bool)
 
         # Stage 1 — SMW linear screen: one Woodbury application turns
@@ -679,9 +686,10 @@ class BatchedOverlaySolver:
             iterations=int(iterations[f]),
             linear_step=float(linear_step[f]))
             for f in range(n_faults)]
-        for key, solution in zip(fault_keys, solutions):
-            if solution.converged:
-                self._remember(key, solution.x)
+        if memory:
+            for key, solution in zip(fault_keys, solutions):
+                if solution.converged:
+                    self._remember(key, solution.x)
         return solutions
 
     def _newton_confirm(self, x: np.ndarray, stamp_sets, remaining,

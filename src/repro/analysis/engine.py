@@ -83,6 +83,9 @@ class EngineStats:
             :mod:`repro.analysis.backend`).
         screen_fallbacks: screened faults that escalated to the full
             per-fault robust overlay path.
+        factorization_reuses: batched-screening solver cache hits — a
+            whole fault family served without factorizing anything (the
+            number the serving engine pool exists to maximize).
     """
 
     compilations: int = 0
@@ -97,6 +100,7 @@ class EngineStats:
     screened_simulations: int = 0
     screen_newton_confirms: int = 0
     screen_fallbacks: int = 0
+    factorization_reuses: int = 0
 
     def merged(self, other: "EngineStats") -> "EngineStats":
         """Combine two accounts (e.g. across configurations)."""
@@ -134,11 +138,16 @@ class ScreenedObservation:
             ``"fallback"`` (per-fault robust overlay solve),
             ``"overlay"``/``"legacy"`` (procedures or fault types
             outside the screening protocol) or ``"error"``.
+        x: the converged solution vector for batched-path observations
+            (``None`` on the per-fault paths).  Canonical-mode callers
+            feed it back as the warm start of a follow-up confirm solve,
+            reproducing what a fresh engine's warm slot would hold.
     """
 
     fault: FaultModel
     raw: np.ndarray | None
     served: str
+    x: np.ndarray | None = None
 
 
 class SimulationEngine:
@@ -264,21 +273,32 @@ class SimulationEngine:
             return False
         return bool(getattr(fault, "supports_overlay", False))
 
-    def simulate_nominal(self, procedure,
-                         params: Mapping[str, float]) -> np.ndarray:
-        """Fault-free raw observation from the compiled nominal base."""
+    def simulate_nominal(self, procedure, params: Mapping[str, float],
+                         *, warm: WarmStart | None = None) -> np.ndarray:
+        """Fault-free raw observation from the compiled nominal base.
+
+        Args:
+            warm: warm-start slot override.  Default is the engine's
+                shared nominal slot; canonical-mode callers pass a fresh
+                :class:`WarmStart` so the Newton iterate never depends
+                on what this engine simulated before.
+        """
         self.stats.nominal_simulations += 1
+        if warm is None:
+            warm = self.warm_slot("nominal", "nominal")
         return procedure.simulate_compiled(
-            self.nominal, params, self.options,
-            warm=self.warm_slot("nominal", "nominal"))
+            self.nominal, params, self.options, warm=warm)
 
     def simulate_fault(self, procedure, params: Mapping[str, float],
-                       fault: FaultModel) -> np.ndarray:
+                       fault: FaultModel, *,
+                       warm: WarmStart | None = None) -> np.ndarray:
         """Faulty raw observation — overlay path when possible.
 
         Overlay-capable faults are served as conductance stamps on their
         compiled base with a per-(base, fault-site) warm start; others
-        fall back to :meth:`simulate_legacy`.
+        fall back to :meth:`simulate_legacy`.  *warm* overrides the
+        engine's per-(base, fault) slot (canonical-mode callers pass
+        their own slot or a fresh one).
         """
         if not self.supports(fault, procedure):
             return self.simulate_legacy(procedure, params, fault)
@@ -286,7 +306,8 @@ class SimulationEngine:
                           lambda: fault.overlay_base(self.circuit))
         stamps = [(s.node_a, s.node_b, s.conductance)
                   for s in fault.stamp_delta(base)]
-        warm = self.warm_slot(fault.overlay_base_key, fault.fault_id)
+        if warm is None:
+            warm = self.warm_slot(fault.overlay_base_key, fault.fault_id)
         with base.overlay(stamps):
             raw = procedure.simulate_compiled(base, params, self.options,
                                               warm=warm)
@@ -321,7 +342,8 @@ class SimulationEngine:
         return bool(getattr(procedure, "supports_screening", False))
 
     def screen_faults(self, procedure, params: Mapping[str, float],
-                      faults: Sequence[FaultModel],
+                      faults: Sequence[FaultModel], *,
+                      canonical: bool = False,
                       ) -> list[ScreenedObservation]:
         """Evaluate many faults at one stimulus via batched SMW solves.
 
@@ -334,15 +356,30 @@ class SimulationEngine:
         batched stages cannot converge fall back to
         :meth:`simulate_fault` transparently.
 
+        With ``canonical=True`` every history channel is cut: warm-start
+        slots are fresh per call, the solver's per-fault solution memory
+        is bypassed, and the solver itself is built from a cold Newton
+        start.  The result is then a pure function of (circuit, options,
+        stimulus, fault) — bitwise equal to the first screen of a brand
+        new engine, no matter what this engine served before.  Compiled
+        bases and factorized solvers are still reused (they are
+        themselves canonical); that reuse is the serving layer's whole
+        speedup.
+
         A fault the robust fallback cannot simulate *at all* yields
         ``raw=None`` (callers treat it as maximally deviant — the same
         contract as the per-fault path).  Nominal-solve failures and
         :class:`OverlayValidationError` propagate.
         """
         results: list[ScreenedObservation | None] = [None] * len(faults)
+
+        def ephemeral_warm():
+            return WarmStart() if canonical else None
+
         if not self.screen_supported(procedure):
             for i, fault in enumerate(faults):
-                results[i] = self._serve_per_fault(procedure, params, fault)
+                results[i] = self._serve_per_fault(
+                    procedure, params, fault, warm=ephemeral_warm())
             return results
 
         groups: dict[str, list[int]] = {}
@@ -350,22 +387,26 @@ class SimulationEngine:
             if self.supports(fault, procedure):
                 groups.setdefault(fault.overlay_base_key, []).append(i)
             else:
-                results[i] = self._serve_per_fault(procedure, params, fault)
+                results[i] = self._serve_per_fault(
+                    procedure, params, fault, warm=ephemeral_warm())
 
         for base_key, idxs in groups.items():
             first = faults[idxs[0]]
             base = self._base(base_key,
                               lambda: first.overlay_base(self.circuit))
-            solver = self._screen_solver(base_key, base, procedure, params)
+            solver = self._screen_solver(base_key, base, procedure, params,
+                                         canonical=canonical)
             stamp_sets = []
             slots = []
             for i in idxs:
                 stamp_sets.append([
                     (s.node_a, s.node_b, s.conductance)
                     for s in faults[i].stamp_delta(base)])
-                slots.append(self.warm_slot(base_key, faults[i].fault_id))
+                slots.append(WarmStart() if canonical else
+                             self.warm_slot(base_key, faults[i].fault_id))
             solutions = solver.screen(stamp_sets,
-                                      warm=[slot.x for slot in slots])
+                                      warm=[slot.x for slot in slots],
+                                      memory=not canonical)
             for i, slot, solution in zip(idxs, slots, solutions):
                 fault = faults[i]
                 if solution.converged:
@@ -376,41 +417,61 @@ class SimulationEngine:
                     else:
                         self.stats.screen_newton_confirms += 1
                     results[i] = ScreenedObservation(fault, raw,
-                                                     solution.status)
+                                                     solution.status,
+                                                     x=solution.x)
                 else:
                     self.stats.screen_fallbacks += 1
                     results[i] = self._serve_per_fault(
-                        procedure, params, fault, served="fallback")
+                        procedure, params, fault, served="fallback",
+                        warm=ephemeral_warm())
         return results
 
     def _serve_per_fault(self, procedure, params, fault: FaultModel,
-                         served: str | None = None) -> ScreenedObservation:
+                         served: str | None = None,
+                         warm: WarmStart | None = None,
+                         ) -> ScreenedObservation:
         """Serve one screened fault through the per-fault paths."""
         if served is None:
             served = ("overlay" if self.supports(fault, procedure)
                       else "legacy")
         try:
-            raw = self.simulate_fault(procedure, params, fault)
+            raw = self.simulate_fault(procedure, params, fault, warm=warm)
         except OverlayValidationError:
             raise
         except AnalysisError as exc:
             _LOG.warning("screen fallback failed (%s): %s -> unsimulatable",
                          fault.cache_key, exc)
             return ScreenedObservation(fault, None, "error")
-        return ScreenedObservation(fault, raw, served)
+        # A caller-provided (canonical) slot holds the converged overlay
+        # solution after the solve — surface it so a follow-up confirm
+        # can warm-start exactly like the engine's own slot would.
+        x = warm.x if warm is not None else None
+        return ScreenedObservation(fault, raw, served, x=x)
 
     def _screen_solver(self, base_key: str, base: CompiledCircuit,
-                       procedure, params: Mapping[str, float],
-                       ) -> BatchedOverlaySolver:
-        """Cached batched solver for one (base, stimulus) pair."""
-        cache_key = (base_key, procedure.screening_key(params))
+                       procedure, params: Mapping[str, float], *,
+                       canonical: bool = False) -> BatchedOverlaySolver:
+        """Cached batched solver for one (base, stimulus) pair.
+
+        Canonical solvers are keyed separately and built from a cold
+        Newton start with no warm-slot traffic: the operating point (and
+        therefore the factorization and every screen served from it) is
+        a pure function of (base, stimulus), so a cached canonical
+        solver is bitwise interchangeable with a freshly built one.
+        """
+        cache_key = (base_key, procedure.screening_key(params), canonical)
         solver = self._screen_solvers.get(cache_key)
         if solver is not None:
             self._screen_solvers.move_to_end(cache_key)
+            self.stats.factorization_reuses += 1
             return solver
         with procedure.screening_patch(base, params):
             b_sources = base.source_vector(None)
-            warm = self.warm_slot(base_key, ("screen-nominal", cache_key[1]))
+            if canonical:
+                warm = WarmStart()
+            else:
+                warm = self.warm_slot(base_key,
+                                      ("screen-nominal", cache_key[1]))
             start = (warm.x if warm.x is not None
                      else np.zeros(base.size))
             x_op, _, _ = robust_solve(base, start, b_sources, self.options)

@@ -10,12 +10,20 @@ Thin argparse wrapper over the library for interactive use:
 * ``mc``        — Monte Carlo detection probabilities under process
   spread (vectorized tolerance screening);
 * ``lint``      — static pre-flight checks over a macro's circuit,
-  fault dictionary and test configurations (no simulation).
+  fault dictionary and test configurations (no simulation);
+* ``serve``     — long-lived HTTP verdict server (warm engine pool,
+  request coalescing, content-addressed verdict cache).
+
+``describe`` and ``faults`` take ``--json`` so serving clients and
+scripts can enumerate macros, configurations and fault ids
+machine-readably.
 
 Examples::
 
     python -m repro describe --macro rc-ladder
+    python -m repro describe --macro iv-converter --json
     python -m repro faults --macro iv-converter --ifa --top 10
+    python -m repro serve --port 8787 --window-ms 10
     python -m repro tps --macro iv-converter --config thd \\
         --fault bridge:n2:n3 --impact 34k --grid 7
     python -m repro compact --macro rc-ladder --delta 0.1
@@ -74,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_describe = sub.add_parser(
         "describe", help="macro structure and configuration cards")
     add_macro_arg(p_describe)
+    p_describe.add_argument("--json", action="store_true",
+                            help="machine-readable output (macro, "
+                                 "configurations, parameters)")
 
     p_faults = sub.add_parser("faults", help="list the fault dictionary")
     add_macro_arg(p_faults)
@@ -82,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--top", type=int, default=None,
                           help="keep only the N most likely faults "
                                "(with --ifa)")
+    p_faults.add_argument("--json", action="store_true",
+                          help="machine-readable output (fault ids, "
+                               "types, impacts, likelihoods)")
 
     p_tps = sub.add_parser("tps", help="tps-graph for one fault")
     add_macro_arg(p_tps)
@@ -147,6 +161,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--format", choices=("text", "json"),
                         default="text", help="report format")
 
+    p_serve = sub.add_parser(
+        "serve", help="HTTP verdict server: warm engine pool, request "
+                      "coalescing, content-addressed verdict cache")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="bind port (0 picks a free one)")
+    p_serve.add_argument("--engines", type=int, default=8,
+                         help="warm (macro, configuration) engine-pool "
+                              "capacity")
+    p_serve.add_argument("--cache-size", type=int, default=4096,
+                         help="in-memory verdict-cache capacity")
+    p_serve.add_argument("--spill", type=Path, default=None,
+                         help="JSON-lines verdict journal; replayed on "
+                              "start so the cache survives restarts")
+    p_serve.add_argument("--window-ms", type=float, default=10.0,
+                         help="request-coalescing window in "
+                              "milliseconds (0 disables)")
+    p_serve.add_argument("--max-batch", type=int, default=256,
+                         help="unique-fault bound that flushes a "
+                              "batch early")
+
     return parser
 
 
@@ -164,6 +200,41 @@ def _make_macro(args):
 
 def _cmd_describe(args) -> int:
     macro = _make_macro(args)
+    if args.json:
+        import json as json_module
+
+        from repro.hashing import netlist_digest
+        circuit = macro.circuit
+        configurations = []
+        for config in macro.test_configurations():
+            configurations.append({
+                "name": config.name,
+                "n_return_values": config.n_return_values,
+                "return_kinds": [str(k) for k in config.return_kinds],
+                "supports_screening": bool(getattr(
+                    config.procedure, "supports_screening", False)),
+                "parameters": [{
+                    "name": p.name,
+                    "unit": p.spec.unit,
+                    "description": p.spec.description,
+                    "lower": p.lower,
+                    "upper": p.upper,
+                    "seed": p.seed,
+                } for p in config.parameters],
+                "seed_vector": [float(v)
+                                for v in config.parameters.seeds],
+            })
+        print(json_module.dumps({
+            "macro": args.macro,
+            "circuit": {
+                "name": circuit.name,
+                "n_elements": len(circuit),
+                "netlist_digest": netlist_digest(circuit.to_netlist()),
+            },
+            "standard_nodes": list(macro.standard_nodes),
+            "configurations": configurations,
+        }, indent=2))
+        return 0
     print(macro.circuit.summary())
     print(f"standard nodes: {', '.join(macro.standard_nodes)}")
     print()
@@ -183,6 +254,21 @@ def _cmd_faults(args) -> int:
                                       top_n=args.top)
     else:
         faults = macro.fault_dictionary()
+    if args.json:
+        import json as json_module
+        entries = [{
+            "fault_id": f.fault_id,
+            "fault_type": f.fault_type,
+            "impact": float(f.impact),
+            "likelihood": float(f.likelihood),
+        } for f in faults]
+        print(json_module.dumps({
+            "macro": args.macro,
+            "ifa": bool(args.ifa),
+            "n_faults": len(entries),
+            "faults": entries,
+        }, indent=2))
+        return 0
     rows = [[f.fault_id, f.fault_type,
              format_value(f.impact, "ohm"), f"{f.likelihood:.2f}"]
             for f in faults]
@@ -352,6 +438,45 @@ def _cmd_lint(args) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    # Imported lazily: the serving layer is a downstream consumer of
+    # the whole stack, not a dependency of the CLI's other commands.
+    from repro.serve import (
+        ATPGServer,
+        BatchingFrontDoor,
+        EnginePool,
+        VerdictCache,
+    )
+
+    pool = EnginePool(capacity=args.engines)
+    cache = VerdictCache(capacity=args.cache_size, spill_path=args.spill)
+    frontdoor = BatchingFrontDoor(pool, cache,
+                                  window=args.window_ms / 1000.0,
+                                  max_batch=args.max_batch)
+    server = ATPGServer(frontdoor, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(window {args.window_ms:g} ms, max batch "
+              f"{args.max_batch}, {args.engines} engine(s), cache "
+              f"{args.cache_size}"
+              + (f", spill {args.spill}" if args.spill else "") + ")",
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "faults": _cmd_faults,
@@ -360,6 +485,7 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "mc": _cmd_mc,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
 }
 
 

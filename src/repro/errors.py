@@ -100,3 +100,12 @@ class TestGenerationError(ReproError):
 
 class CompactionError(ReproError):
     """Raised for invalid compaction inputs (empty sets, bad delta)."""
+
+
+class ServeError(ReproError):
+    """Raised for invalid serving requests or serving-layer misuse.
+
+    Examples: unknown macro or configuration names in a screening
+    request, malformed stimulus vectors, fault ids outside the macro's
+    dictionary, or a corrupt verdict-cache spill file.
+    """

@@ -1,0 +1,53 @@
+"""ATPG-as-a-service: warm engines, coalesced screens, cached verdicts.
+
+The serving layer turns the batch-oriented ATPG stack into a long-lived
+service:
+
+* :mod:`repro.serve.pool` — bounded LRU pool of warm
+  :class:`~repro.testgen.execution.TestExecutor`\\ s keyed by
+  (macro, configuration);
+* :mod:`repro.serve.cache` — content-addressed verdict store
+  (BLAKE2b keys shared with dictionary sharding via
+  :mod:`repro.hashing`), optionally journaled to disk;
+* :mod:`repro.serve.frontdoor` — asyncio request coalescing into
+  single batched family solves, plus the in-process
+  :class:`ServingClient`;
+* :mod:`repro.serve.server` — stdlib HTTP endpoint
+  (``repro serve`` CLI subcommand);
+* :mod:`repro.serve.metrics` — serving counters and latency quantiles
+  (the package's only clock boundary).
+
+The contract throughout: every served verdict is bitwise identical to
+a cold :class:`~repro.testgen.execution.TestExecutor` run — pooling,
+batching, coalescing and caching change wall-clock time only.
+"""
+
+from repro.serve.cache import CacheStats, VerdictCache, VerdictRecord
+from repro.serve.frontdoor import (
+    BatchingFrontDoor,
+    FaultVerdict,
+    ScreenRequest,
+    ScreenResponse,
+    ServingClient,
+)
+from repro.serve.metrics import ServeStats, render_json, render_text
+from repro.serve.pool import EnginePool, PoolEntry, PoolStats
+from repro.serve.server import ATPGServer
+
+__all__ = [
+    "ATPGServer",
+    "BatchingFrontDoor",
+    "CacheStats",
+    "EnginePool",
+    "FaultVerdict",
+    "PoolEntry",
+    "PoolStats",
+    "ScreenRequest",
+    "ScreenResponse",
+    "ServeStats",
+    "ServingClient",
+    "VerdictCache",
+    "VerdictRecord",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,207 @@
+"""Content-addressed verdict cache with optional JSON-lines spill.
+
+A served verdict is a pure function of (netlist, configuration, fault,
+stimulus vector, tolerance box) — the canonical-mode contract pinned by
+the serving equivalence suite.  The cache therefore keys each
+:class:`VerdictRecord` by :func:`repro.hashing.verdict_key` (the BLAKE2b
+derivation shared with dictionary sharding) and may serve a hit bitwise
+without touching an engine.
+
+Persistence is an **append-only JSON-lines journal**: every store
+appends one line, a restart replays the journal newest-line-wins into
+the in-memory LRU.  Floats are serialized with ``repr`` semantics
+(Python's ``json`` emits the shortest round-trip form), so a verdict
+survives the disk trip bit-for-bit — the spill round-trip test pins
+this.  Evictions do not rewrite the journal; it is a log, not a mirror
+(compaction = delete the file).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+from repro._log import get_logger
+from repro.errors import ServeError
+from repro.testgen.sensitivity import SensitivityReport
+
+__all__ = ["CacheStats", "VerdictRecord", "VerdictCache"]
+
+_LOG = get_logger("serve.cache")
+
+
+@dataclass
+class CacheStats:
+    """Verdict-cache accounting.
+
+    Attributes:
+        hits / misses: lookup outcomes.
+        stores: records inserted.
+        evictions: records dropped at capacity.
+        spill_writes: journal lines appended.
+        spill_loads: records replayed from the journal at start-up.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    spill_writes: int = 0
+    spill_loads: int = 0
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Combine two accounts."""
+        return CacheStats(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)})
+
+
+@dataclass(frozen=True)
+class VerdictRecord:
+    """One cached screening verdict (a flattened sensitivity report).
+
+    Every float is stored exactly as screened; :meth:`to_report`
+    rebuilds the :class:`SensitivityReport` bitwise.
+    """
+
+    fault_id: str
+    value: float
+    components: tuple[float, ...]
+    deviations: tuple[float, ...]
+    boxes: tuple[float, ...]
+    params: tuple[float, ...]
+
+    @property
+    def detected(self) -> bool:
+        """Detection verdict (``S_f < 0``)."""
+        return self.value < 0.0
+
+    @classmethod
+    def from_report(cls, fault_id: str,
+                    report: SensitivityReport) -> "VerdictRecord":
+        """Flatten a sensitivity report for storage."""
+        return cls(
+            fault_id=fault_id,
+            value=float(report.value),
+            components=tuple(float(c) for c in report.components),
+            deviations=tuple(float(d) for d in report.deviations),
+            boxes=tuple(float(b) for b in report.boxes),
+            params=tuple(float(p) for p in report.params))
+
+    def to_report(self) -> SensitivityReport:
+        """Rebuild the sensitivity report (bitwise)."""
+        return SensitivityReport(
+            value=self.value,
+            components=np.array(self.components),
+            deviations=np.array(self.deviations),
+            boxes=np.array(self.boxes),
+            params=np.array(self.params))
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (stable key order)."""
+        return {
+            "fault_id": self.fault_id,
+            "value": self.value,
+            "components": list(self.components),
+            "deviations": list(self.deviations),
+            "boxes": list(self.boxes),
+            "params": list(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VerdictRecord":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                fault_id=str(payload["fault_id"]),
+                value=float(payload["value"]),
+                components=tuple(float(c) for c in payload["components"]),
+                deviations=tuple(float(d) for d in payload["deviations"]),
+                boxes=tuple(float(b) for b in payload["boxes"]),
+                params=tuple(float(p) for p in payload["params"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed verdict record: {exc}") from exc
+
+
+class VerdictCache:
+    """Bounded LRU of verdict records, optionally journaled to disk.
+
+    Args:
+        capacity: in-memory record bound (LRU eviction beyond it).
+        spill_path: JSON-lines journal file.  When given, existing lines
+            are replayed on construction (newest line wins) and every
+            store appends one line, so the cache survives restarts.
+    """
+
+    def __init__(self, capacity: int = 4096,
+                 spill_path: str | Path | None = None) -> None:
+        if capacity < 1:
+            raise ServeError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.spill_path = Path(spill_path) if spill_path else None
+        self.stats = CacheStats()
+        self._records: OrderedDict[str, VerdictRecord] = OrderedDict()
+        if self.spill_path is not None and self.spill_path.exists():
+            self._load_spill()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> VerdictRecord | None:
+        """Record under *key*, refreshing LRU recency; None on miss."""
+        record = self._records.get(key)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self._records.move_to_end(key)
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: VerdictRecord) -> None:
+        """Insert *record* (and journal it when spilling is on)."""
+        known = key in self._records
+        self._records[key] = record
+        self._records.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._records) > self.capacity:
+            self._records.popitem(last=False)
+            self.stats.evictions += 1
+        if self.spill_path is not None and not known:
+            line = json.dumps({"key": key, "record": record.to_dict()},
+                              sort_keys=False)
+            with self.spill_path.open("a", encoding="utf-8") as sink:
+                sink.write(line + "\n")
+            self.stats.spill_writes += 1
+
+    def _load_spill(self) -> None:
+        """Replay the journal into the LRU (newest line wins)."""
+        assert self.spill_path is not None
+        with self.spill_path.open("r", encoding="utf-8") as source:
+            for lineno, line in enumerate(source, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    key = str(payload["key"])
+                    record = VerdictRecord.from_dict(payload["record"])
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ServeError) as exc:
+                    raise ServeError(
+                        f"corrupt verdict spill {self.spill_path} "
+                        f"line {lineno}: {exc}") from exc
+                self._records[key] = record
+                self._records.move_to_end(key)
+                self.stats.spill_loads += 1
+        while len(self._records) > self.capacity:
+            self._records.popitem(last=False)
+            self.stats.evictions += 1
+        _LOG.info("replayed %d cached verdict(s) from %s",
+                  self.stats.spill_loads, self.spill_path)

@@ -1,0 +1,161 @@
+"""Serving observability: counters, latency quantiles, reporters.
+
+This module is the serving layer's **only** clock boundary: every
+``time.monotonic`` read in ``repro.serve`` happens here (the repo-level
+linter enforces it).  The rest of the serving code handles opaque timer
+tokens, so no wall-clock value can leak into a verdict — latencies are
+observability output, never simulation input.
+
+Reporters mirror the :mod:`repro.lint` style: ``render_text`` for
+humans, ``stats_to_dict``/``render_json`` for machines (the ``/stats``
+endpoint serves the latter verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["LATENCY_WINDOW", "ServeStats", "render_text", "render_json",
+           "stats_to_dict"]
+
+#: Latency samples kept for the quantile estimates (sliding window).
+LATENCY_WINDOW = 2048
+
+
+@dataclass
+class ServeStats:
+    """Accounting of one serving front door.
+
+    Attributes:
+        requests: screening requests accepted.
+        errors: requests rejected (unknown macro/config, bad vector...).
+        batches: coalesced family solves flushed (one per
+            (macro, configuration, vector) group per window).
+        faults_requested: per-fault verdicts asked for, summed over
+            requests (the same fault in two requests counts twice).
+        verdicts_served: per-fault verdicts returned.
+        cache_hits / cache_misses: verdict-cache outcomes as seen by the
+            front door (hits include single-flight coalescing: a fault
+            computed once for two concurrent requests is one miss plus
+            one hit).
+        batch_sizes: recent flush sizes (unique faults per batch).
+        latencies: recent request latencies in seconds.
+    """
+
+    requests: int = 0
+    errors: int = 0
+    batches: int = 0
+    faults_requested: int = 0
+    verdicts_served: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batch_sizes: deque = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    latencies: deque = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+
+    # ------------------------------------------------------------------
+    # clock boundary
+    # ------------------------------------------------------------------
+    def timer(self) -> float:
+        """Opaque start token for one request (monotonic clock read)."""
+        return time.monotonic()
+
+    def observe_latency(self, token: float) -> float:
+        """Record the latency of a request started at *token* (seconds)."""
+        elapsed = time.monotonic() - token
+        self.latencies.append(elapsed)
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # derived figures
+    # ------------------------------------------------------------------
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of requests that shared a batch with another one.
+
+        ``1 - batches/requests``: 0.0 when every request flushed alone,
+        approaching 1.0 as the window folds many requests into few
+        family solves.
+        """
+        if self.requests <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.batches / self.requests)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Verdict-cache hit fraction (0.0 with no traffic)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean unique faults per flushed batch (recent window)."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank latency quantile in seconds (0.0 when empty)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    @property
+    def p50_latency(self) -> float:
+        """Median request latency (seconds, recent window)."""
+        return self.latency_quantile(0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile request latency (seconds, recent window)."""
+        return self.latency_quantile(0.95)
+
+
+def stats_to_dict(stats: ServeStats) -> dict:
+    """JSON-ready mapping with stable key order (the ``/stats`` body)."""
+    return {
+        "requests": stats.requests,
+        "errors": stats.errors,
+        "batches": stats.batches,
+        "faults_requested": stats.faults_requested,
+        "verdicts_served": stats.verdicts_served,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "coalesce_ratio": stats.coalesce_ratio,
+        "mean_batch_size": stats.mean_batch_size,
+        "p50_latency_s": stats.p50_latency,
+        "p95_latency_s": stats.p95_latency,
+    }
+
+
+def render_text(stats: ServeStats, *, title: str | None = None) -> str:
+    """Human-readable stats block (lint-reporter style)."""
+    payload = stats_to_dict(stats)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    prefix = "  " if title else ""
+    lines.append(f"{prefix}requests: {payload['requests']} "
+                 f"({payload['errors']} error(s)), "
+                 f"verdicts: {payload['verdicts_served']}")
+    lines.append(f"{prefix}batches: {payload['batches']} "
+                 f"(mean size {payload['mean_batch_size']:.1f}, "
+                 f"coalesce ratio {payload['coalesce_ratio']:.2f})")
+    lines.append(f"{prefix}cache: {payload['cache_hits']} hit(s) / "
+                 f"{payload['cache_misses']} miss(es) "
+                 f"(rate {payload['cache_hit_rate']:.2f})")
+    lines.append(f"{prefix}latency: p50 {payload['p50_latency_s'] * 1e3:.2f} ms, "
+                 f"p95 {payload['p95_latency_s'] * 1e3:.2f} ms")
+    return "\n".join(lines)
+
+
+def render_json(stats: ServeStats, *, indent: int = 2) -> str:
+    """Machine-readable stats (stable ordering, ASCII-safe)."""
+    return json.dumps(stats_to_dict(stats), indent=indent, sort_keys=False)

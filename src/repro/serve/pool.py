@@ -1,0 +1,174 @@
+"""Bounded pool of warm simulation engines keyed by (macro, config).
+
+A pooled entry owns one :class:`~repro.testgen.execution.TestExecutor`
+(and therefore one :class:`~repro.analysis.engine.SimulationEngine`)
+per (macro, configuration) pair, plus everything a serving request
+needs resolved once: the macro's fault dictionary indexed by id and the
+content digest of its nominal netlist (the verdict-cache key prefix).
+
+Entries build lazily on first touch and evict LRU at capacity — the
+usual serving trade: keeping an entry warm keeps its compiled overlay
+bases and factorized screening solvers, so repeat traffic pays zero
+compile and zero factorization (``EngineStats.factorization_reuses``
+counts the win).  Because served screens run in **canonical mode**,
+eviction can never change a verdict: a rebuilt engine produces the same
+bits as the evicted one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro._log import get_logger
+from repro.analysis import DEFAULT_OPTIONS, SimOptions
+from repro.errors import ReproError, ServeError
+from repro.faults.base import FaultModel
+from repro.hashing import netlist_digest
+from repro.macros.registry import available_macros, get_macro
+from repro.testgen.execution import TestExecutor
+
+__all__ = ["PoolStats", "PoolEntry", "EnginePool"]
+
+_LOG = get_logger("serve.pool")
+
+
+@dataclass
+class PoolStats:
+    """Engine-pool accounting.
+
+    Attributes:
+        constructions: entries built (macro + executor + engine).
+        hits: requests served by an already-warm entry.
+        evictions: entries dropped at capacity.
+    """
+
+    constructions: int = 0
+    hits: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class PoolEntry:
+    """One warm (macro, configuration) serving context.
+
+    Attributes:
+        macro / configuration: the pool key.
+        executor: the warm test executor (canonical-mode screens only).
+        netlist: content digest of the nominal netlist
+            (:func:`repro.hashing.netlist_digest`).
+        faults: the macro's fault dictionary, in dictionary order.
+        fault_index: id -> fault lookup into *faults*.
+        requests_served / verdicts_served: per-entry traffic counters.
+    """
+
+    macro: str
+    configuration: str
+    executor: TestExecutor
+    netlist: str
+    faults: tuple[FaultModel, ...]
+    fault_index: dict[str, FaultModel] = field(default_factory=dict)
+    requests_served: int = 0
+    verdicts_served: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.fault_index:
+            self.fault_index = {f.fault_id: f for f in self.faults}
+
+    def resolve_faults(self, fault_ids) -> tuple[FaultModel, ...]:
+        """Faults for *fault_ids* (None = the whole dictionary)."""
+        if fault_ids is None:
+            return self.faults
+        missing = [fid for fid in fault_ids if fid not in self.fault_index]
+        if missing:
+            raise ServeError(
+                f"unknown fault id(s) for {self.macro}/"
+                f"{self.configuration}: {missing} "
+                f"(dictionary has {len(self.faults)})")
+        return tuple(self.fault_index[fid] for fid in fault_ids)
+
+
+class EnginePool:
+    """LRU-bounded lazy pool of warm serving entries.
+
+    Args:
+        capacity: bound on concurrently-warm (macro, config) entries.
+        options: simulator options shared by every pooled executor.
+        box_mode: forwarded to ``Macro.test_configurations``.
+    """
+
+    def __init__(self, capacity: int = 8,
+                 options: SimOptions = DEFAULT_OPTIONS, *,
+                 box_mode: str = "fast") -> None:
+        if capacity < 1:
+            raise ServeError(f"pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.options = options
+        self.box_mode = box_mode
+        self.stats = PoolStats()
+        self._entries: OrderedDict[tuple[str, str], PoolEntry] = \
+            OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def keys(self) -> tuple[tuple[str, str], ...]:
+        """Warm (macro, configuration) keys, oldest first."""
+        return tuple(self._entries)
+
+    def entry(self, macro: str, configuration: str) -> PoolEntry:
+        """Warm entry for (macro, configuration), building it lazily."""
+        key = (macro, configuration)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        entry = self._build(macro, configuration)
+        self._entries[key] = entry
+        self.stats.constructions += 1
+        while len(self._entries) > self.capacity:
+            victim, _ = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            _LOG.info("evicted warm engine %s/%s", *victim)
+        return entry
+
+    def _build(self, macro: str, configuration: str) -> PoolEntry:
+        try:
+            instance = get_macro(macro)
+        except ReproError as exc:
+            raise ServeError(
+                f"unknown macro {macro!r} "
+                f"(available: {', '.join(available_macros())})") from exc
+        configs = {c.name: c
+                   for c in instance.test_configurations(self.box_mode)}
+        if configuration not in configs:
+            raise ServeError(
+                f"macro {macro!r} has no configuration "
+                f"{configuration!r} (available: {', '.join(configs)})")
+        circuit = instance.circuit
+        executor = TestExecutor(circuit, configs[configuration],
+                                self.options)
+        _LOG.info("built serving entry %s/%s", macro, configuration)
+        return PoolEntry(
+            macro=macro,
+            configuration=configuration,
+            executor=executor,
+            netlist=netlist_digest(circuit.to_netlist()),
+            faults=tuple(instance.fault_dictionary()))
+
+    def engine_summary(self) -> dict[str, dict]:
+        """Per-entry engine/traffic stats (the ``/stats`` pool section)."""
+        summary: dict[str, dict] = {}
+        for (macro, config), entry in self._entries.items():
+            stats = entry.executor.engine.stats
+            summary[f"{macro}/{config}"] = {
+                "requests_served": entry.requests_served,
+                "verdicts_served": entry.verdicts_served,
+                "compilations": stats.compilations,
+                "factorizations": stats.factorizations,
+                "factorization_reuses": stats.factorization_reuses,
+                "screened_simulations": stats.screened_simulations,
+            }
+        return summary

@@ -1,0 +1,187 @@
+"""Stdlib asyncio HTTP endpoint over the batching front door.
+
+Wire protocol (JSON over HTTP/1.1, one request per connection):
+
+``POST /screen``
+    Body: :class:`~repro.serve.frontdoor.ScreenRequest` wire form —
+    ``{"macro": ..., "configuration": ..., "fault_ids": [...]?,
+    "vector": [...]?}``.  Response 200: the
+    :class:`~repro.serve.frontdoor.ScreenResponse` wire form.  Invalid
+    requests get 400 with ``{"error": ...}``.
+
+``GET /stats``
+    Serving counters, verdict-cache counters and the per-entry engine
+    pool summary.
+
+``GET /healthz``
+    ``{"ok": true}`` — liveness only, touches no engine.
+
+No third-party HTTP stack: requests are parsed directly off the
+``asyncio`` stream (header block, then ``Content-Length`` body), which
+keeps the serving layer inside the repo's no-new-dependencies rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict
+
+from repro._log import get_logger
+from repro.errors import ServeError
+from repro.serve.frontdoor import BatchingFrontDoor, ScreenRequest
+from repro.serve.metrics import stats_to_dict
+
+__all__ = ["ATPGServer"]
+
+_LOG = get_logger("serve.server")
+
+#: Upper bound on accepted request bodies (a full-dictionary request
+#: with an explicit vector is well under 100 kB).
+MAX_BODY_BYTES = 1 << 20
+#: Upper bound on the request head (request line + headers).
+MAX_HEAD_BYTES = 1 << 16
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 413: "Payload Too Large",
+                500: "Internal Server Error"}
+
+
+class ATPGServer:
+    """Asyncio HTTP server serving fault verdicts from a front door.
+
+    Args:
+        frontdoor: the batching dispatcher to serve from.
+        host / port: bind address; ``port=0`` picks a free port (read
+            the resulting :attr:`port` after :meth:`start` — the test
+            suite and the CI smoke job rely on this).
+    """
+
+    def __init__(self, frontdoor: BatchingFrontDoor,
+                 host: str = "127.0.0.1", port: int = 8787) -> None:
+        self.frontdoor = frontdoor
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        _LOG.info("serving on http://%s:%d", self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Start (when needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and release the solver thread."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.frontdoor.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except Exception as exc:  # defensive: never kill the server
+            _LOG.warning("request handling failed: %s", exc)
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        body = json.dumps(payload, sort_keys=False).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader,
+                              ) -> tuple[int, dict]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return 400, {"error": "malformed HTTP request head"}
+        if len(head) > MAX_HEAD_BYTES:
+            return 413, {"error": "request head too large"}
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            return 400, {"error": f"malformed request line: {lines[0]!r}"}
+        method, path, _ = parts
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET /healthz"}
+            return 200, {"ok": True}
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "use GET /stats"}
+            return 200, self.stats_payload()
+        if path == "/screen":
+            if method != "POST":
+                return 405, {"error": "use POST /screen"}
+            return await self._handle_screen(reader, headers)
+        return 404, {"error": f"no such endpoint: {path}"}
+
+    async def _handle_screen(self, reader: asyncio.StreamReader,
+                             headers: dict) -> tuple[int, dict]:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return 400, {"error": "bad Content-Length"}
+        if length <= 0:
+            return 400, {"error": "POST /screen needs a JSON body"}
+        if length > MAX_BODY_BYTES:
+            return 413, {"error": "request body too large"}
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return 400, {"error": "truncated request body"}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"bad JSON body: {exc}"}
+        try:
+            request = ScreenRequest.from_dict(payload)
+            response = await self.frontdoor.screen(request)
+        except ServeError as exc:
+            return 400, {"error": str(exc)}
+        return 200, response.to_dict()
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` body: serve + cache + pool sections."""
+        return {
+            "serve": stats_to_dict(self.frontdoor.stats),
+            "cache": asdict(self.frontdoor.cache.stats),
+            "pool": {
+                "entries": len(self.frontdoor.pool),
+                **asdict(self.frontdoor.pool.stats),
+                "engines": self.frontdoor.pool.engine_summary(),
+            },
+        }

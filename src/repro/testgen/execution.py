@@ -38,7 +38,7 @@ import numpy as np
 
 from repro._log import get_logger
 from repro.analysis import DEFAULT_OPTIONS, SimOptions
-from repro.analysis.engine import EngineStats, SimulationEngine
+from repro.analysis.engine import EngineStats, SimulationEngine, WarmStart
 from repro.circuit.netlist import Circuit
 from repro.errors import (
     AnalysisError,
@@ -154,10 +154,17 @@ class TestExecutor:
     # ------------------------------------------------------------------
     # raw simulation layer
     # ------------------------------------------------------------------
-    def nominal_raw(self, vector: Sequence[float]) -> np.ndarray:
-        """Nominal raw observation at *vector* (LRU-cached)."""
+    def nominal_raw(self, vector: Sequence[float], *,
+                    canonical: bool = False) -> np.ndarray:
+        """Nominal raw observation at *vector* (LRU-cached).
+
+        Canonical observations solve from a cold Newton start (fresh
+        warm slot), so they are bitwise equal to a brand new executor's
+        first nominal at this vector; they cache under their own key so
+        warm- and canonical-mode values never mix.
+        """
         params = self.configuration.parameters
-        key = params.quantized_key(vector)
+        key = (params.quantized_key(vector), canonical)
         cached = self._nominal_cache.get(key)
         if cached is not None:
             self._nominal_cache.move_to_end(key)
@@ -165,8 +172,9 @@ class TestExecutor:
             return cached
         procedure = self.configuration.procedure
         if procedure.supports_compiled:
-            raw = self.engine.simulate_nominal(procedure,
-                                               params.to_dict(vector))
+            raw = self.engine.simulate_nominal(
+                procedure, params.to_dict(vector),
+                warm=WarmStart() if canonical else None)
         else:
             raw = procedure.simulate(self.nominal_circuit,
                                      params.to_dict(vector), self.options)
@@ -186,17 +194,20 @@ class TestExecutor:
         self.stats.faulty_simulations += 1
         return raw
 
-    def faulty_raw(self, fault: FaultModel,
-                   vector: Sequence[float]) -> np.ndarray:
+    def faulty_raw(self, fault: FaultModel, vector: Sequence[float], *,
+                   warm: WarmStart | None = None) -> np.ndarray:
         """Raw observation with *fault* injected (overlay fast path).
 
         Overlay-capable faults are stamped onto the engine's compiled
-        base; others go through the legacy cached netlist copy.
+        base; others go through the legacy cached netlist copy.  *warm*
+        overrides the engine's per-(base, fault) warm slot (canonical
+        callers pass their own).
         """
         procedure = self.configuration.procedure
         if self.engine.supports(fault, procedure):
             params = self.configuration.parameters.to_dict(vector)
-            raw = self.engine.simulate_fault(procedure, params, fault)
+            raw = self.engine.simulate_fault(procedure, params, fault,
+                                             warm=warm)
             self.stats.faulty_simulations += 1
             self.stats.overlay_simulations += 1
             return raw
@@ -227,22 +238,29 @@ class TestExecutor:
         observed = self.observed_raw(circuit, vector)
         return self.configuration.procedure.deviations(nominal, observed)
 
-    def boxes(self, vector: Sequence[float]) -> np.ndarray:
-        """Tolerance-box half-widths (spread + 2x equipment error)."""
+    def boxes(self, vector: Sequence[float], *,
+              canonical: bool = False) -> np.ndarray:
+        """Tolerance-box half-widths (spread + 2x equipment error).
+
+        The equipment term scales with the nominal reading, so the box
+        inherits the nominal's canonical/warm mode.
+        """
         config = self.configuration
         spread = np.atleast_1d(config.box_function(np.asarray(vector, float)))
         if spread.shape != (config.n_return_values,):
             raise TestGenerationError(
                 f"box function of {config.name!r} returned shape "
                 f"{spread.shape}, expected ({config.n_return_values},)")
-        scales = config.procedure.reading_scales(self.nominal_raw(vector))
+        scales = config.procedure.reading_scales(
+            self.nominal_raw(vector, canonical=canonical))
         equip = np.array([
             config.equipment.error_bound(kind, float(scale))
             for kind, scale in zip(config.return_kinds, scales)])
         return spread + 2.0 * equip
 
-    def sensitivity(self, fault: FaultModel,
-                    vector: Sequence[float]) -> SensitivityReport:
+    def sensitivity(self, fault: FaultModel, vector: Sequence[float], *,
+                    canonical: bool = False,
+                    _warm: WarmStart | None = None) -> SensitivityReport:
         """Evaluate ``S_f`` for *fault* at parameter *vector*.
 
         A faulty circuit the simulator cannot converge counts as
@@ -252,11 +270,20 @@ class TestExecutor:
         still propagate — those mean the testbench itself is broken.
         :class:`OverlayValidationError` also propagates: it reports a bug
         in the overlay machinery, never a property of the circuit.
+
+        *canonical* cuts every warm-start history channel (fresh slots,
+        canonical nominal), making the report a pure function of
+        (circuit, configuration, fault, vector); *_warm* is the
+        canonical caller's explicit warm slot (the batched screen's
+        solution when margin-confirming, mirroring the engine slot a
+        fresh executor's screen would have left behind).
         """
         vector = self.configuration.parameters.clip(vector)
-        nominal = self.nominal_raw(vector)  # failures here propagate
+        if canonical and _warm is None:
+            _warm = WarmStart()
+        nominal = self.nominal_raw(vector, canonical=canonical)
         try:
-            observed = self.faulty_raw(fault, vector)
+            observed = self.faulty_raw(fault, vector, warm=_warm)
             deviations = self.configuration.procedure.deviations(
                 nominal, observed)
         except OverlayValidationError:
@@ -267,7 +294,7 @@ class TestExecutor:
                          fault.cache_key, np.asarray(vector).tolist(), exc)
             deviations = np.full(self.configuration.n_return_values,
                                  _FAILED_SIMULATION_DEVIATION)
-        boxes = self.boxes(vector)
+        boxes = self.boxes(vector, canonical=canonical)
         components = sensitivity_components(deviations, boxes)
         return SensitivityReport(
             value=float(np.min(components)), components=components,
@@ -277,6 +304,7 @@ class TestExecutor:
     def screen_faults(self, faults: Sequence[FaultModel],
                       vector: Sequence[float], *,
                       margin: float = 0.05,
+                      canonical: bool = False,
                       ) -> tuple[SensitivityReport, ...]:
         """Evaluate ``S_f`` for a whole fault list at one parameter point.
 
@@ -294,18 +322,27 @@ class TestExecutor:
         path outright.  Procedures outside the screening protocol (and
         engines in ``validate_overlay`` debug mode) transparently fall
         back to per-fault :meth:`sensitivity` calls.
+
+        With ``canonical=True`` the whole evaluation runs history-free
+        (see :meth:`SimulationEngine.screen_faults`): the reports are
+        bitwise equal to a brand new executor's first
+        ``screen_faults(faults, vector)`` regardless of what this
+        executor served before — the contract the serving layer's
+        verdict cache is keyed on.
         """
         vector = self.configuration.parameters.clip(vector)
         procedure = self.configuration.procedure
         if not self.engine.screen_supported(procedure):
-            return tuple(self.sensitivity(fault, vector)
+            return tuple(self.sensitivity(fault, vector,
+                                          canonical=canonical)
                          for fault in faults)
-        nominal = self.nominal_raw(vector)  # failures here propagate
-        boxes = self.boxes(vector)
+        nominal = self.nominal_raw(vector, canonical=canonical)
+        boxes = self.boxes(vector, canonical=canonical)
         if np.any(boxes <= 0.0):
             raise TestGenerationError("tolerance boxes must be positive")
         params = self.configuration.parameters.to_dict(vector)
-        outcomes = self.engine.screen_faults(procedure, params, faults)
+        outcomes = self.engine.screen_faults(procedure, params, faults,
+                                             canonical=canonical)
 
         # Post-process the whole family at once: screened raw
         # observations are fixed-length operating-point vectors, so one
@@ -333,9 +370,18 @@ class TestExecutor:
                 # Borderline verdict: margin-confirm on the per-fault
                 # path so tolerance-level differences can never flip a
                 # detection decision.  sensitivity() does the
-                # faulty_simulations accounting for this fault.
+                # faulty_simulations accounting for this fault.  In
+                # canonical mode the confirm warm-starts from the
+                # screened solution — exactly the engine slot a fresh
+                # executor's screen would have left for it.
                 self.stats.screen_margin_confirms += 1
-                reports.append(self.sensitivity(fault, vector))
+                if canonical:
+                    warm = WarmStart()
+                    warm.x = outcome.x
+                    reports.append(self.sensitivity(
+                        fault, vector, canonical=True, _warm=warm))
+                else:
+                    reports.append(self.sensitivity(fault, vector))
                 continue
             self.stats.faulty_simulations += 1
             if screened:

@@ -28,9 +28,9 @@ import os
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from hashlib import blake2b
 
 from repro._log import get_logger
+from repro.hashing import stable_index
 from repro.analysis import DEFAULT_OPTIONS, SimOptions
 from repro.analysis.engine import EngineStats
 from repro.circuit.netlist import Circuit
@@ -70,13 +70,14 @@ DEFAULT_SHARD_COUNT = 16
 def shard_index(fault_id: str, n_shards: int) -> int:
     """Deterministic shard of *fault_id* among *n_shards*.
 
-    Content-addressed (BLAKE2b of the id), so the assignment is stable
-    across processes, machines and Python hash seeds.
+    Content-addressed (BLAKE2b of the id, via
+    :func:`repro.hashing.stable_index` — the derivation shared with the
+    serving verdict cache), so the assignment is stable across
+    processes, machines and Python hash seeds.
     """
     if n_shards < 1:
         raise TestGenerationError(f"n_shards must be >= 1, got {n_shards}")
-    digest = blake2b(fault_id.encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "big") % n_shards
+    return stable_index(fault_id, n_shards)
 
 
 def shard_assignments(faults: Sequence[FaultModel],

@@ -23,10 +23,13 @@ def linter():
     return module
 
 
-def run_on_snippet(linter, tmp_path, source, capsys):
+def run_on_snippet(linter, tmp_path, source, capsys, as_module=None):
     path = tmp_path / "snippet.py"
     path.write_text(source, encoding="utf-8")
-    code = linter.main([str(path)])
+    argv = [str(path)]
+    if as_module is not None:
+        argv = ["--as-module", as_module] + argv
+    code = linter.main(argv)
     captured = capsys.readouterr()
     return code, captured.out + captured.err
 
@@ -138,6 +141,80 @@ class TestDeterminismContract:
         assert "stdlib random.random" in output
 
 
+class TestServeClockContract:
+    """repro.serve.metrics is the serving layer's only clock boundary."""
+
+    TRIGGER = ("import time\n"
+               "def flush_window():\n"
+               "    return time.monotonic()\n")
+    CLEAN = ("from repro.serve.metrics import ServeStats\n"
+             "def flush_window(stats):\n"
+             "    return stats.timer()\n")
+
+    def test_monotonic_in_serve_module_caught(self, linter, tmp_path,
+                                              capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path, self.TRIGGER, capsys,
+            as_module="repro.serve.frontdoor")
+        assert code == 1
+        assert "REPRO-NONDET" in output
+        assert "outside repro.serve.metrics" in output
+
+    def test_perf_counter_in_serve_module_caught(self, linter, tmp_path,
+                                                 capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path,
+            "import time\nstart = time.perf_counter()\n",
+            capsys, as_module="repro.serve.pool")
+        assert code == 1
+        assert "REPRO-NONDET" in output
+
+    def test_alias_renamed_monotonic_caught(self, linter, tmp_path,
+                                            capsys):
+        code, output = run_on_snippet(
+            linter, tmp_path,
+            "from time import monotonic as now\nstamp = now()\n",
+            capsys, as_module="repro.serve.cache")
+        assert code == 1
+        assert "REPRO-NONDET" in output
+
+    def test_metrics_module_is_the_exemption(self, linter, tmp_path,
+                                             capsys):
+        code, _ = run_on_snippet(
+            linter, tmp_path, self.TRIGGER, capsys,
+            as_module="repro.serve.metrics")
+        assert code == 0
+
+    def test_outside_serve_monotonic_stays_allowed(self, linter,
+                                                   tmp_path, capsys):
+        # The budget-timer allowance elsewhere in the repo is untouched.
+        code, _ = run_on_snippet(linter, tmp_path, self.TRIGGER, capsys)
+        assert code == 0
+        code, _ = run_on_snippet(
+            linter, tmp_path, self.TRIGGER, capsys,
+            as_module="repro.testgen.generator")
+        assert code == 0
+
+    def test_token_passing_style_is_clean(self, linter, tmp_path,
+                                          capsys):
+        code, _ = run_on_snippet(
+            linter, tmp_path, self.CLEAN, capsys,
+            as_module="repro.serve.frontdoor")
+        assert code == 0
+
+    def test_shipped_serve_package_is_clean(self, linter, capsys):
+        serve_dir = REPO_ROOT / "src" / "repro" / "serve"
+        files = sorted(str(p) for p in serve_dir.glob("*.py"))
+        assert files  # the package exists and ships modules
+        assert linter.main(files) == 0
+
+    def test_as_module_needs_a_value(self, linter, capsys):
+        assert linter.main(["--as-module"]) == 2
+
+    def test_as_module_needs_files(self, linter, capsys):
+        assert linter.main(["--as-module", "repro.serve.pool"]) == 2
+
+
 class TestScoping:
     def test_sharding_seeds_are_reachable(self, linter):
         modules = linter.package_files()
@@ -146,6 +223,21 @@ class TestScoping:
             assert seed in reachable
         # The engine underpins every sharded run.
         assert "repro.analysis.engine" in reachable
+
+    def test_serve_package_is_reachable(self, linter):
+        modules = linter.package_files()
+        reachable = linter.reachable_modules(modules)
+        assert "repro.serve" in linter.DETERMINISM_SEEDS
+        for module in ("repro.serve.frontdoor", "repro.serve.metrics",
+                       "repro.serve.cache", "repro.serve.pool",
+                       "repro.serve.server", "repro.hashing"):
+            assert module in reachable
+
+    def test_in_serve_package_helper(self, linter):
+        assert linter.in_serve_package("repro.serve")
+        assert linter.in_serve_package("repro.serve.cache")
+        assert not linter.in_serve_package("repro.serveur")
+        assert not linter.in_serve_package("repro.testgen.sharding")
 
     def test_backend_module_name_resolution(self, linter):
         backend = REPO_ROOT / "src" / "repro" / "analysis" / "backend.py"

@@ -1,0 +1,219 @@
+"""Tests for the content-addressed verdict cache (repro.serve.cache).
+
+Pins the two properties serving leans on: LRU eviction is purely a
+capacity matter (never a correctness one), and the JSON-lines spill
+round-trips every float bitwise so a cache survives restarts without
+changing a single verdict.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.cache import CacheStats, VerdictCache, VerdictRecord
+from repro.testgen.sensitivity import SensitivityReport
+
+# Awkward floats on purpose: signed zero, subnormal-adjacent, shortest
+# repr with many digits, and a value that differs from 0.3 only bitwise.
+VALUES = (0.1 + 0.2, -0.0, 1e-300, 2 / 3, -1.0000000000000002)
+
+
+def make_record(fault_id="R1:short", value=-0.25):
+    return VerdictRecord(
+        fault_id=fault_id,
+        value=value,
+        components=(0.1 + 0.2, 0.5),
+        deviations=(-1e-300, 2 / 3),
+        boxes=(0.05, 0.07),
+        params=(1.25,))
+
+
+class TestVerdictRecord:
+    def test_detected_threshold(self):
+        assert make_record(value=-1e-300).detected
+        assert not make_record(value=0.0).detected
+        assert not make_record(value=0.25).detected
+
+    def test_report_round_trip_bitwise(self):
+        report = SensitivityReport(
+            value=float(VALUES[0]),
+            components=np.array(VALUES),
+            deviations=np.array(VALUES[::-1]),
+            boxes=np.array([0.05, 0.07, 0.1, 0.2, 0.3]),
+            params=np.array([1.0, 2.5]))
+        record = VerdictRecord.from_report("f", report)
+        rebuilt = record.to_report()
+        assert rebuilt.value == report.value
+        for name in ("components", "deviations", "boxes", "params"):
+            assert np.array_equal(getattr(rebuilt, name),
+                                  getattr(report, name))
+
+    def test_dict_round_trip(self):
+        record = make_record()
+        assert VerdictRecord.from_dict(record.to_dict()) == record
+
+    def test_json_round_trip_bitwise(self):
+        # The spill path in one line: dump, load, compare bitwise.
+        record = make_record(value=VALUES[0])
+        wire = json.loads(json.dumps(record.to_dict()))
+        assert VerdictRecord.from_dict(wire) == record
+
+    @pytest.mark.parametrize("payload", [
+        {},
+        {"fault_id": "f"},
+        {"fault_id": "f", "value": "not-a-float", "components": [],
+         "deviations": [], "boxes": [], "params": []},
+        {"fault_id": "f", "value": 1.0, "components": None,
+         "deviations": [], "boxes": [], "params": []},
+    ])
+    def test_malformed_payload(self, payload):
+        with pytest.raises(ServeError, match="malformed verdict record"):
+            VerdictRecord.from_dict(payload)
+
+
+class TestLRU:
+    def test_put_get(self):
+        cache = VerdictCache(capacity=4)
+        record = make_record()
+        cache.put("k1", record)
+        assert cache.get("k1") is record
+        assert len(cache) == 1
+        assert "k1" in cache
+
+    def test_miss(self):
+        cache = VerdictCache(capacity=4)
+        assert cache.get("nope") is None
+        assert cache.stats.misses == 1
+
+    def test_eviction_under_capacity_pressure(self):
+        cache = VerdictCache(capacity=3)
+        for i in range(5):
+            cache.put(f"k{i}", make_record(fault_id=f"f{i}"))
+        assert len(cache) == 3
+        assert cache.stats.evictions == 2
+        # Oldest two evicted, newest three kept.
+        assert cache.get("k0") is None
+        assert cache.get("k1") is None
+        for i in (2, 3, 4):
+            assert cache.get(f"k{i}") is not None
+
+    def test_get_refreshes_recency(self):
+        cache = VerdictCache(capacity=2)
+        cache.put("a", make_record(fault_id="a"))
+        cache.put("b", make_record(fault_id="b"))
+        cache.get("a")  # now "b" is the LRU victim
+        cache.put("c", make_record(fault_id="c"))
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_overwrite_same_key_does_not_grow(self):
+        cache = VerdictCache(capacity=2)
+        cache.put("a", make_record(value=1.0))
+        cache.put("a", make_record(value=2.0))
+        assert len(cache) == 1
+        assert cache.get("a").value == 2.0
+        assert cache.stats.evictions == 0
+
+    def test_stats_counters(self):
+        cache = VerdictCache(capacity=8)
+        cache.put("a", make_record())
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ServeError, match="capacity"):
+            VerdictCache(capacity=0)
+
+
+class TestSpill:
+    def test_round_trip_bitwise(self, tmp_path):
+        spill = tmp_path / "verdicts.jsonl"
+        first = VerdictCache(capacity=16, spill_path=spill)
+        records = {f"k{i}": make_record(fault_id=f"f{i}", value=v)
+                   for i, v in enumerate(VALUES)}
+        for key, record in records.items():
+            first.put(key, record)
+        assert first.stats.spill_writes == len(records)
+
+        second = VerdictCache(capacity=16, spill_path=spill)
+        assert second.stats.spill_loads == len(records)
+        for key, record in records.items():
+            assert second.get(key) == record  # bitwise float equality
+
+    def test_duplicate_put_journals_once(self, tmp_path):
+        spill = tmp_path / "verdicts.jsonl"
+        cache = VerdictCache(capacity=16, spill_path=spill)
+        cache.put("k", make_record())
+        cache.put("k", make_record())
+        assert cache.stats.spill_writes == 1
+        assert len(spill.read_text().strip().splitlines()) == 1
+
+    def test_newest_line_wins(self, tmp_path):
+        spill = tmp_path / "verdicts.jsonl"
+        lines = [
+            json.dumps({"key": "k", "record":
+                        make_record(value=1.0).to_dict()}),
+            json.dumps({"key": "k", "record":
+                        make_record(value=-2.0).to_dict()}),
+        ]
+        spill.write_text("\n".join(lines) + "\n")
+        cache = VerdictCache(capacity=16, spill_path=spill)
+        assert len(cache) == 1
+        assert cache.get("k").value == -2.0
+
+    def test_replay_respects_capacity(self, tmp_path):
+        spill = tmp_path / "verdicts.jsonl"
+        first = VerdictCache(capacity=16, spill_path=spill)
+        for i in range(6):
+            first.put(f"k{i}", make_record(fault_id=f"f{i}"))
+        small = VerdictCache(capacity=2, spill_path=spill)
+        assert len(small) == 2
+        assert small.stats.evictions == 4
+        assert small.get("k5") is not None  # newest survive
+
+    def test_corrupt_line_raises_with_line_number(self, tmp_path):
+        spill = tmp_path / "verdicts.jsonl"
+        good = json.dumps({"key": "k", "record": make_record().to_dict()})
+        spill.write_text(good + "\nnot json at all\n")
+        with pytest.raises(ServeError, match="line 2"):
+            VerdictCache(capacity=16, spill_path=spill)
+
+    def test_missing_record_field_raises(self, tmp_path):
+        spill = tmp_path / "verdicts.jsonl"
+        spill.write_text(json.dumps({"key": "k"}) + "\n")
+        with pytest.raises(ServeError, match="corrupt verdict spill"):
+            VerdictCache(capacity=16, spill_path=spill)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        spill = tmp_path / "verdicts.jsonl"
+        good = json.dumps({"key": "k", "record": make_record().to_dict()})
+        spill.write_text("\n" + good + "\n\n")
+        cache = VerdictCache(capacity=16, spill_path=spill)
+        assert len(cache) == 1
+
+    def test_no_spill_file_until_first_store(self, tmp_path):
+        spill = tmp_path / "verdicts.jsonl"
+        cache = VerdictCache(capacity=16, spill_path=spill)
+        assert not spill.exists()
+        cache.put("k", make_record())
+        assert spill.exists()
+
+
+class TestCacheStats:
+    def test_merged(self):
+        a = CacheStats(hits=1, misses=2, stores=3, evictions=4,
+                       spill_writes=5, spill_loads=6)
+        b = CacheStats(hits=10, misses=20, stores=30, evictions=40,
+                       spill_writes=50, spill_loads=60)
+        merged = a.merged(b)
+        assert merged == CacheStats(hits=11, misses=22, stores=33,
+                                    evictions=44, spill_writes=55,
+                                    spill_loads=66)
+        # Inputs untouched.
+        assert a.hits == 1 and b.hits == 10

@@ -1,0 +1,199 @@
+"""Serving equivalence suite: served verdicts == cold executor, bitwise.
+
+The ISSUE's correctness contract, pinned over the full 55-fault
+IV-converter dictionary: every verdict that leaves the serving stack —
+whether it came out of a batched family solve, a coalesced multi-client
+flush, a warm verdict cache, or a cache replayed from disk — is bitwise
+identical to what a brand-new :class:`TestExecutor` produces on its
+first ``screen_faults`` call.  Pooling, batching, coalescing and caching
+may only ever change wall-clock time.
+
+Also covers a non-screening procedure (per-fault fallback path) on a
+dictionary subset, so the contract is pinned for both engine paths.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.analysis import DEFAULT_OPTIONS
+from repro.serve.cache import VerdictCache
+from repro.serve.frontdoor import BatchingFrontDoor, ServingClient
+from repro.serve.pool import EnginePool
+from repro.testgen.execution import TestExecutor
+
+MACRO = "iv-converter"
+SCREENING_CONFIG = "dc-output"
+FALLBACK_CONFIG = "step-max"
+FALLBACK_SUBSET = 6  # per-fault Newton solves: keep the subset small
+
+
+def serve(coro):
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout=300.0)
+    return asyncio.run(guarded())
+
+
+def assert_record_matches(record, report):
+    assert record.value == float(report.value)
+    assert record.components == tuple(float(c) for c in report.components)
+    assert record.deviations == tuple(float(d) for d in report.deviations)
+    assert record.boxes == tuple(float(b) for b in report.boxes)
+    assert record.params == tuple(float(p) for p in report.params)
+    assert record.detected == report.detected
+
+
+@pytest.fixture(scope="module")
+def iv_faults(iv_macro):
+    faults = tuple(iv_macro.fault_dictionary())
+    assert len(faults) == 55  # the paper's full dictionary
+    return faults
+
+
+@pytest.fixture(scope="module")
+def iv_configs(iv_macro):
+    return {c.name: c for c in iv_macro.test_configurations()}
+
+
+@pytest.fixture(scope="module")
+def cold_screening(iv_macro, iv_configs, iv_faults):
+    """Cold reference: fresh executor, first screen, all 55 faults."""
+    config = iv_configs[SCREENING_CONFIG]
+    vector = config.parameters.clip(list(config.seed_test().values))
+    executor = TestExecutor(iv_macro.circuit, config, DEFAULT_OPTIONS)
+    reports = executor.screen_faults(list(iv_faults), list(vector))
+    return {f.fault_id: r for f, r in zip(iv_faults, reports)}
+
+
+@pytest.fixture(scope="module")
+def cold_fallback(iv_macro, iv_configs, iv_faults):
+    """Cold reference on the non-screening (per-fault) path."""
+    config = iv_configs[FALLBACK_CONFIG]
+    assert not config.procedure.supports_screening
+    subset = iv_faults[:FALLBACK_SUBSET]
+    vector = config.parameters.clip(list(config.seed_test().values))
+    executor = TestExecutor(iv_macro.circuit, config, DEFAULT_OPTIONS)
+    reports = executor.screen_faults(list(subset), list(vector))
+    return {f.fault_id: r for f, r in zip(subset, reports)}
+
+
+def fresh_frontdoor(spill_path=None, window=0.05):
+    return BatchingFrontDoor(
+        EnginePool(capacity=4),
+        VerdictCache(capacity=4096, spill_path=spill_path),
+        window=window)
+
+
+class TestFullDictionary:
+    def test_cache_miss_path_bitwise(self, cold_screening, iv_faults):
+        """One batched request, cold stack: the cache-miss/batched path."""
+        door = fresh_frontdoor()
+        try:
+            response = serve(ServingClient(door).screen(
+                MACRO, SCREENING_CONFIG))
+            assert len(response.verdicts) == len(iv_faults)
+            assert all(not v.cached for v in response.verdicts)
+            for verdict in response.verdicts:
+                assert_record_matches(
+                    verdict.record, cold_screening[verdict.record.fault_id])
+        finally:
+            door.close()
+
+    def test_cache_hit_path_bitwise(self, cold_screening, iv_faults):
+        """Repeat request served entirely from cache, still bitwise."""
+        door = fresh_frontdoor()
+        try:
+            client = ServingClient(door)
+            serve(client.screen(MACRO, SCREENING_CONFIG))
+            engine_stats = door.pool.entry(
+                MACRO, SCREENING_CONFIG).executor.engine.stats
+            screens_before = engine_stats.screened_simulations
+            response = serve(client.screen(MACRO, SCREENING_CONFIG))
+            assert all(v.cached for v in response.verdicts)
+            assert engine_stats.screened_simulations == screens_before
+            for verdict in response.verdicts:
+                assert_record_matches(
+                    verdict.record, cold_screening[verdict.record.fault_id])
+        finally:
+            door.close()
+
+    def test_coalesced_path_bitwise(self, cold_screening, iv_faults, rng):
+        """Concurrent shuffled clients covering all 55 faults."""
+        ids = [f.fault_id for f in iv_faults]
+        # Five overlapping shuffled subsets whose union is the full
+        # dictionary (client 0 takes everything, shuffled).
+        subsets = [tuple(ids[i] for i in rng.permutation(len(ids)))]
+        for _ in range(4):
+            size = int(rng.integers(5, len(ids) + 1))
+            subsets.append(tuple(
+                ids[i] for i in rng.permutation(len(ids))[:size]))
+        door = fresh_frontdoor()
+        try:
+            client = ServingClient(door)
+
+            async def run_all():
+                return await asyncio.gather(*[
+                    client.screen(MACRO, SCREENING_CONFIG,
+                                  fault_ids=subset)
+                    for subset in subsets])
+
+            responses = serve(run_all())
+            for subset, response in zip(subsets, responses):
+                assert tuple(v.record.fault_id
+                             for v in response.verdicts) == subset
+                for verdict in response.verdicts:
+                    assert_record_matches(
+                        verdict.record,
+                        cold_screening[verdict.record.fault_id])
+            stats = door.stats
+            assert stats.requests == len(subsets)
+            assert stats.batches == 1  # fully coalesced
+            assert stats.coalesce_ratio > 0.0
+            assert stats.cache_misses == len(ids)
+            assert stats.cache_hits == \
+                sum(len(s) for s in subsets) - len(ids)
+        finally:
+            door.close()
+
+    def test_spill_restart_bitwise(self, cold_screening, iv_faults,
+                                   tmp_path):
+        """A cache replayed from disk serves the same bits, engine idle."""
+        spill = tmp_path / "verdicts.jsonl"
+        first = fresh_frontdoor(spill_path=spill)
+        try:
+            serve(ServingClient(first).screen(MACRO, SCREENING_CONFIG))
+        finally:
+            first.close()
+        assert spill.exists()
+
+        second = fresh_frontdoor(spill_path=spill)
+        try:
+            assert second.cache.stats.spill_loads == len(iv_faults)
+            response = serve(ServingClient(second).screen(
+                MACRO, SCREENING_CONFIG))
+            assert all(v.cached for v in response.verdicts)
+            engine_stats = second.pool.entry(
+                MACRO, SCREENING_CONFIG).executor.engine.stats
+            assert engine_stats.screened_simulations == 0
+            for verdict in response.verdicts:
+                assert_record_matches(
+                    verdict.record, cold_screening[verdict.record.fault_id])
+        finally:
+            second.close()
+
+
+class TestFallbackProcedure:
+    def test_non_screening_config_bitwise(self, cold_fallback, iv_faults):
+        """Per-fault fallback procedures honor the same contract."""
+        subset = tuple(f.fault_id for f in iv_faults[:FALLBACK_SUBSET])
+        door = fresh_frontdoor()
+        try:
+            response = serve(ServingClient(door).screen(
+                MACRO, FALLBACK_CONFIG, fault_ids=subset))
+            assert tuple(v.record.fault_id
+                         for v in response.verdicts) == subset
+            for verdict in response.verdicts:
+                assert_record_matches(
+                    verdict.record, cold_fallback[verdict.record.fault_id])
+        finally:
+            door.close()

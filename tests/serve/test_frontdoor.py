@@ -1,0 +1,367 @@
+"""Tests for the asyncio batching front door (repro.serve.frontdoor).
+
+The load-bearing property: N concurrent clients with shuffled,
+overlapping fault subsets all receive verdicts bitwise identical to a
+cold :class:`TestExecutor` run, while the stats totals stay exact
+(requests, batches, single-flight cache accounting).  Everything runs on
+the fast RC-ladder macro; the 55-fault IV-converter equivalence lives in
+``test_equivalence.py``.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.analysis import DEFAULT_OPTIONS
+from repro.errors import ServeError
+from repro.serve.cache import VerdictCache
+from repro.serve.frontdoor import (
+    BatchingFrontDoor,
+    ScreenRequest,
+    ServingClient,
+)
+from repro.serve.pool import EnginePool
+from repro.testgen.execution import TestExecutor
+
+MACRO = "rc-ladder"
+CONFIG = "dc-out"
+
+
+@pytest.fixture(scope="module")
+def dc_out_config(rc_macro):
+    return {c.name: c for c in rc_macro.test_configurations()}[CONFIG]
+
+
+@pytest.fixture(scope="module")
+def rc_faults(rc_macro):
+    return tuple(rc_macro.fault_dictionary())
+
+
+@pytest.fixture(scope="module")
+def seed_vector(dc_out_config):
+    clipped = dc_out_config.parameters.clip(
+        list(dc_out_config.seed_test().values))
+    return tuple(float(v) for v in clipped)
+
+
+@pytest.fixture(scope="module")
+def cold_reports(rc_macro, dc_out_config, rc_faults, seed_vector):
+    """Reference verdicts: a brand-new executor's first screen."""
+    executor = TestExecutor(rc_macro.circuit, dc_out_config,
+                            DEFAULT_OPTIONS)
+    reports = executor.screen_faults(list(rc_faults), list(seed_vector))
+    return {f.fault_id: r for f, r in zip(rc_faults, reports)}
+
+
+@pytest.fixture()
+def frontdoor():
+    door = BatchingFrontDoor(EnginePool(capacity=4),
+                             VerdictCache(capacity=256), window=0.02)
+    yield door
+    door.close()
+
+
+def serve(coro):
+    """Run one serving scenario with a hang guard."""
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout=60.0)
+    return asyncio.run(guarded())
+
+
+def assert_record_matches(record, report):
+    """Bitwise verdict equality against a cold sensitivity report."""
+    assert record.value == float(report.value)
+    assert record.components == tuple(float(c) for c in report.components)
+    assert record.deviations == tuple(float(d) for d in report.deviations)
+    assert record.boxes == tuple(float(b) for b in report.boxes)
+    assert record.params == tuple(float(p) for p in report.params)
+    assert record.detected == report.detected
+
+
+class TestScreenRequest:
+    def test_from_dict_minimal(self):
+        request = ScreenRequest.from_dict(
+            {"macro": MACRO, "configuration": CONFIG})
+        assert request == ScreenRequest(macro=MACRO, configuration=CONFIG)
+
+    def test_from_dict_full(self):
+        request = ScreenRequest.from_dict(
+            {"macro": MACRO, "configuration": CONFIG,
+             "fault_ids": ["a", "b"], "vector": [1, 2.5]})
+        assert request.fault_ids == ("a", "b")
+        assert request.vector == (1.0, 2.5)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServeError, match="unknown request field"):
+            ScreenRequest.from_dict(
+                {"macro": MACRO, "configuration": CONFIG, "faults": []})
+
+    @pytest.mark.parametrize("payload", [
+        {"configuration": CONFIG},
+        {"macro": MACRO},
+    ])
+    def test_missing_field_rejected(self, payload):
+        with pytest.raises(ServeError, match="needs field"):
+            ScreenRequest.from_dict(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            ScreenRequest.from_dict(["not", "a", "dict"])
+
+    def test_bad_vector_rejected(self):
+        with pytest.raises(ServeError, match="bad vector"):
+            ScreenRequest.from_dict(
+                {"macro": MACRO, "configuration": CONFIG,
+                 "vector": ["not-a-number"]})
+
+
+class TestConstruction:
+    def test_bad_window(self):
+        with pytest.raises(ServeError, match="window"):
+            BatchingFrontDoor(EnginePool(), VerdictCache(), window=-0.1)
+
+    def test_bad_max_batch(self):
+        with pytest.raises(ServeError, match="max_batch"):
+            BatchingFrontDoor(EnginePool(), VerdictCache(), max_batch=0)
+
+    def test_close_idempotent(self, frontdoor):
+        frontdoor.close()
+        frontdoor.close()
+
+
+class TestSingleRequest:
+    def test_full_dictionary_response(self, frontdoor, rc_faults,
+                                      seed_vector, cold_reports):
+        client = ServingClient(frontdoor)
+        response = serve(client.screen(MACRO, CONFIG))
+        assert response.macro == MACRO
+        assert response.configuration == CONFIG
+        assert response.vector == seed_vector
+        assert len(response.verdicts) == len(rc_faults)
+        # Dictionary order, nothing cached on a cold stack.
+        assert [v.record.fault_id for v in response.verdicts] == \
+            [f.fault_id for f in rc_faults]
+        assert all(not v.cached for v in response.verdicts)
+        for verdict in response.verdicts:
+            assert_record_matches(verdict.record,
+                                  cold_reports[verdict.record.fault_id])
+
+    def test_boxes_match_cold_executor(self, frontdoor, rc_macro,
+                                       dc_out_config, seed_vector):
+        response = serve(ServingClient(frontdoor).screen(MACRO, CONFIG))
+        executor = TestExecutor(rc_macro.circuit, dc_out_config,
+                                DEFAULT_OPTIONS)
+        cold = executor.boxes(list(seed_vector))
+        assert response.boxes == tuple(float(b) for b in cold)
+
+    def test_n_detected_consistent(self, frontdoor, cold_reports):
+        response = serve(ServingClient(frontdoor).screen(MACRO, CONFIG))
+        expected = sum(1 for r in cold_reports.values() if r.detected)
+        assert response.n_detected == expected
+
+    def test_stats_after_one_request(self, frontdoor, rc_faults):
+        serve(ServingClient(frontdoor).screen(MACRO, CONFIG))
+        stats = frontdoor.stats
+        assert stats.requests == 1
+        assert stats.errors == 0
+        assert stats.batches == 1
+        assert stats.faults_requested == len(rc_faults)
+        assert stats.verdicts_served == len(rc_faults)
+        assert stats.cache_misses == len(rc_faults)
+        assert stats.cache_hits == 0
+        assert stats.coalesce_ratio == 0.0
+        assert list(stats.batch_sizes) == [len(rc_faults)]
+        assert len(stats.latencies) == 1
+
+    def test_subset_preserves_request_order(self, frontdoor, rc_faults,
+                                            cold_reports):
+        ids = [f.fault_id for f in rc_faults]
+        picked = (ids[4], ids[1], ids[3])
+        response = serve(ServingClient(frontdoor).screen(
+            MACRO, CONFIG, fault_ids=picked))
+        assert tuple(v.record.fault_id for v in response.verdicts) == picked
+        for verdict in response.verdicts:
+            assert_record_matches(verdict.record,
+                                  cold_reports[verdict.record.fault_id])
+
+    def test_out_of_bounds_vector_clipped(self, frontdoor, dc_out_config):
+        parameters = dc_out_config.parameters
+        wild = [1e12] * len(parameters.names)
+        response = serve(ServingClient(frontdoor).screen(
+            MACRO, CONFIG, vector=wild))
+        expected = tuple(float(v) for v in parameters.clip(wild))
+        assert response.vector == expected
+
+
+class TestCoalescing:
+    def test_concurrent_clients_bitwise_identical(self, frontdoor,
+                                                  rc_faults, cold_reports,
+                                                  rng):
+        """N clients, shuffled overlapping subsets, one coalesced batch."""
+        ids = [f.fault_id for f in rc_faults]
+        subsets = []
+        for k in range(6):
+            size = int(rng.integers(2, len(ids) + 1))
+            subsets.append(tuple(
+                ids[i] for i in rng.permutation(len(ids))[:size]))
+        client = ServingClient(frontdoor)
+
+        async def run_all():
+            return await asyncio.gather(*[
+                client.screen(MACRO, CONFIG, fault_ids=subset)
+                for subset in subsets])
+
+        responses = serve(run_all())
+        requested = 0
+        for subset, response in zip(subsets, responses):
+            assert tuple(v.record.fault_id
+                         for v in response.verdicts) == subset
+            requested += len(subset)
+            for verdict in response.verdicts:
+                assert_record_matches(
+                    verdict.record, cold_reports[verdict.record.fault_id])
+
+        stats = frontdoor.stats
+        assert stats.requests == 6
+        assert stats.batches == 1  # all six folded into one family solve
+        assert stats.coalesce_ratio == pytest.approx(1 - 1 / 6)
+        assert stats.faults_requested == requested
+        assert stats.verdicts_served == requested
+        # Single-flight: each unique fault computed once, the rest hits.
+        unique = len(set().union(*map(set, subsets)))
+        assert stats.cache_misses == unique
+        assert stats.cache_hits == requested - unique
+        assert list(stats.batch_sizes) == [unique]
+
+    def test_single_flight_same_fault(self, frontdoor, rc_faults):
+        fid = rc_faults[0].fault_id
+        client = ServingClient(frontdoor)
+
+        async def run_both():
+            return await asyncio.gather(
+                client.screen(MACRO, CONFIG, fault_ids=[fid]),
+                client.screen(MACRO, CONFIG, fault_ids=[fid]))
+
+        first, second = serve(run_both())
+        assert first.verdicts[0].record == second.verdicts[0].record
+        assert frontdoor.stats.cache_misses == 1
+        assert frontdoor.stats.cache_hits == 1
+        assert frontdoor.stats.batches == 1
+
+    def test_different_vectors_do_not_coalesce(self, frontdoor,
+                                               dc_out_config):
+        lower = float(dc_out_config.parameters.bounds[0][0])
+        client = ServingClient(frontdoor)
+
+        async def run_both():
+            return await asyncio.gather(
+                client.screen(MACRO, CONFIG),
+                client.screen(MACRO, CONFIG, vector=[lower]))
+
+        serve(run_both())
+        assert frontdoor.stats.batches == 2
+
+    def test_max_batch_flushes_early(self, rc_faults):
+        # A window this long would time the test out — early flush at
+        # max_batch unique faults must fire instead.
+        door = BatchingFrontDoor(EnginePool(capacity=2),
+                                 VerdictCache(capacity=256),
+                                 window=30.0, max_batch=len(rc_faults))
+        try:
+            response = serve(ServingClient(door).screen(MACRO, CONFIG))
+            assert len(response.verdicts) == len(rc_faults)
+            assert door.stats.batches == 1
+        finally:
+            door.close()
+
+    def test_window_zero_flushes_immediately(self, rc_faults):
+        door = BatchingFrontDoor(EnginePool(capacity=2),
+                                 VerdictCache(capacity=256), window=0.0)
+        try:
+            client = ServingClient(door)
+
+            async def run_sequential():
+                await client.screen(MACRO, CONFIG)
+                await client.screen(MACRO, CONFIG)
+
+            serve(run_sequential())
+            assert door.stats.requests == 2
+            assert door.stats.batches == 2
+        finally:
+            door.close()
+
+
+class TestCacheInteraction:
+    def test_repeat_request_fully_cached(self, frontdoor, cold_reports):
+        client = ServingClient(frontdoor)
+        first = serve(client.screen(MACRO, CONFIG))
+        engine_stats = frontdoor.pool.entry(MACRO, CONFIG).executor \
+            .engine.stats
+        screens_before = engine_stats.screened_simulations
+        second = serve(client.screen(MACRO, CONFIG))
+        assert all(v.cached for v in second.verdicts)
+        assert engine_stats.screened_simulations == screens_before
+        for cold, warm in zip(first.verdicts, second.verdicts):
+            assert cold.record == warm.record  # bitwise
+            assert cold.key == warm.key
+            assert_record_matches(warm.record,
+                                  cold_reports[warm.record.fault_id])
+
+    def test_verdict_keys_unique_per_fault(self, frontdoor):
+        response = serve(ServingClient(frontdoor).screen(MACRO, CONFIG))
+        keys = [v.key for v in response.verdicts]
+        assert len(set(keys)) == len(keys)
+
+
+class TestErrors:
+    def test_unknown_macro(self, frontdoor):
+        with pytest.raises(ServeError, match="unknown macro"):
+            serve(ServingClient(frontdoor).screen("no-such", CONFIG))
+        assert frontdoor.stats.errors == 1
+        assert frontdoor.stats.requests == 1
+        assert frontdoor.stats.verdicts_served == 0
+
+    def test_unknown_configuration(self, frontdoor):
+        with pytest.raises(ServeError, match="no configuration"):
+            serve(ServingClient(frontdoor).screen(MACRO, "no-such"))
+
+    def test_unknown_fault_id(self, frontdoor):
+        with pytest.raises(ServeError, match="unknown fault id"):
+            serve(ServingClient(frontdoor).screen(
+                MACRO, CONFIG, fault_ids=["ghost"]))
+
+    def test_zero_faults(self, frontdoor):
+        with pytest.raises(ServeError, match="zero faults"):
+            serve(ServingClient(frontdoor).screen(
+                MACRO, CONFIG, fault_ids=[]))
+
+    def test_wrong_vector_length(self, frontdoor):
+        with pytest.raises(ServeError, match="value"):
+            serve(ServingClient(frontdoor).screen(
+                MACRO, CONFIG, vector=[1.0, 2.0, 3.0]))
+
+    def test_error_does_not_poison_later_requests(self, frontdoor,
+                                                  rc_faults):
+        client = ServingClient(frontdoor)
+
+        async def scenario():
+            with pytest.raises(ServeError):
+                await client.screen("no-such", CONFIG)
+            return await client.screen(MACRO, CONFIG)
+
+        response = serve(scenario())
+        assert len(response.verdicts) == len(rc_faults)
+        assert frontdoor.stats.errors == 1
+        assert frontdoor.stats.requests == 2
+
+
+class TestServingClient:
+    def test_stats_property(self, frontdoor):
+        client = ServingClient(frontdoor)
+        assert client.stats is frontdoor.stats
+
+    def test_accepts_numpy_vector(self, frontdoor, seed_vector):
+        response = serve(ServingClient(frontdoor).screen(
+            MACRO, CONFIG, vector=np.asarray(seed_vector)))
+        assert response.vector == seed_vector

@@ -1,0 +1,154 @@
+"""Tests for the shared content-address derivations (repro.hashing).
+
+The compatibility contract matters most: :func:`repro.hashing.stable_index`
+must reproduce the exact shard digests ``repro.testgen.sharding`` has
+emitted since PR 5, and :func:`verdict_key` must separate every field it
+hashes (two different verdict identities may never collide by field
+concatenation).
+"""
+
+from hashlib import blake2b
+
+import pytest
+
+from repro.hashing import (
+    FIELD_SEPARATOR,
+    content_digest,
+    float_token,
+    floats_token,
+    netlist_digest,
+    stable_digest,
+    stable_index,
+    verdict_key,
+)
+from repro.testgen.sharding import shard_index
+
+
+class TestStableDigest:
+    def test_pinned_digest(self):
+        # Pinned forever: a change here silently reshuffles shards and
+        # invalidates every spilled verdict cache.
+        assert stable_digest("R1:short").hex() == "b5710cd301861790"
+
+    def test_digest_size(self):
+        assert len(stable_digest("x")) == 8
+        assert len(stable_digest("x", digest_size=16)) == 16
+
+    def test_matches_raw_blake2b(self):
+        for text in ("", "fault-0", "R3:open", "Ω-unicode"):
+            expected = blake2b(text.encode("utf-8"), digest_size=8).digest()
+            assert stable_digest(text) == expected
+
+
+class TestStableIndex:
+    def test_pinned_buckets(self):
+        assert stable_index("R1:short", 4) == 0
+        assert stable_index("R1:short", 7) == 5
+
+    def test_matches_shard_index(self, iv_macro):
+        """The sharding derivation and the shared helper never drift."""
+        fault_ids = [f.fault_id for f in iv_macro.fault_dictionary()]
+        for n in (1, 2, 3, 8, 55):
+            for fid in fault_ids:
+                assert stable_index(fid, n) == shard_index(fid, n)
+
+    def test_reproduces_pr5_derivation(self):
+        for fid in ("a", "R2:bridge:R3", "cap-open-17"):
+            for n in (1, 2, 5, 16):
+                raw = int.from_bytes(
+                    blake2b(fid.encode("utf-8"), digest_size=8).digest(),
+                    "big")
+                assert stable_index(fid, n) == raw % n
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ValueError):
+            stable_index("x", 0)
+        with pytest.raises(ValueError):
+            stable_index("x", -3)
+
+    def test_range(self):
+        for n in (1, 2, 9):
+            assert 0 <= stable_index("anything", n) < n
+
+
+class TestFloatTokens:
+    def test_round_trip_bitwise(self):
+        for v in (0.0, -0.0, 1.0, 0.1, 1e-300, 1e300, 2/3,
+                  1.0000000000000002):
+            assert float(float_token(v)) == v
+
+    def test_negative_zero_distinct(self):
+        assert float_token(0.0) != float_token(-0.0)
+
+    def test_floats_token_join(self):
+        assert floats_token((1.0, 0.5)) == "1.0,0.5"
+        assert floats_token(()) == ""
+
+    def test_bitwise_inequality_changes_token(self):
+        # 0.1 + 0.2 != 0.3 bitwise, so their tokens must differ.
+        assert float_token(0.1 + 0.2) != float_token(0.3)
+
+
+class TestContentDigest:
+    def test_pinned(self):
+        assert content_digest(("verdict", "abc")) == \
+            "f653f05a8a4ccd50697b3af875b98406"
+
+    def test_field_boundaries_unambiguous(self):
+        assert content_digest(("ab", "c")) != content_digest(("a", "bc"))
+        assert content_digest(("ab",)) != content_digest(("a", "b"))
+
+    def test_separator_is_unit_separator(self):
+        assert FIELD_SEPARATOR == "\x1f"
+
+    def test_digest_size(self):
+        assert len(content_digest(("x",))) == 32  # 16 bytes hex
+
+
+class TestVerdictKey:
+    BASE = dict(netlist="n", configuration="c", fault_id="f",
+                vector=(1.0, 0.5), boxes=(0.1,))
+
+    def test_pinned(self):
+        assert verdict_key(**self.BASE) == \
+            "6613cf8565b95a79f4ed14801ff2ef2c"
+
+    def test_deterministic(self):
+        assert verdict_key(**self.BASE) == verdict_key(**self.BASE)
+
+    @pytest.mark.parametrize("change", [
+        dict(netlist="m"),
+        dict(configuration="c2"),
+        dict(fault_id="g"),
+        dict(vector=(1.0, 0.5000000000000001)),
+        dict(vector=(1.0,)),
+        dict(boxes=(0.2,)),
+        dict(boxes=()),
+    ])
+    def test_every_field_matters(self, change):
+        assert verdict_key(**{**self.BASE, **change}) != \
+            verdict_key(**self.BASE)
+
+    def test_vector_box_boundary(self):
+        # Moving a float between vector and boxes changes the key.
+        a = verdict_key(netlist="n", configuration="c", fault_id="f",
+                        vector=(1.0, 0.5), boxes=())
+        b = verdict_key(netlist="n", configuration="c", fault_id="f",
+                        vector=(1.0,), boxes=(0.5,))
+        assert a != b
+
+
+class TestNetlistDigest:
+    def test_pinned(self):
+        assert netlist_digest("R1 in out 1k") == \
+            "ef8b6ee7993f16df31bae9eb3fb748ff"
+
+    def test_domain_separated(self):
+        # "netlist" prefix keeps netlist digests out of other key spaces.
+        text = "R1 in out 1k"
+        assert netlist_digest(text) != content_digest((text,))
+
+    def test_real_circuit(self, rc_macro):
+        netlist = rc_macro.circuit.to_netlist()
+        assert netlist_digest(netlist) == netlist_digest(netlist)
+        assert netlist_digest(netlist) != netlist_digest(netlist + "\n")

@@ -1,0 +1,93 @@
+"""Tests for serving counters and reporters (repro.serve.metrics)."""
+
+import json
+
+from repro.serve.metrics import (
+    LATENCY_WINDOW,
+    ServeStats,
+    render_json,
+    render_text,
+    stats_to_dict,
+)
+
+
+def loaded_stats():
+    stats = ServeStats(requests=10, errors=1, batches=4,
+                       faults_requested=60, verdicts_served=55,
+                       cache_hits=30, cache_misses=25)
+    stats.batch_sizes.extend([5, 10, 15])
+    stats.latencies.extend([0.001 * (i + 1) for i in range(100)])
+    return stats
+
+
+class TestDerivedFigures:
+    def test_coalesce_ratio(self):
+        assert loaded_stats().coalesce_ratio == 0.6
+        assert ServeStats().coalesce_ratio == 0.0
+        # More batches than requests (degenerate) clamps at zero.
+        assert ServeStats(requests=1, batches=3).coalesce_ratio == 0.0
+
+    def test_cache_hit_rate(self):
+        assert loaded_stats().cache_hit_rate == 30 / 55
+        assert ServeStats().cache_hit_rate == 0.0
+
+    def test_mean_batch_size(self):
+        assert loaded_stats().mean_batch_size == 10.0
+        assert ServeStats().mean_batch_size == 0.0
+
+    def test_latency_quantiles_nearest_rank(self):
+        stats = loaded_stats()
+        assert stats.p50_latency == 0.001 * 51
+        assert stats.p95_latency == 0.001 * 96
+        assert ServeStats().p50_latency == 0.0
+
+    def test_quantile_single_sample(self):
+        stats = ServeStats()
+        stats.latencies.append(0.25)
+        assert stats.p50_latency == 0.25
+        assert stats.p95_latency == 0.25
+
+    def test_sliding_windows_bounded(self):
+        stats = ServeStats()
+        for i in range(LATENCY_WINDOW + 100):
+            stats.latencies.append(float(i))
+            stats.batch_sizes.append(i)
+        assert len(stats.latencies) == LATENCY_WINDOW
+        assert len(stats.batch_sizes) == LATENCY_WINDOW
+
+
+class TestTimer:
+    def test_observe_latency_nonnegative(self):
+        stats = ServeStats()
+        elapsed = stats.observe_latency(stats.timer())
+        assert elapsed >= 0.0
+        assert list(stats.latencies) == [elapsed]
+
+
+class TestReporters:
+    def test_stats_to_dict_keys(self):
+        payload = stats_to_dict(loaded_stats())
+        assert list(payload) == [
+            "requests", "errors", "batches", "faults_requested",
+            "verdicts_served", "cache_hits", "cache_misses",
+            "cache_hit_rate", "coalesce_ratio", "mean_batch_size",
+            "p50_latency_s", "p95_latency_s"]
+        assert payload["requests"] == 10
+        assert payload["coalesce_ratio"] == 0.6
+
+    def test_render_json_round_trips(self):
+        payload = json.loads(render_json(loaded_stats()))
+        assert payload == stats_to_dict(loaded_stats())
+
+    def test_render_text(self):
+        text = render_text(loaded_stats(), title="serving")
+        assert text.splitlines()[0] == "serving"
+        assert "requests: 10 (1 error(s)), verdicts: 55" in text
+        assert "coalesce ratio 0.60" in text
+        assert "cache: 30 hit(s) / 25 miss(es)" in text
+        assert "p50 51.00 ms" in text
+
+    def test_render_text_without_title(self):
+        text = render_text(ServeStats())
+        assert not text.startswith(" ")
+        assert "requests: 0" in text

@@ -1,0 +1,135 @@
+"""Tests for the warm engine pool (repro.serve.pool).
+
+Entries must build lazily, evict LRU under capacity pressure, and keep
+the per-entry resolution machinery (fault index, netlist digest) exact —
+the digest feeds every verdict-cache key for that entry.
+"""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.hashing import netlist_digest
+from repro.serve.pool import EnginePool
+from repro.testgen.execution import TestExecutor
+
+
+@pytest.fixture()
+def pool():
+    return EnginePool(capacity=2)
+
+
+class TestLaziness:
+    def test_empty_until_touched(self, pool):
+        assert len(pool) == 0
+        assert pool.stats.constructions == 0
+
+    def test_first_touch_builds(self, pool):
+        entry = pool.entry("rc-ladder", "dc-out")
+        assert len(pool) == 1
+        assert pool.stats.constructions == 1
+        assert pool.stats.hits == 0
+        assert isinstance(entry.executor, TestExecutor)
+
+    def test_second_touch_is_warm(self, pool):
+        first = pool.entry("rc-ladder", "dc-out")
+        second = pool.entry("rc-ladder", "dc-out")
+        assert second is first
+        assert pool.stats.constructions == 1
+        assert pool.stats.hits == 1
+
+
+class TestEviction:
+    def test_lru_eviction_under_capacity_pressure(self):
+        pool = EnginePool(capacity=1)
+        pool.entry("rc-ladder", "dc-out")
+        pool.entry("rc-ladder", "step-mean")
+        assert len(pool) == 1
+        assert pool.stats.evictions == 1
+        assert pool.keys == (("rc-ladder", "step-mean"),)
+
+    def test_touch_refreshes_recency(self, pool):
+        pool.entry("rc-ladder", "dc-out")
+        pool.entry("rc-ladder", "step-mean")
+        pool.entry("rc-ladder", "dc-out")  # refresh: step-mean is LRU
+        pool.entry("iv-converter", "dc-output")
+        assert ("rc-ladder", "dc-out") in pool.keys
+        assert ("rc-ladder", "step-mean") not in pool.keys
+
+    def test_rebuild_after_eviction(self):
+        pool = EnginePool(capacity=1)
+        first = pool.entry("rc-ladder", "dc-out")
+        pool.entry("rc-ladder", "step-mean")
+        again = pool.entry("rc-ladder", "dc-out")
+        assert again is not first
+        # Same identity content though: digest and dictionary agree.
+        assert again.netlist == first.netlist
+        assert [f.fault_id for f in again.faults] == \
+            [f.fault_id for f in first.faults]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ServeError, match="capacity"):
+            EnginePool(capacity=0)
+
+
+class TestResolution:
+    def test_unknown_macro(self, pool):
+        with pytest.raises(ServeError, match="unknown macro"):
+            pool.entry("no-such-macro", "dc-out")
+        with pytest.raises(ServeError, match="available"):
+            pool.entry("no-such-macro", "dc-out")
+
+    def test_unknown_configuration(self, pool):
+        with pytest.raises(ServeError, match="no configuration"):
+            pool.entry("rc-ladder", "no-such-config")
+
+    def test_failed_build_not_pooled(self, pool):
+        with pytest.raises(ServeError):
+            pool.entry("rc-ladder", "no-such-config")
+        assert len(pool) == 0
+
+    def test_netlist_digest_matches_circuit(self, pool, rc_macro):
+        entry = pool.entry("rc-ladder", "dc-out")
+        assert entry.netlist == \
+            netlist_digest(rc_macro.circuit.to_netlist())
+
+    def test_fault_dictionary_order(self, pool, rc_macro):
+        entry = pool.entry("rc-ladder", "dc-out")
+        expected = [f.fault_id for f in rc_macro.fault_dictionary()]
+        assert [f.fault_id for f in entry.faults] == expected
+
+    def test_resolve_none_is_whole_dictionary(self, pool):
+        entry = pool.entry("rc-ladder", "dc-out")
+        assert entry.resolve_faults(None) == entry.faults
+
+    def test_resolve_subset_preserves_request_order(self, pool):
+        entry = pool.entry("rc-ladder", "dc-out")
+        ids = [f.fault_id for f in entry.faults]
+        picked = (ids[3], ids[0], ids[5])
+        resolved = entry.resolve_faults(picked)
+        assert tuple(f.fault_id for f in resolved) == picked
+
+    def test_resolve_unknown_id(self, pool):
+        entry = pool.entry("rc-ladder", "dc-out")
+        with pytest.raises(ServeError, match="unknown fault id"):
+            entry.resolve_faults(("nope",))
+
+
+class TestSummary:
+    def test_engine_summary_shape(self, pool):
+        pool.entry("rc-ladder", "dc-out")
+        summary = pool.engine_summary()
+        assert set(summary) == {"rc-ladder/dc-out"}
+        row = summary["rc-ladder/dc-out"]
+        assert set(row) == {"requests_served", "verdicts_served",
+                            "compilations", "factorizations",
+                            "factorization_reuses",
+                            "screened_simulations"}
+        assert row["requests_served"] == 0
+
+    def test_summary_tracks_traffic(self, pool):
+        entry = pool.entry("rc-ladder", "dc-out")
+        entry.requests_served += 3
+        entry.verdicts_served += 18
+        row = pool.engine_summary()["rc-ladder/dc-out"]
+        assert row["requests_served"] == 3
+        assert row["verdicts_served"] == 18

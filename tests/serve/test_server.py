@@ -1,0 +1,232 @@
+"""Tests for the stdlib HTTP endpoint (repro.serve.server).
+
+Exercises the wire protocol end to end over a real loopback socket:
+``POST /screen`` served verdicts, ``GET /stats`` counters, ``/healthz``
+liveness, and every HTTP-level rejection (bad method, path, body).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.cache import VerdictCache
+from repro.serve.frontdoor import BatchingFrontDoor
+from repro.serve.pool import EnginePool
+from repro.serve.server import ATPGServer
+
+MACRO = "rc-ladder"
+CONFIG = "dc-out"
+
+
+async def http(port, method, path, body=None, raw=None):
+    """One HTTP/1.1 exchange against the loopback server."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    if raw is not None:
+        request = raw
+    else:
+        payload = b""
+        head = f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            head += (f"Content-Type: application/json\r\n"
+                     f"Content-Length: {len(payload)}\r\n")
+        request = head.encode("ascii") + b"\r\n" + payload
+    writer.write(request)
+    await writer.drain()
+    writer.write_eof()  # half-close: lets the server see truncated bodies
+    response = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, json.loads(body)
+
+
+def run_scenario(scenario):
+    """Start a server on a free port, run *scenario*, tear down."""
+    async def main():
+        door = BatchingFrontDoor(EnginePool(capacity=2),
+                                 VerdictCache(capacity=256), window=0.01)
+        server = ATPGServer(door, port=0)
+        await server.start()
+        try:
+            return await asyncio.wait_for(scenario(server), timeout=60.0)
+        finally:
+            await server.stop()
+    return asyncio.run(main())
+
+
+class TestLifecycle:
+    def test_port_zero_binds_free_port(self):
+        async def scenario(server):
+            return server.port
+        port = run_scenario(scenario)
+        assert port > 0
+
+    def test_healthz(self):
+        async def scenario(server):
+            return await http(server.port, "GET", "/healthz")
+        status, payload = run_scenario(scenario)
+        assert status == 200
+        assert payload == {"ok": True}
+
+
+class TestScreenEndpoint:
+    def test_full_dictionary(self, rc_macro):
+        async def scenario(server):
+            return await http(server.port, "POST", "/screen",
+                              body={"macro": MACRO,
+                                    "configuration": CONFIG})
+        status, payload = run_scenario(scenario)
+        assert status == 200
+        assert payload["macro"] == MACRO
+        assert payload["configuration"] == CONFIG
+        faults = list(rc_macro.fault_dictionary())
+        assert len(payload["verdicts"]) == len(faults)
+        assert [v["fault_id"] for v in payload["verdicts"]] == \
+            [f.fault_id for f in faults]
+        for verdict in payload["verdicts"]:
+            assert set(verdict) >= {"fault_id", "value", "components",
+                                    "deviations", "boxes", "params",
+                                    "detected", "cached", "key"}
+            assert verdict["detected"] == (verdict["value"] < 0.0)
+        assert payload["n_detected"] == \
+            sum(v["detected"] for v in payload["verdicts"])
+
+    def test_fault_subset_and_cached_flag(self, rc_macro):
+        fid = next(iter(rc_macro.fault_dictionary())).fault_id
+
+        async def scenario(server):
+            first = await http(server.port, "POST", "/screen",
+                               body={"macro": MACRO,
+                                     "configuration": CONFIG,
+                                     "fault_ids": [fid]})
+            second = await http(server.port, "POST", "/screen",
+                                body={"macro": MACRO,
+                                      "configuration": CONFIG,
+                                      "fault_ids": [fid]})
+            return first, second
+
+        (s1, p1), (s2, p2) = run_scenario(scenario)
+        assert s1 == s2 == 200
+        v1, v2 = p1["verdicts"][0], p2["verdicts"][0]
+        assert not v1["cached"]
+        assert v2["cached"]
+        # Bitwise across the wire: JSON floats round-trip exactly.
+        assert v1["value"] == v2["value"]
+        assert v1["components"] == v2["components"]
+        assert v1["key"] == v2["key"]
+
+    def test_unknown_macro_is_400(self):
+        async def scenario(server):
+            return await http(server.port, "POST", "/screen",
+                              body={"macro": "no-such",
+                                    "configuration": CONFIG})
+        status, payload = run_scenario(scenario)
+        assert status == 400
+        assert "unknown macro" in payload["error"]
+
+    def test_unknown_request_field_is_400(self):
+        async def scenario(server):
+            return await http(server.port, "POST", "/screen",
+                              body={"macro": MACRO,
+                                    "configuration": CONFIG,
+                                    "bogus": 1})
+        status, payload = run_scenario(scenario)
+        assert status == 400
+        assert "unknown request field" in payload["error"]
+
+    def test_bad_json_is_400(self):
+        async def scenario(server):
+            raw = (b"POST /screen HTTP/1.1\r\nHost: t\r\n"
+                   b"Content-Length: 9\r\n\r\nnot json!")
+            return await http(server.port, None, None, raw=raw)
+        status, payload = run_scenario(scenario)
+        assert status == 400
+        assert "bad JSON body" in payload["error"]
+
+    def test_missing_body_is_400(self):
+        async def scenario(server):
+            raw = b"POST /screen HTTP/1.1\r\nHost: t\r\n\r\n"
+            return await http(server.port, None, None, raw=raw)
+        status, payload = run_scenario(scenario)
+        assert status == 400
+        assert "JSON body" in payload["error"]
+
+    def test_truncated_body_is_400(self):
+        async def scenario(server):
+            raw = (b"POST /screen HTTP/1.1\r\nHost: t\r\n"
+                   b"Content-Length: 100\r\n\r\n{\"short\"")
+            return await http(server.port, None, None, raw=raw)
+        status, payload = run_scenario(scenario)
+        assert status == 400
+        assert "truncated" in payload["error"]
+
+
+class TestStatsEndpoint:
+    def test_sections_and_counters(self):
+        async def scenario(server):
+            await http(server.port, "POST", "/screen",
+                       body={"macro": MACRO, "configuration": CONFIG})
+            return await http(server.port, "GET", "/stats")
+
+        status, payload = run_scenario(scenario)
+        assert status == 200
+        assert set(payload) == {"serve", "cache", "pool"}
+        assert payload["serve"]["requests"] == 1
+        assert payload["serve"]["verdicts_served"] > 0
+        assert payload["cache"]["stores"] == \
+            payload["serve"]["cache_misses"]
+        assert payload["pool"]["entries"] == 1
+        assert payload["pool"]["constructions"] == 1
+        engines = payload["pool"]["engines"]
+        assert f"{MACRO}/{CONFIG}" in engines
+        assert engines[f"{MACRO}/{CONFIG}"]["requests_served"] == 1
+
+
+class TestHTTPErrors:
+    def test_unknown_path_is_404(self):
+        async def scenario(server):
+            return await http(server.port, "GET", "/nope")
+        status, payload = run_scenario(scenario)
+        assert status == 404
+        assert "no such endpoint" in payload["error"]
+
+    @pytest.mark.parametrize("method,path", [
+        ("POST", "/healthz"),
+        ("POST", "/stats"),
+        ("GET", "/screen"),
+    ])
+    def test_wrong_method_is_405(self, method, path):
+        async def scenario(server):
+            return await http(server.port, method, path,
+                              body={} if method == "POST" else None)
+        status, _ = run_scenario(scenario)
+        assert status == 405
+
+    def test_malformed_request_line_is_400(self):
+        async def scenario(server):
+            return await http(server.port, None, None,
+                              raw=b"GARBAGE\r\n\r\n")
+        status, payload = run_scenario(scenario)
+        assert status == 400
+        assert "malformed request line" in payload["error"]
+
+    def test_bad_content_length_is_400(self):
+        async def scenario(server):
+            raw = (b"POST /screen HTTP/1.1\r\nHost: t\r\n"
+                   b"Content-Length: banana\r\n\r\n")
+            return await http(server.port, None, None, raw=raw)
+        status, payload = run_scenario(scenario)
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+
+    def test_oversized_body_is_413(self):
+        async def scenario(server):
+            raw = (b"POST /screen HTTP/1.1\r\nHost: t\r\n"
+                   b"Content-Length: 99999999\r\n\r\n")
+            return await http(server.port, None, None, raw=raw)
+        status, payload = run_scenario(scenario)
+        assert status == 413
+        assert "too large" in payload["error"]

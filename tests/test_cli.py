@@ -91,3 +91,73 @@ class TestGenerateCompact:
         out = capsys.readouterr().out
         assert "compacted" in out
         assert "coverage at dictionary impact" in out
+
+
+class TestDescribeJson:
+    def test_machine_readable(self, capsys):
+        assert main(["describe", "--macro", "rc-ladder", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["macro"] == "rc-ladder"
+        assert payload["circuit"]["n_elements"] == 6
+        assert payload["standard_nodes"] == ["vin", "n1", "vout", "0"]
+        names = [c["name"] for c in payload["configurations"]]
+        assert names == ["dc-out", "step-mean"]
+        dc_out = payload["configurations"][0]
+        assert dc_out["supports_screening"] is True
+        assert dc_out["seed_vector"] == [2.0]
+        level = dc_out["parameters"][0]
+        assert level["name"] == "level"
+        assert level["lower"] == 0.0 and level["upper"] == 5.0
+
+    def test_netlist_digest_matches_hashing(self, capsys, rc_macro):
+        from repro.hashing import netlist_digest
+        assert main(["describe", "--macro", "rc-ladder", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["circuit"]["netlist_digest"] == \
+            netlist_digest(rc_macro.circuit.to_netlist())
+
+
+class TestFaultsJson:
+    def test_exhaustive_list(self, capsys):
+        assert main(["faults", "--macro", "rc-ladder", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["macro"] == "rc-ladder"
+        assert payload["ifa"] is False
+        assert payload["n_faults"] == 6
+        assert len(payload["faults"]) == 6
+        first = payload["faults"][0]
+        assert set(first) == {"fault_id", "fault_type", "impact",
+                              "likelihood"}
+        assert first["fault_id"] == "bridge:n1:vin"
+
+    def test_ifa_top(self, capsys):
+        assert main(["faults", "--macro", "iv-converter", "--ifa",
+                     "--top", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ifa"] is True
+        assert payload["n_faults"] == 5
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.engines == 8
+        assert args.cache_size == 4096
+        assert args.spill is None
+        assert args.window_ms == 10.0
+        assert args.max_batch == 256
+
+    def test_overrides(self, tmp_path):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--engines", "2",
+             "--cache-size", "64", "--spill",
+             str(tmp_path / "spill.jsonl"), "--window-ms", "2.5",
+             "--max-batch", "8"])
+        assert args.port == 0
+        assert args.engines == 2
+        assert args.cache_size == 64
+        assert args.window_ms == 2.5
+        assert args.max_batch == 8

@@ -17,12 +17,22 @@ execution):
 ``REPRO-NONDET``
     Modules reachable from the sharded execution paths
     (``repro.testgen.sharding``, ``repro.testgen.generator``,
-    ``repro.tolerance.montecarlo``) must be bitwise deterministic: no
-    wall-clock reads that leak into results (``time.time`` /
-    ``time.time_ns``; monotonic timers for *budgets* are fine), no
-    unseeded ``numpy.random.default_rng()``, no global
-    ``numpy.random.*`` mutators or samplers, and no stdlib ``random``
-    calls.  Shard-merge invariance (PR 5/6) depends on this.
+    ``repro.tolerance.montecarlo``) and from the serving layer
+    (``repro.serve``) must be bitwise deterministic: no wall-clock
+    reads that leak into results (``time.time`` / ``time.time_ns``;
+    monotonic timers for *budgets* are fine), no unseeded
+    ``numpy.random.default_rng()``, no global ``numpy.random.*``
+    mutators or samplers, and no stdlib ``random`` calls.  Shard-merge
+    invariance (PR 5/6) and served-verdict bitwise identity (PR 9)
+    depend on this.
+
+    Within ``repro.serve`` the discipline is stricter: **only**
+    ``repro.serve.metrics`` may read the monotonic clock
+    (``time.monotonic`` / ``time.perf_counter`` and their ``_ns``
+    forms).  Metrics is the serving layer's single clock boundary —
+    latency numbers are observability output and must never flow into
+    a verdict, which is easiest to audit when every clock read lives
+    in one module.
 
 Usage::
 
@@ -30,6 +40,10 @@ Usage::
                                             # reachability-scoped rules
     python tools/lint_repro.py FILE [...]   # lint explicit files with
                                             # ALL rules active
+    python tools/lint_repro.py --as-module repro.serve.frontdoor FILE
+                                            # lint a fixture file with
+                                            # the rule scoping of the
+                                            # named module
 
 Violations print as ``path:line:col: RULE message`` and the exit status
 is 1.  Import aliases are resolved (``import numpy as np``,
@@ -70,17 +84,36 @@ BANNED_LINALG = {
 #: produced numbers never depend on them.
 BANNED_CLOCK = {"time.time", "time.time_ns"}
 
+#: Monotonic clock reads — allowed in general, but inside the serving
+#: package they are confined to :data:`SERVE_CLOCK_MODULE`.
+MONOTONIC_CLOCK = {"time.monotonic", "time.monotonic_ns",
+                   "time.perf_counter", "time.perf_counter_ns"}
+
+#: The serving package prefix the clock confinement applies to.
+SERVE_PACKAGE = "repro.serve"
+
+#: The single serving module allowed to read the monotonic clock.
+SERVE_CLOCK_MODULE = "repro.serve.metrics"
+
 #: ``numpy.random`` attributes that are fine to call: everything else on
 #: the module is either the legacy global state or a global sampler.
 ALLOWED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "PCG64"}
 
-#: Entry points of the sharded execution paths; every module reachable
-#: from these (over ``repro.*`` imports) must be deterministic.
+#: Entry points of the sharded execution and serving paths; every
+#: module reachable from these (over ``repro.*`` imports) must be
+#: deterministic.
 DETERMINISM_SEEDS = (
     "repro.testgen.sharding",
     "repro.testgen.generator",
     "repro.tolerance.montecarlo",
+    "repro.serve",
 )
+
+
+def in_serve_package(name: str | None) -> bool:
+    """True when *name* is the serving package or a module inside it."""
+    return name is not None and (
+        name == SERVE_PACKAGE or name.startswith(SERVE_PACKAGE + "."))
 
 
 def module_name(path: Path) -> str | None:
@@ -158,7 +191,8 @@ def dotted_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
 
 
 def lint_file(path: Path, *, check_linalg: bool,
-              check_determinism: bool) -> list[str]:
+              check_determinism: bool,
+              check_serve_clock: bool = False) -> list[str]:
     """All rule violations in one file, formatted for printing."""
     tree = parse(path)
     if tree is None:
@@ -184,6 +218,12 @@ def lint_file(path: Path, *, check_linalg: bool,
                    f"src/repro/analysis/backend.py (solve_dense / "
                    f"static_operator) so dispatch and singular-matrix "
                    f"handling stay centralized")
+        if check_serve_clock and name in MONOTONIC_CLOCK:
+            report(node, "REPRO-NONDET",
+                   f"{name} in serving code outside "
+                   f"{SERVE_CLOCK_MODULE}; the serving layer's only "
+                   f"clock boundary is the metrics module (pass timer "
+                   f"tokens around instead)")
         if not check_determinism:
             continue
         if name in BANNED_CLOCK:
@@ -246,20 +286,40 @@ def reachable_modules(modules: dict[str, Path]) -> set[str]:
 
 
 def main(argv: list[str]) -> int:
-    explicit = [Path(arg) for arg in argv]
+    as_module: str | None = None
+    explicit: list[Path] = []
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--as-module":
+            if not args:
+                print("--as-module needs a module name", file=sys.stderr)
+                return 2
+            as_module = args.pop(0)
+        else:
+            explicit.append(Path(arg))
+    if as_module is not None and not explicit:
+        print("--as-module needs explicit files to lint", file=sys.stderr)
+        return 2
     problems: list[str] = []
     if explicit:
         # Explicit files: every rule active, no reachability scoping —
         # this is the mode tests use to lint fixture snippets.
+        # ``--as-module`` overrides the path-derived module name, so a
+        # fixture can be linted with the scoping of any repro module
+        # (serve clock confinement, backend exemption).
         for path in explicit:
             if not path.exists():
                 print(f"{path}: no such file", file=sys.stderr)
                 return 2
-            name = module_name(path)
+            name = as_module if as_module is not None \
+                else module_name(path)
             problems.extend(lint_file(
                 path,
                 check_linalg=(name != BACKEND_MODULE),
-                check_determinism=True))
+                check_determinism=True,
+                check_serve_clock=(in_serve_package(name)
+                                   and name != SERVE_CLOCK_MODULE)))
     else:
         modules = package_files()
         if not modules:
@@ -271,7 +331,9 @@ def main(argv: list[str]) -> int:
             problems.extend(lint_file(
                 modules[name],
                 check_linalg=(name != BACKEND_MODULE),
-                check_determinism=(name in deterministic)))
+                check_determinism=(name in deterministic),
+                check_serve_clock=(in_serve_package(name)
+                                   and name != SERVE_CLOCK_MODULE)))
         print(f"checked {len(modules)} modules "
               f"({len(deterministic)} sharding-reachable)")
     for problem in sorted(problems):

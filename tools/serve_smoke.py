@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Headless serving smoke check for CI.
+
+Boots the ATPG server on a free loopback port, fires a burst of
+concurrent mixed requests at it over real HTTP (full-dictionary screens,
+shuffled subsets, and two different configurations), and checks:
+
+* every served verdict is **bitwise identical** to a direct cold
+  :class:`~repro.testgen.execution.TestExecutor` run;
+* concurrent same-configuration clients coalesced into fewer family
+  solves (nonzero coalesce ratio on ``/stats``);
+* a repeat burst is served entirely from the verdict cache;
+* ``/healthz`` answers.
+
+Runs on the RC ladder so the whole check stays in CI-smoke territory.
+Exit code 0 = all green, 1 = any violation.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import DEFAULT_OPTIONS  # noqa: E402
+from repro.macros import RCLadderMacro  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ATPGServer,
+    BatchingFrontDoor,
+    EnginePool,
+    VerdictCache,
+)
+from repro.testgen.execution import TestExecutor  # noqa: E402
+
+MACRO = "rc-ladder"
+CONFIGS = ("dc-out", "step-mean")
+CLIENTS_PER_CONFIG = 4
+
+
+async def http(port: int, method: str, path: str, body=None):
+    """One HTTP/1.1 exchange against the loopback server."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = f"{method} {path} HTTP/1.1\r\nHost: smoke\r\n"
+    if body is not None:
+        head += (f"Content-Type: application/json\r\n"
+                 f"Content-Length: {len(payload)}\r\n")
+    writer.write(head.encode("ascii") + b"\r\n" + payload)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head_bytes, _, body_bytes = response.partition(b"\r\n\r\n")
+    return int(head_bytes.split()[1]), json.loads(body_bytes)
+
+
+def reference_verdicts(macro):
+    """Direct cold-executor verdicts, the parity baseline."""
+    configs = {c.name: c for c in macro.test_configurations()}
+    faults = list(macro.fault_dictionary())
+    reference = {}
+    for name in CONFIGS:
+        config = configs[name]
+        vector = config.parameters.clip(list(config.seed_test().values))
+        executor = TestExecutor(macro.circuit, config, DEFAULT_OPTIONS)
+        reports = executor.screen_faults(faults, list(vector))
+        reference[name] = {
+            f.fault_id: (float(r.value),
+                         [float(c) for c in r.components],
+                         [float(d) for d in r.deviations],
+                         [float(b) for b in r.boxes])
+            for f, r in zip(faults, reports)}
+    return reference
+
+
+def check_parity(payload, reference, failures):
+    for verdict in payload["verdicts"]:
+        expected = reference[verdict["fault_id"]]
+        got = (verdict["value"], verdict["components"],
+               verdict["deviations"], verdict["boxes"])
+        if got != expected:
+            failures.append(
+                f"verdict mismatch for {verdict['fault_id']}: "
+                f"served {got[0]!r}, direct {expected[0]!r}")
+
+
+async def run_smoke() -> int:
+    macro = RCLadderMacro()
+    fault_ids = [f.fault_id for f in macro.fault_dictionary()]
+    reference = reference_verdicts(macro)
+
+    door = BatchingFrontDoor(EnginePool(capacity=4),
+                             VerdictCache(capacity=1024), window=0.05)
+    server = ATPGServer(door, port=0)
+    await server.start()
+    failures: list[str] = []
+    try:
+        status, payload = await http(server.port, "GET", "/healthz")
+        if (status, payload) != (200, {"ok": True}):
+            failures.append(f"healthz: {status} {payload}")
+
+        # Mixed concurrent burst: full screens and shuffled subsets on
+        # both configurations, all in flight at once.
+        def burst():
+            requests = []
+            for config in CONFIGS:
+                requests.append({"macro": MACRO, "configuration": config})
+                for k in range(CLIENTS_PER_CONFIG - 1):
+                    subset = fault_ids[k::2] if k % 2 else fault_ids[::-1]
+                    requests.append({"macro": MACRO,
+                                     "configuration": config,
+                                     "fault_ids": subset})
+            return requests
+
+        responses = await asyncio.gather(*[
+            http(server.port, "POST", "/screen", body=request)
+            for request in burst()])
+        for request, (status, payload) in zip(burst(), responses):
+            if status != 200:
+                failures.append(f"screen {request}: HTTP {status} "
+                                f"{payload}")
+                continue
+            check_parity(payload, reference[request["configuration"]],
+                         failures)
+
+        status, stats = await http(server.port, "GET", "/stats")
+        if status != 200:
+            failures.append(f"stats: HTTP {status}")
+        serve_stats = stats.get("serve", {})
+        if not serve_stats.get("coalesce_ratio", 0.0) > 0.0:
+            failures.append(
+                f"concurrent clients never coalesced: {serve_stats}")
+        if serve_stats.get("errors", 1) != 0:
+            failures.append(f"serving errors: {serve_stats}")
+
+        # A repeat burst must be pure cache traffic.
+        repeats = await asyncio.gather(*[
+            http(server.port, "POST", "/screen", body=request)
+            for request in burst()])
+        for status, payload in repeats:
+            if status != 200:
+                failures.append(f"repeat burst: HTTP {status}")
+            elif not all(v["cached"] for v in payload["verdicts"]):
+                failures.append("repeat burst was not fully cached")
+
+        total = len(responses) + len(repeats)
+        print(f"serve smoke: {total} request(s) over "
+              f"{len(CONFIGS)} configuration(s), coalesce ratio "
+              f"{serve_stats.get('coalesce_ratio', 0.0):.2f}, "
+              f"{len(failures)} failure(s)")
+    finally:
+        await server.stop()
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main() -> int:
+    return asyncio.run(run_smoke())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
