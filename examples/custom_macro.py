@@ -16,7 +16,7 @@ Run:  python examples/custom_macro.py
 from repro.circuit import CircuitBuilder, NMOS_DEFAULT
 from repro.compaction import CompactionSettings, collapse_test_set
 from repro.faults import exhaustive_fault_dictionary
-from repro.macros import Macro
+from repro.macros import Macro, get_macro, register_macro
 from repro.reporting import render_table
 from repro.testgen import (
     BoundParameter,
@@ -77,7 +77,11 @@ class CommonSourceMacro(Macro):
 
 
 def main() -> None:
-    macro = CommonSourceMacro()
+    # Registering the macro makes it addressable by type name —
+    # from the CLI, the campaign engine, and here.
+    register_macro("cs-amplifier", CommonSourceMacro,
+                   overwrite=True)
+    macro = get_macro("cs-amplifier")
     print(macro.circuit.summary())
     print(macro.test_configurations()[0].description.describe(), "\n")
 

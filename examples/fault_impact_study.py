@@ -16,7 +16,7 @@ Run:  python examples/fault_impact_study.py
 """
 
 from repro.faults import BridgingFault, PinholeFault
-from repro.macros import IVConverterMacro
+from repro.macros import get_macro
 from repro.reporting import render_table
 from repro.testgen import (
     GenerationSettings,
@@ -26,7 +26,7 @@ from repro.testgen import (
 
 
 def main() -> None:
-    macro = IVConverterMacro()
+    macro = get_macro("iv-converter")
     dc_configs = [c for c in macro.test_configurations()
                   if c.name.startswith("dc-")]
     bench = MacroTestbench(macro.circuit, dc_configs, macro.options)

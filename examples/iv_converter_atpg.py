@@ -14,7 +14,7 @@ Run:  python examples/iv_converter_atpg.py --faults 6 --jobs 4
 import argparse
 
 from repro.compaction import CompactionSettings, collapse_test_set
-from repro.macros import IVConverterMacro
+from repro.macros import get_macro
 from repro.reporting import render_table
 from repro.testgen import GenerationSettings, generate_tests
 
@@ -30,7 +30,7 @@ def main() -> None:
                              "(slower first run; cached under results/)")
     args = parser.parse_args()
 
-    macro = IVConverterMacro()
+    macro = get_macro("iv-converter")
     box_mode = "calibrated" if args.calibrated_boxes else "fast"
     configurations = macro.test_configurations(
         box_mode=box_mode, cache_dir="results/box_cache")

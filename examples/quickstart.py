@@ -17,7 +17,7 @@ from repro.compaction import (
     collapse_test_set,
     evaluate_coverage,
 )
-from repro.macros import RCLadderMacro
+from repro.macros import get_macro
 from repro.reporting import render_table
 from repro.testgen import GenerationSettings, generate_tests
 
@@ -25,7 +25,9 @@ from repro.testgen import GenerationSettings, generate_tests
 def main() -> None:
     # 1. The macro ships its netlist, standard nodes, test-configuration
     #    implementations and fault universe.
-    macro = RCLadderMacro()
+    # Macros resolve through the registry by type name, the same
+    # path the CLI and the campaign engine use.
+    macro = get_macro("rc-ladder")
     print(macro.circuit.summary())
     faults = macro.fault_dictionary()
     print(f"fault dictionary: {faults}\n")

@@ -20,13 +20,13 @@ from repro.compaction import (
     greedy_order,
 )
 from repro.faults import ifa_fault_dictionary
-from repro.macros import RCLadderMacro
+from repro.macros import get_macro
 from repro.reporting import render_table
 from repro.testgen import GenerationSettings, generate_tests
 
 
 def main() -> None:
-    macro = RCLadderMacro()
+    macro = get_macro("rc-ladder")
     configurations = macro.test_configurations()
 
     # IFA-weighted dictionary: likely defects matter more.

@@ -14,7 +14,7 @@ Run:  python examples/tps_graph_exploration.py [--quick]
 import argparse
 
 from repro.faults import BridgingFault
-from repro.macros import IVConverterMacro
+from repro.macros import get_macro
 from repro.reporting import render_tps_graph
 from repro.testgen import (
     MacroTestbench,
@@ -32,7 +32,7 @@ def main() -> None:
     args = parser.parse_args()
     points = 5 if args.quick else 9
 
-    macro = IVConverterMacro()
+    macro = get_macro("iv-converter")
     thd_config = [c for c in macro.test_configurations()
                   if c.name == "thd"]
     bench = MacroTestbench(macro.circuit, thd_config, macro.options)

@@ -12,7 +12,11 @@ Thin argparse wrapper over the library for interactive use:
 * ``lint``      — static pre-flight checks over a macro's circuit,
   fault dictionary and test configurations (no simulation);
 * ``serve``     — long-lived HTTP verdict server (warm engine pool,
-  request coalescing, content-addressed verdict cache).
+  request coalescing, content-addressed verdict cache);
+* ``campaign``  — config-file-driven scenario sweeps
+  (``campaign run|list|report``): expand a TOML/JSON spec into
+  (topology x corner x dictionary) cells, lint-vet each, and fan them
+  through the sharded executors into a resumable JSON-lines manifest.
 
 ``describe`` and ``faults`` take ``--json`` so serving clients and
 scripts can enumerate macros, configurations and fault ids
@@ -28,6 +32,10 @@ Examples::
         --fault bridge:n2:n3 --impact 34k --grid 7
     python -m repro compact --macro rc-ladder --delta 0.1
     python -m repro lint --all --strict
+    python -m repro campaign list benchmarks/campaigns/smoke.toml
+    python -m repro campaign run benchmarks/campaigns/smoke.toml \\
+        --manifest results/smoke.jsonl --jobs 4 --resume
+    python -m repro campaign report results/smoke.jsonl
     python -m repro lint --macro ota --format json
     python -m repro mc --macro iv-converter --config dc-output \\
         --samples 256 --jobs 4
@@ -182,6 +190,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-batch", type=int, default=256,
                          help="unique-fault bound that flushes a "
                               "batch early")
+
+    p_campaign = sub.add_parser(
+        "campaign", help="scenario sweeps from TOML/JSON specs "
+                         "(families x corners x dictionaries)")
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command",
+                                             required=True)
+
+    p_crun = campaign_sub.add_parser(
+        "run", help="execute every cell of a sweep spec")
+    p_crun.add_argument("spec", type=Path, help="sweep spec "
+                        "(.toml or .json)")
+    p_crun.add_argument("--manifest", type=Path, default=None,
+                        help="JSON-lines manifest path (default "
+                             "results/campaign_<name>.jsonl)")
+    p_crun.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results are bitwise "
+                             "independent of this)")
+    p_crun.add_argument("--resume", action="store_true",
+                        help="skip cells the manifest already records")
+
+    p_clist = campaign_sub.add_parser(
+        "list", help="expand a spec and print its cells (no "
+                     "simulation)")
+    p_clist.add_argument("spec", type=Path)
+    p_clist.add_argument("--json", action="store_true",
+                         help="machine-readable cell list")
+
+    p_creport = campaign_sub.add_parser(
+        "report", help="aggregate a campaign manifest")
+    p_creport.add_argument("manifest", type=Path)
+    p_creport.add_argument("--json", action="store_true",
+                           help="machine-readable summary")
 
     return parser
 
@@ -477,6 +517,82 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    import json as json_module
+
+    # Imported lazily: the scenario layer sits on top of the whole
+    # stack and is only needed by this command group.
+    from repro.scenarios import (
+        load_spec,
+        read_manifest,
+        run_campaign,
+        summarize_manifest,
+    )
+
+    if args.campaign_command == "list":
+        spec = load_spec(args.spec)
+        cells = spec.cells()
+        if args.json:
+            print(json_module.dumps({
+                "campaign": spec.name,
+                "mode": spec.mode,
+                "n_cells": len(cells),
+                "cells": [{
+                    "scenario_id": c.scenario_id,
+                    "family": c.family,
+                    "parameters": {k: v for k, v in
+                                   c.variant.parameters},
+                    "corner": c.corner.name,
+                    "dictionary": c.dictionary.label,
+                } for c in cells],
+            }, indent=2))
+        else:
+            print(f"campaign {spec.name!r} ({spec.mode}): "
+                  f"{len(cells)} cells")
+            for cell in cells:
+                print(f"  {cell.describe()}")
+        return 0
+
+    if args.campaign_command == "report":
+        records = read_manifest(args.manifest)
+        summary = summarize_manifest(records)
+        if args.json:
+            print(json_module.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(f"{summary['n_cells']} cells: "
+              + ", ".join(f"{n} {status}" for status, n
+                          in summary["status"].items() if n))
+        print(f"faults screened: {summary['total_faults']}, detected: "
+              f"{summary['total_detected']}, mean coverage "
+              f"{summary['mean_coverage']:.1%}")
+        rows = [[family, str(b["cells"]), str(b["ok"]),
+                 str(b["faults"]), str(b["detected"])]
+                for family, b in sorted(summary["families"].items())]
+        print(render_table(["family", "cells", "ok", "faults",
+                            "detected"], rows, title="By family"))
+        rows = [[corner, str(b["cells"]), str(b["ok"]),
+                 str(b["faults"]), str(b["detected"])]
+                for corner, b in sorted(summary["corners"].items())]
+        print(render_table(["corner", "cells", "ok", "faults",
+                            "detected"], rows, title="By corner"))
+        return 0
+
+    spec = load_spec(args.spec)
+    manifest = args.manifest
+    if manifest is None:
+        manifest = Path("results") / f"campaign_{spec.name}.jsonl"
+    result = run_campaign(spec, manifest, n_jobs=args.jobs,
+                          resume=args.resume)
+    counts = result.counts
+    print(f"campaign {spec.name!r}: ran {result.n_cells} cells "
+          f"({counts['ok']} ok, {counts['rejected']} rejected, "
+          f"{counts['failed']} failed"
+          + (f", {len(result.skipped)} already recorded"
+             if result.skipped else "") + ")")
+    print(f"manifest: {result.manifest_path}")
+    return 0 if counts["failed"] == 0 else 1
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "faults": _cmd_faults,
@@ -486,6 +602,7 @@ _COMMANDS = {
     "mc": _cmd_mc,
     "lint": _cmd_lint,
     "serve": _cmd_serve,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -19,6 +19,7 @@ from repro.macros.rcladder import RCLadderMacro
 from repro.macros.registry import (
     available_macros,
     get_macro,
+    get_macro_class,
     register_macro,
 )
 from repro.macros.twostage import TwoStageOpampMacro
@@ -35,5 +36,6 @@ __all__ = [
     "IV_PMOS",
     "register_macro",
     "get_macro",
+    "get_macro_class",
     "available_macros",
 ]

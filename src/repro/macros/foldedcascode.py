@@ -72,10 +72,14 @@ class FoldedCascodeOTAMacro(Macro):
     INPUT_SOURCE = "VINP"
 
     def __init__(self, supply: float = 5.0,
-                 fault_top_n: int | None = 28, **kwargs) -> None:
+                 fault_top_n: int | None = 28,
+                 mirror_w: float | str = "60u", **kwargs) -> None:
         super().__init__(**kwargs)
         self.supply = supply
         self.fault_top_n = fault_top_n
+        # Campaign topology axis: width of the PMOS mirror/cascode
+        # branch (sets the top current the fold must absorb).
+        self.mirror_w = mirror_w
 
     def build_circuit(self) -> Circuit:
         b = CircuitBuilder(self.name)
@@ -108,7 +112,8 @@ class FoldedCascodeOTAMacro(Macro):
         # Cascoded PMOS mirror on top; the left (diode) branch closes
         # through the cascode to the mirror node na.
         blocks.current_mirror(b, "MP", diode_node="na", out_node="na",
-                              rail="vdd", params=IV_PMOS, w="60u")
+                              rail="vdd", params=IV_PMOS,
+                              w=self.mirror_w)
         return self._finish_top(b)
 
     def _finish_top(self, b: CircuitBuilder) -> Circuit:
@@ -124,18 +129,18 @@ class FoldedCascodeOTAMacro(Macro):
         for element in circuit:
             if element.name == "MPD":
                 rebuilt.mosfet("MPD", "nta", "na", "vdd", "vdd",
-                               IV_PMOS, "60u", "2u")
+                               IV_PMOS, self.mirror_w, "2u")
             elif element.name == "MPO":
                 rebuilt.mosfet("MPO", "ntb", "na", "vdd", "vdd",
-                               IV_PMOS, "60u", "2u")
+                               IV_PMOS, self.mirror_w, "2u")
             else:
                 rebuilt.add(element)
         blocks.biased_mosfet(rebuilt, "MQA", drain="na", gate="nbcp",
                              source="nta", bulk="vdd", params=IV_PMOS,
-                             w="60u")
+                             w=self.mirror_w)
         blocks.biased_mosfet(rebuilt, "MQB", drain="vout", gate="nbcp",
                              source="ntb", bulk="vdd", params=IV_PMOS,
-                             w="60u")
+                             w=self.mirror_w)
         blocks.feedback_divider(rebuilt, "RF", vout="vout", vfb="vinn",
                                 r_top="100k", r_bot=None)
         blocks.output_load(rebuilt, "RL", "vout", r="1meg", c="10p")

@@ -1,4 +1,4 @@
-"""A two-section RC ladder macro — the fast test vehicle.
+"""An N-section RC ladder macro — the fast test vehicle.
 
 Not from the paper: this tiny linear macro exists so the test suite and
 the examples can exercise the *complete* ATPG pipeline (fault dictionary,
@@ -6,10 +6,13 @@ box functions, generation, compaction) with millisecond simulations.  It
 deliberately mirrors the IV-converter macro's shape — standard nodes, a
 DC configuration and a step configuration — at 1/100th of the cost.
 
-Topology: ``VIN -> R1 -> n1 -> R2 -> vout``, shunt capacitors at ``n1``
-and ``vout`` (one time constant ~ 1 us), and a load resistor to ground so
-every DC level is observable.  Standard nodes: ``vin, n1, vout, 0`` —
-6 bridging faults, no pinholes.
+Topology: ``VIN -> R1 -> n1 -> R2 -> ... -> vout``, one shunt capacitor
+per section tap (per-section time constant ~ 1 us), and a load resistor
+to ground so every DC level is observable.  ``n_sections`` is the
+campaign layer's topology axis; the default two sections reproduce the
+original fixed macro element for element.  Standard nodes stay
+``vin, n1, vout, 0`` at every ladder length (internal taps past ``n1``
+model unobservable routing) — 6 bridging faults, no pinholes.
 """
 
 from __future__ import annotations
@@ -48,13 +51,22 @@ class RCLadderMacro(Macro):
     STANDARD_NODES = ("vin", "n1", "vout", "0")
     INPUT_SOURCE = "VIN"
 
+    def __init__(self, n_sections: int = 2, **kwargs) -> None:
+        if n_sections < 2:
+            raise TestGenerationError(
+                f"RC ladder needs >= 2 sections, got {n_sections}")
+        self.n_sections = n_sections
+        super().__init__(**kwargs)
+
     def build_circuit(self) -> Circuit:
         b = CircuitBuilder(self.name)
         b.voltage_source(self.INPUT_SOURCE, "vin", "0", 0.0)
-        b.resistor("R1", "vin", "n1", "1k")
-        b.capacitor("C1", "n1", "0", "1n")
-        b.resistor("R2", "n1", "vout", "1k")
-        b.capacitor("C2", "vout", "0", "1n")
+        n_in = "vin"
+        for i in range(1, self.n_sections + 1):
+            n_out = "vout" if i == self.n_sections else f"n{i}"
+            b.resistor(f"R{i}", n_in, n_out, "1k")
+            b.capacitor(f"C{i}", n_out, "0", "1n")
+            n_in = n_out
         b.resistor("RL", "vout", "0", "10k")
         return b.build()
 

@@ -20,7 +20,8 @@ from repro.macros.ota import OTAMacro
 from repro.macros.rcladder import RCLadderMacro
 from repro.macros.twostage import TwoStageOpampMacro
 
-__all__ = ["register_macro", "get_macro", "available_macros"]
+__all__ = ["register_macro", "get_macro", "get_macro_class",
+           "available_macros"]
 
 _REGISTRY: dict[str, type[Macro]] = {
     IVConverterMacro.macro_type: IVConverterMacro,
@@ -42,15 +43,19 @@ def register_macro(macro_type: str, macro_class: type[Macro],
     _REGISTRY[macro_type] = macro_class
 
 
-def get_macro(macro_type: str, **kwargs) -> Macro:
-    """Instantiate the macro registered under *macro_type*."""
+def get_macro_class(macro_type: str) -> type[Macro]:
+    """The macro class registered under *macro_type* (uninstantiated)."""
     try:
-        macro_class = _REGISTRY[macro_type]
+        return _REGISTRY[macro_type]
     except KeyError:
         raise TestGenerationError(
             f"unknown macro type {macro_type!r}; "
             f"available: {sorted(_REGISTRY)}") from None
-    return macro_class(**kwargs)
+
+
+def get_macro(macro_type: str, **kwargs) -> Macro:
+    """Instantiate the macro registered under *macro_type*."""
+    return get_macro_class(macro_type)(**kwargs)
 
 
 def available_macros() -> tuple[str, ...]:

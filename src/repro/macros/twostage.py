@@ -70,17 +70,28 @@ class TwoStageOpampMacro(Macro):
     INPUT_SOURCE = "VINP"
 
     def __init__(self, supply: float = 5.0,
-                 fault_top_n: int | None = 24, **kwargs) -> None:
+                 fault_top_n: int | None = 24,
+                 bias_r: float | str = "200k",
+                 mirror_w: float | str = "40u",
+                 c_comp: float | str = "10p",
+                 r_zero: float | str = "3k", **kwargs) -> None:
         super().__init__(**kwargs)
         self.supply = supply
         self.fault_top_n = fault_top_n
+        # Campaign topology axes: bias chain, mirror sizing, Miller
+        # compensation — the knobs that move the DC operating point and
+        # the settling behaviour without changing the node universe.
+        self.bias_r = bias_r
+        self.mirror_w = mirror_w
+        self.c_comp = c_comp
+        self.r_zero = r_zero
 
     def build_circuit(self) -> Circuit:
         b = CircuitBuilder(self.name)
         b.voltage_source("VDD", "vdd", "0", self.supply)
         b.voltage_source(self.INPUT_SOURCE, "vinp", "0", 1.5)
         blocks.bias_chain(b, "MB", "nbias", params=IV_NMOS,
-                          r="200k", w="20u", l="2u")
+                          r=self.bias_r, w="20u", l="2u")
         # First stage: vinn on the diode (mirror-input) side makes it the
         # inverting input; vinp -> n2 -> PMOS second stage is the
         # non-inverting path (two net inversions).
@@ -88,14 +99,16 @@ class TwoStageOpampMacro(Macro):
                                  drain_a="n1", drain_b="n2",
                                  tail="ntail", bulk="0", params=IV_NMOS)
         blocks.current_mirror(b, "MM", diode_node="n1", out_node="n2",
-                              rail="vdd", params=IV_PMOS)
+                              rail="vdd", params=IV_PMOS,
+                              w=self.mirror_w)
         blocks.biased_mosfet(b, "MT", drain="ntail", gate="nbias",
                              source="0", params=IV_NMOS, w="20u")
         blocks.common_source_stage(b, "MS", vin="n2", vout="vout",
                                    nbias="nbias", p_params=IV_PMOS,
                                    n_params=IV_NMOS)
         blocks.miller_compensation(b, "CC", n_hi="n2", n_out="vout",
-                                   n_mid="ncomp", c="10p", rz="3k")
+                                   n_mid="ncomp", c=self.c_comp,
+                                   rz=self.r_zero)
         blocks.feedback_divider(b, "RF", vout="vout", vfb="vinn",
                                 r_top="100k", r_bot="100k")
         blocks.output_load(b, "RL", "vout", r="500k", c="10p")

@@ -1,0 +1,60 @@
+"""Scenario generation at scale: families x corners x dictionaries.
+
+Expands the hand-built macro zoo into an *enumerable scenario space*:
+parameterized topology families (:mod:`repro.scenarios.families`),
+config-file sweep specs with content-addressed scenario ids
+(:mod:`repro.scenarios.spec`) and a resumable, deterministic campaign
+runner that fans every cell through the sharded executors
+(:mod:`repro.scenarios.campaign`).  Surfaced on the command line as
+``repro campaign run|list|report``.
+"""
+
+from repro.scenarios.campaign import (
+    CampaignResult,
+    CellRecord,
+    read_manifest,
+    run_campaign,
+    run_cell,
+    summarize_manifest,
+)
+from repro.scenarios.families import (
+    AxisSpec,
+    DictionarySpec,
+    TopologyFamily,
+    TopologyVariant,
+    available_families,
+    get_family,
+    register_family,
+)
+from repro.scenarios.spec import (
+    CampaignCell,
+    CampaignSpec,
+    TopologySweep,
+    expand_cells,
+    load_spec,
+    parse_spec,
+    scenario_id,
+)
+
+__all__ = [
+    "AxisSpec",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellRecord",
+    "DictionarySpec",
+    "TopologyFamily",
+    "TopologySweep",
+    "TopologyVariant",
+    "available_families",
+    "expand_cells",
+    "get_family",
+    "load_spec",
+    "parse_spec",
+    "read_manifest",
+    "register_family",
+    "run_campaign",
+    "run_cell",
+    "scenario_id",
+    "summarize_manifest",
+]

@@ -1,0 +1,358 @@
+"""Parameterized topology families: the campaign's topology axis.
+
+A **topology family** turns one registered macro type into an enumerable
+space of circuit variants: each axis maps a spec-file value onto a macro
+constructor argument, with type and range validation *before* any
+circuit is built, so a sweep over thousands of cells fails fast on a
+typo instead of deep inside a worker.  Expanding a family at a parameter
+point yields a :class:`TopologyVariant` — a frozen (family, parameters)
+record that can
+
+* instantiate its :class:`~repro.macros.base.Macro` on demand (cheap,
+  repeatable, safe to do independently on every worker),
+* derive its fault dictionary from the chosen
+  :class:`DictionarySpec` (IFA-weighted from netlist adjacency and
+  device gate sites, or the paper's exhaustive enumeration),
+* produce a canonical parameter token stream for content addressing —
+  two variants share a scenario id *iff* they are the same family at
+  the same parameter tuple.
+
+The shipped families cover the macro zoo: the N-section RC and
+active-RC ladders sweep their section grids; the two-stage op-amp
+sweeps bias / mirror / compensation axes; the folded-cascode OTA sweeps
+supply and mirror width.  ``register_family`` is the extension hook,
+mirroring :func:`repro.macros.register_macro`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import TestGenerationError
+from repro.faults.dictionary import (
+    FaultDictionary,
+    exhaustive_fault_dictionary,
+)
+from repro.faults.ifa import ifa_fault_dictionary
+from repro.hashing import float_token
+from repro.macros.base import Macro
+from repro.macros.registry import get_macro_class
+from repro.units import parse_value
+
+__all__ = [
+    "AxisSpec",
+    "TopologyFamily",
+    "TopologyVariant",
+    "DictionarySpec",
+    "available_families",
+    "get_family",
+    "register_family",
+]
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One sweepable constructor argument of a topology family.
+
+    Attributes:
+        name: axis name as it appears in sweep specs *and* in the macro
+            constructor signature.
+        kind: ``"int"`` | ``"float"`` | ``"quantity"`` (a number or a
+            unit-suffixed string like ``"10p"``, resolved through
+            :func:`repro.units.parse_value` for validation but passed
+            to the constructor verbatim).
+        lower / upper: inclusive numeric bounds (quantities are bounded
+            on their parsed value); ``None`` leaves the side open.
+        description: one-liner for ``repro campaign list``.
+    """
+
+    name: str
+    kind: str = "float"
+    lower: float | None = None
+    upper: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "float", "quantity"):
+            raise TestGenerationError(
+                f"axis {self.name!r}: kind must be int, float or "
+                f"quantity, got {self.kind!r}")
+
+    def validate(self, value):
+        """Check one sweep value against the axis; return it coerced.
+
+        ``int`` axes coerce integral floats, ``float`` axes coerce any
+        real number, ``quantity`` axes accept numbers or unit strings.
+        Raises :class:`~repro.errors.TestGenerationError` with the axis
+        name on any mismatch — the campaign layer surfaces these as
+        per-cell diagnostics, never tracebacks.
+        """
+        if self.kind == "int":
+            if isinstance(value, bool) or not isinstance(
+                    value, (int, float)) or float(value) != int(value):
+                raise TestGenerationError(
+                    f"axis {self.name!r} expects an integer, "
+                    f"got {value!r}")
+            coerced, numeric = int(value), float(value)
+        elif self.kind == "float":
+            if isinstance(value, bool) or not isinstance(
+                    value, (int, float)):
+                raise TestGenerationError(
+                    f"axis {self.name!r} expects a number, got {value!r}")
+            coerced, numeric = float(value), float(value)
+        else:
+            if isinstance(value, str):
+                numeric = parse_value(value)
+                coerced = value
+            elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool):
+                coerced, numeric = float(value), float(value)
+            else:
+                raise TestGenerationError(
+                    f"axis {self.name!r} expects a number or a unit "
+                    f"string, got {value!r}")
+        if self.lower is not None and numeric < self.lower:
+            raise TestGenerationError(
+                f"axis {self.name!r}: {value!r} below lower bound "
+                f"{self.lower:g}")
+        if self.upper is not None and numeric > self.upper:
+            raise TestGenerationError(
+                f"axis {self.name!r}: {value!r} above upper bound "
+                f"{self.upper:g}")
+        return coerced
+
+    def token(self, value) -> str:
+        """Canonical ``name=value`` token for content addressing."""
+        if isinstance(value, str):
+            return f"{self.name}={value}"
+        if isinstance(value, int):
+            return f"{self.name}={value}"
+        return f"{self.name}={float_token(value)}"
+
+
+@dataclass(frozen=True)
+class DictionarySpec:
+    """How a variant's fault dictionary is derived from its netlist.
+
+    Attributes:
+        label: short name of this derivation (the campaign's dictionary
+            axis value; appears in scenario ids and manifests).
+        kind: ``"ifa"`` (adjacency-weighted bridges from the netlist,
+            gate-area-weighted pinholes from the device sites) or
+            ``"exhaustive"`` (the paper's all-pairs + all-devices list).
+        top_n: keep only the N most likely faults (IFA only).
+        min_likelihood: drop faults below this normalized likelihood
+            (IFA only).
+    """
+
+    label: str = "ifa"
+    kind: str = "ifa"
+    top_n: int | None = None
+    min_likelihood: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise TestGenerationError("dictionary spec needs a label")
+        if self.kind not in ("ifa", "exhaustive"):
+            raise TestGenerationError(
+                f"dictionary kind must be 'ifa' or 'exhaustive', "
+                f"got {self.kind!r}")
+        if self.kind == "exhaustive" and (self.top_n is not None
+                                          or self.min_likelihood > 0.0):
+            raise TestGenerationError(
+                "top_n/min_likelihood only apply to IFA dictionaries")
+        if self.top_n is not None and self.top_n < 1:
+            raise TestGenerationError(
+                f"dictionary top_n must be >= 1, got {self.top_n}")
+
+    def derive(self, macro: Macro) -> FaultDictionary:
+        """Build the dictionary for one macro variant."""
+        if self.kind == "exhaustive":
+            return exhaustive_fault_dictionary(
+                macro.circuit, nodes=macro.standard_nodes)
+        return ifa_fault_dictionary(
+            macro.circuit, nodes=macro.standard_nodes,
+            min_likelihood=self.min_likelihood, top_n=self.top_n)
+
+    def token(self) -> str:
+        """Canonical token for content addressing."""
+        parts = [self.label, self.kind]
+        if self.top_n is not None:
+            parts.append(f"top={self.top_n}")
+        if self.min_likelihood > 0.0:
+            parts.append(f"min={float_token(self.min_likelihood)}")
+        return ";".join(parts)
+
+
+@dataclass(frozen=True)
+class TopologyFamily:
+    """An enumerable space of variants of one registered macro type.
+
+    Attributes:
+        name: family name used in sweep specs (defaults to the macro
+            type it wraps).
+        macro_type: the :mod:`repro.macros.registry` key.
+        axes: sweepable constructor arguments.
+        description: one-liner for ``repro campaign list``.
+    """
+
+    name: str
+    macro_type: str
+    axes: tuple[AxisSpec, ...] = ()
+    description: str = ""
+
+    def axis(self, name: str) -> AxisSpec:
+        """Look up one axis by name."""
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise TestGenerationError(
+            f"family {self.name!r} has no axis {name!r}; "
+            f"axes: {[a.name for a in self.axes]}")
+
+    def variant(self, parameters: Mapping | None = None,
+                ) -> "TopologyVariant":
+        """Validate a parameter point and freeze it as a variant."""
+        parameters = dict(parameters or {})
+        validated: dict = {}
+        for name in sorted(parameters):
+            validated[name] = self.axis(name).validate(parameters[name])
+        return TopologyVariant(family=self, parameters=tuple(
+            sorted(validated.items())))
+
+    def expand(self, axis_values: Mapping[str, Iterable] | None = None,
+               ) -> tuple["TopologyVariant", ...]:
+        """Cross-product of the given per-axis value lists.
+
+        ``{"n_sections": [4, 8], "supply": [4.5, 5.0]}`` yields four
+        variants.  Axes left out keep their macro-constructor defaults;
+        an empty mapping yields the single default variant.  Expansion
+        order is deterministic: axes sorted by name, values in the
+        given order.
+        """
+        axis_values = dict(axis_values or {})
+        if not axis_values:
+            return (self.variant(),)
+        names = sorted(axis_values)
+        for name in names:
+            if not tuple(axis_values[name]):
+                raise TestGenerationError(
+                    f"family {self.name!r}: axis {name!r} swept over an "
+                    "empty value list")
+        points: list[dict] = [{}]
+        for name in names:
+            points = [dict(point, **{name: value})
+                      for point in points
+                      for value in axis_values[name]]
+        return tuple(self.variant(point) for point in points)
+
+
+@dataclass(frozen=True)
+class TopologyVariant:
+    """One frozen parameter point of a topology family."""
+
+    family: TopologyFamily
+    parameters: tuple[tuple[str, object], ...] = field(default=())
+
+    @property
+    def params(self) -> dict:
+        """The parameter point as a plain mapping."""
+        return dict(self.parameters)
+
+    def build_macro(self) -> Macro:
+        """Instantiate the variant's macro (fresh every call)."""
+        macro_class = get_macro_class(self.family.macro_type)
+        return macro_class(**self.params)
+
+    def dictionary(self, spec: DictionarySpec) -> FaultDictionary:
+        """Auto-derive the variant's fault dictionary under *spec*."""
+        return spec.derive(self.build_macro())
+
+    def token(self) -> str:
+        """Canonical family+parameters token for content addressing."""
+        parts = [self.family.name]
+        parts.extend(self.family.axis(name).token(value)
+                     for name, value in self.parameters)
+        return ";".join(parts)
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.parameters)
+        return f"TopologyVariant({self.family.name}, {params or 'default'})"
+
+
+# ----------------------------------------------------------------------
+# family registry
+# ----------------------------------------------------------------------
+_FAMILIES: dict[str, TopologyFamily] = {}
+
+
+def register_family(family: TopologyFamily,
+                    overwrite: bool = False) -> TopologyFamily:
+    """Register a topology family under its name."""
+    if family.name in _FAMILIES and not overwrite:
+        raise TestGenerationError(
+            f"topology family {family.name!r} already registered "
+            "(pass overwrite=True to replace)")
+    _FAMILIES[family.name] = family
+    return family
+
+
+def get_family(name: str) -> TopologyFamily:
+    """Look up a registered family by name."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise TestGenerationError(
+            f"unknown topology family {name!r}; "
+            f"available: {sorted(_FAMILIES)}") from None
+
+
+def available_families() -> tuple[str, ...]:
+    """Registered family names, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+# ----------------------------------------------------------------------
+# the shipped families (one per zoo macro type)
+# ----------------------------------------------------------------------
+register_family(TopologyFamily(
+    name="rc-ladder", macro_type="rc-ladder",
+    description="N-section passive RC ladder (fast linear vehicle)",
+    axes=(AxisSpec("n_sections", "int", lower=2, upper=64,
+                   description="chained RC sections"),)))
+
+register_family(TopologyFamily(
+    name="active-filter", macro_type="active-filter",
+    description="N-section active-RC ladder (sparse-backend scale)",
+    axes=(AxisSpec("n_sections", "int", lower=2, upper=2000,
+                   description="chained gm-inverter sections"),
+          AxisSpec("fault_top_n", "int", lower=1,
+                   description="IFA dictionary trim of the shipped "
+                               "macro dictionary"))))
+
+register_family(TopologyFamily(
+    name="two-stage-opamp", macro_type="two-stage-opamp",
+    description="Miller op-amp over bias/mirror/compensation axes",
+    axes=(AxisSpec("supply", "float", lower=3.0, upper=6.0,
+                   description="supply voltage [V]"),
+          AxisSpec("bias_r", "quantity", lower=50e3, upper=1e6,
+                   description="bias-chain resistor"),
+          AxisSpec("mirror_w", "quantity", lower=10e-6, upper=200e-6,
+                   description="first-stage mirror width"),
+          AxisSpec("c_comp", "quantity", lower=1e-12, upper=100e-12,
+                   description="Miller capacitor"),
+          AxisSpec("r_zero", "quantity", lower=100.0, upper=50e3,
+                   description="Miller zero-nulling resistor"))))
+
+register_family(TopologyFamily(
+    name="folded-cascode-ota", macro_type="folded-cascode-ota",
+    description="Folded-cascode OTA over supply/mirror axes",
+    axes=(AxisSpec("supply", "float", lower=4.0, upper=6.0,
+                   description="supply voltage [V]"),
+          AxisSpec("mirror_w", "quantity", lower=20e-6, upper=200e-6,
+                   description="PMOS mirror/cascode width"))))
+
+register_family(TopologyFamily(
+    name="iv-converter", macro_type="iv-converter",
+    description="the paper's IV-converter (single variant)"))

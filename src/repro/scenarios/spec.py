@@ -1,0 +1,316 @@
+"""Campaign sweep specs: config files that span the scenario space.
+
+A sweep spec is a small TOML (or JSON) document declaring the three
+campaign axes — topology families with per-axis value grids, process
+corners, and dictionary derivations — plus the execution mode.  Loading
+a spec validates everything *before* any simulation: unknown families,
+out-of-range axis values, unknown corners and malformed dictionary
+clauses all fail at parse time with the offending clause named.
+
+Example (TOML)::
+
+    [campaign]
+    name = "ladder-sweep"
+    mode = "screen"                  # "screen" (default) | "generate"
+
+    [[topologies]]
+    family = "active-filter"
+    [topologies.axes]
+    n_sections = [4, 8, 12]
+    fault_top_n = [12]
+
+    [[topologies]]
+    family = "rc-ladder"
+    [topologies.axes]
+    n_sections = [2, 3, 4]
+
+    corners = ["tt", "ss", "ff"]     # shipped library names
+
+    [[custom_corners]]               # optional inline corner points
+    name = "res-up"
+    resistor = 2.0
+
+    [[dictionaries]]
+    label = "ifa12"
+    kind = "ifa"
+    top_n = 12
+
+The cell list is the cross product *topologies x corners x
+dictionaries*, expanded in declaration order (axes sorted by name
+within a topology clause), and every cell carries a **scenario id**:
+a BLAKE2b content address of its (family+parameters, corner, dictionary)
+tokens via :mod:`repro.hashing`.  Ids are injective over distinct
+parameter tuples and independent of declaration order, worker count and
+Python hash seed — they key the campaign manifest and its resume
+semantics (see :mod:`repro.scenarios.campaign`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TestGenerationError
+from repro.hashing import content_digest
+from repro.scenarios.families import (
+    DictionarySpec,
+    TopologyVariant,
+    get_family,
+)
+from repro.tolerance.corners import ProcessCorner, get_corner
+
+__all__ = [
+    "CampaignCell",
+    "CampaignSpec",
+    "TopologySweep",
+    "expand_cells",
+    "load_spec",
+    "parse_spec",
+    "scenario_id",
+]
+
+#: Supported execution modes of a campaign cell.
+MODES = ("screen", "generate")
+
+
+def scenario_id(variant: TopologyVariant, corner: ProcessCorner,
+                dictionary: DictionarySpec) -> str:
+    """Content address of one (topology, corner, dictionary) scenario.
+
+    A pure function of the three canonical tokens — two cells collide
+    *iff* they are the same family at the same parameter tuple under
+    the same corner draws and dictionary derivation.
+    """
+    return content_digest(("scenario", variant.token(), corner.token(),
+                           dictionary.token()))
+
+
+@dataclass(frozen=True)
+class TopologySweep:
+    """One ``[[topologies]]`` clause: a family plus per-axis grids."""
+
+    family: str
+    axes: tuple[tuple[str, tuple], ...] = ()
+
+    def expand(self) -> tuple[TopologyVariant, ...]:
+        """All variants of this clause (validated)."""
+        return get_family(self.family).expand(
+            {name: values for name, values in self.axes})
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One executable (topology x corner x dictionary) scenario."""
+
+    scenario_id: str
+    variant: TopologyVariant
+    corner: ProcessCorner
+    dictionary: DictionarySpec
+
+    @property
+    def family(self) -> str:
+        return self.variant.family.name
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in
+                           self.variant.parameters) or "default"
+        return (f"{self.scenario_id[:12]}  {self.family:<18s} "
+                f"[{params}] corner={self.corner.name} "
+                f"dict={self.dictionary.label}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A parsed, validated sweep specification."""
+
+    name: str
+    mode: str = "screen"
+    topologies: tuple[TopologySweep, ...] = ()
+    corners: tuple[ProcessCorner, ...] = ()
+    dictionaries: tuple[DictionarySpec, ...] = field(
+        default_factory=lambda: (DictionarySpec(),))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TestGenerationError("campaign spec needs a name")
+        if self.mode not in MODES:
+            raise TestGenerationError(
+                f"campaign mode must be one of {MODES}, got {self.mode!r}")
+        if not self.topologies:
+            raise TestGenerationError(
+                "campaign spec needs at least one [[topologies]] clause")
+        if not self.corners:
+            raise TestGenerationError(
+                "campaign spec needs at least one corner")
+        if not self.dictionaries:
+            raise TestGenerationError(
+                "campaign spec needs at least one dictionary")
+        labels = [d.label for d in self.dictionaries]
+        if len(set(labels)) != len(labels):
+            raise TestGenerationError(
+                f"dictionary labels must be unique, got {labels}")
+        names = [c.name for c in self.corners]
+        if len(set(names)) != len(names):
+            raise TestGenerationError(
+                f"corner names must be unique, got {names}")
+
+    def cells(self) -> tuple[CampaignCell, ...]:
+        """Expand the full cross product, in declaration order."""
+        return expand_cells(self)
+
+
+def expand_cells(spec: CampaignSpec) -> tuple[CampaignCell, ...]:
+    """The spec's cell list: topologies x corners x dictionaries.
+
+    Scenario ids must be unique across the expansion (duplicate cells
+    in a spec are almost certainly an authoring mistake, and the
+    manifest keys on the id).
+    """
+    cells: list[CampaignCell] = []
+    seen: dict[str, CampaignCell] = {}
+    for sweep in spec.topologies:
+        for variant in sweep.expand():
+            for corner in spec.corners:
+                for dictionary in spec.dictionaries:
+                    sid = scenario_id(variant, corner, dictionary)
+                    if sid in seen:
+                        raise TestGenerationError(
+                            f"duplicate scenario in spec "
+                            f"{spec.name!r}: "
+                            f"{seen[sid].describe()} repeats")
+                    cell = CampaignCell(scenario_id=sid, variant=variant,
+                                        corner=corner,
+                                        dictionary=dictionary)
+                    seen[sid] = cell
+                    cells.append(cell)
+    return tuple(cells)
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def _require_table(payload, key: str, where: str) -> Mapping:
+    value = payload.get(key, {})
+    if not isinstance(value, Mapping):
+        raise TestGenerationError(
+            f"{where}: {key!r} must be a table, got {type(value).__name__}")
+    return value
+
+
+def _parse_topologies(payload) -> tuple[TopologySweep, ...]:
+    clauses = payload.get("topologies", ())
+    if isinstance(clauses, Mapping):
+        clauses = (clauses,)
+    sweeps: list[TopologySweep] = []
+    for i, clause in enumerate(clauses):
+        if not isinstance(clause, Mapping) or "family" not in clause:
+            raise TestGenerationError(
+                f"[[topologies]] clause {i}: needs a 'family' key")
+        axes_table = _require_table(clause, "axes",
+                                    f"[[topologies]] clause {i}")
+        axes = tuple(sorted(
+            (name, tuple(values if isinstance(values, Sequence)
+                         and not isinstance(values, str) else (values,)))
+            for name, values in axes_table.items()))
+        sweeps.append(TopologySweep(family=str(clause["family"]),
+                                    axes=axes))
+    return tuple(sweeps)
+
+
+def _parse_corners(payload) -> tuple[ProcessCorner, ...]:
+    corners: list[ProcessCorner] = []
+    names = payload.get("corners", None)
+    if names is not None:
+        if isinstance(names, str):
+            names = (names,)
+        corners.extend(get_corner(str(name)) for name in names)
+    for i, clause in enumerate(payload.get("custom_corners", ())):
+        if not isinstance(clause, Mapping) or "name" not in clause:
+            raise TestGenerationError(
+                f"[[custom_corners]] clause {i}: needs a 'name' key")
+        kwargs = dict(clause)
+        name = str(kwargs.pop("name"))
+        try:
+            corners.append(ProcessCorner(name=name, **{
+                key: float(value) for key, value in kwargs.items()}))
+        except TypeError as exc:
+            raise TestGenerationError(
+                f"[[custom_corners]] clause {i} ({name!r}): {exc}"
+                ) from None
+    if not corners:
+        corners.append(get_corner("tt"))
+    return tuple(corners)
+
+
+def _parse_dictionaries(payload) -> tuple[DictionarySpec, ...]:
+    clauses = payload.get("dictionaries", ())
+    specs: list[DictionarySpec] = []
+    for i, clause in enumerate(clauses):
+        if not isinstance(clause, Mapping):
+            raise TestGenerationError(
+                f"[[dictionaries]] clause {i}: must be a table")
+        kwargs = dict(clause)
+        unknown = set(kwargs) - {"label", "kind", "top_n",
+                                 "min_likelihood"}
+        if unknown:
+            raise TestGenerationError(
+                f"[[dictionaries]] clause {i}: unknown key(s) "
+                f"{sorted(unknown)}")
+        specs.append(DictionarySpec(
+            label=str(kwargs.get("label", kwargs.get("kind", "ifa"))),
+            kind=str(kwargs.get("kind", "ifa")),
+            top_n=(None if kwargs.get("top_n") is None
+                   else int(kwargs["top_n"])),
+            min_likelihood=float(kwargs.get("min_likelihood", 0.0))))
+    if not specs:
+        specs.append(DictionarySpec())
+    return tuple(specs)
+
+
+def parse_spec(payload: Mapping, *,
+               default_name: str = "campaign") -> CampaignSpec:
+    """Build a validated :class:`CampaignSpec` from a parsed document."""
+    if not isinstance(payload, Mapping):
+        raise TestGenerationError(
+            f"campaign spec must be a table/object at the top level, "
+            f"got {type(payload).__name__}")
+    header = _require_table(payload, "campaign", "spec")
+    known_top = {"campaign", "topologies", "corners", "custom_corners",
+                 "dictionaries"}
+    unknown = set(payload) - known_top
+    if unknown:
+        raise TestGenerationError(
+            f"unknown top-level spec key(s): {sorted(unknown)}")
+    return CampaignSpec(
+        name=str(header.get("name", default_name)),
+        mode=str(header.get("mode", "screen")),
+        topologies=_parse_topologies(payload),
+        corners=_parse_corners(payload),
+        dictionaries=_parse_dictionaries(payload))
+
+
+def load_spec(path: Path | str) -> CampaignSpec:
+    """Load a sweep spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise TestGenerationError(f"no such sweep spec: {path}")
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TestGenerationError(
+                f"malformed JSON sweep spec {path}: {exc}") from None
+    elif path.suffix.lower() == ".toml":
+        import tomllib
+        try:
+            payload = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise TestGenerationError(
+                f"malformed TOML sweep spec {path}: {exc}") from None
+    else:
+        raise TestGenerationError(
+            f"sweep spec must be .toml or .json, got {path.suffix!r}")
+    return parse_spec(payload, default_name=path.stem)

@@ -13,6 +13,13 @@ from repro.tolerance.box import (
     ToleranceBox,
 )
 from repro.tolerance.calibrate import calibrate_box_function, grid_points
+from repro.tolerance.corners import (
+    ProcessCorner,
+    STANDARD_CORNERS,
+    apply_corner,
+    available_corners,
+    get_corner,
+)
 from repro.tolerance.equipment import (
     AccuracySpec,
     DEFAULT_EQUIPMENT,
@@ -44,6 +51,11 @@ __all__ = [
     "AccuracySpec",
     "EquipmentSpec",
     "DEFAULT_EQUIPMENT",
+    "ProcessCorner",
+    "STANDARD_CORNERS",
+    "available_corners",
+    "get_corner",
+    "apply_corner",
     "Spread",
     "ProcessVariation",
     "ProcessSampleBatch",

@@ -1,0 +1,190 @@
+"""Deterministic process corners: named points of the spread model.
+
+Monte Carlo sampling (:mod:`repro.tolerance.process`) explores the
+process distribution *statistically*; a **corner** pins one point of it
+*deterministically*.  A corner is a set of normalized global draws — in
+units of each parameter family's sigma, exactly the quantities
+:meth:`~repro.tolerance.process.Spread.perturb` consumes — with all
+mismatch terms at zero, so applying a corner to a circuit is a pure
+function of (circuit, corner, variation): no RNG, bitwise reproducible,
+safe inside the sharded campaign paths.
+
+The shipped library follows the foundry naming convention:
+
+========  ======================================================
+``tt``    typical — every draw zero (the nominal circuit back)
+``ss``    slow/slow — |VTO| up, KP down, both polarities
+``ff``    fast/fast — |VTO| down, KP up, both polarities
+``sf``    slow NMOS / fast PMOS (skewed)
+``fs``    fast NMOS / slow PMOS (skewed)
+``rhi``   sheet resistance and capacitance high
+``rlo``   sheet resistance and capacitance low
+========  ======================================================
+
+MOS corners sit at ±2 sigma — strong enough to move operating points,
+weak enough that every zoo macro still solves — and the passive corners
+at ±2 sigma of the resistor/capacitor spreads.  Campaign sweep specs
+reference corners by these names or define custom draw sets inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.circuit.elements import Capacitor, Resistor
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.errors import ToleranceError
+from repro.tolerance.process import DEFAULT_PROCESS, ProcessVariation
+
+__all__ = [
+    "ProcessCorner",
+    "STANDARD_CORNERS",
+    "available_corners",
+    "get_corner",
+    "apply_corner",
+]
+
+#: Sigma multiplier of the shipped corner library.
+_CORNER_SIGMA = 2.0
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One named, deterministic point of the process distribution.
+
+    Attributes:
+        name: corner label (appears in scenario ids and manifests).
+        vto_nmos / vto_pmos: normalized |VTO| draws (sigma units;
+            positive widens the threshold magnitude = slower device).
+        kp_nmos / kp_pmos: normalized KP draws (positive = faster).
+        resistor / capacitor: normalized passive draws.
+    """
+
+    name: str
+    vto_nmos: float = 0.0
+    vto_pmos: float = 0.0
+    kp_nmos: float = 0.0
+    kp_pmos: float = 0.0
+    resistor: float = 0.0
+    capacitor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ToleranceError("corner needs a non-empty name")
+        for f in fields(self):
+            if f.name == "name":
+                continue
+            value = getattr(self, f.name)
+            if not np.isfinite(value):
+                raise ToleranceError(
+                    f"corner {self.name!r}: draw {f.name} must be "
+                    f"finite, got {value!r}")
+
+    @property
+    def draws(self) -> dict[str, float]:
+        """The six normalized draws as a stable-keyed mapping."""
+        return {f.name: float(getattr(self, f.name))
+                for f in fields(self) if f.name != "name"}
+
+    @property
+    def is_typical(self) -> bool:
+        """True when every draw is zero (the identity corner)."""
+        return all(v == 0.0 for v in self.draws.values())
+
+    def token(self) -> str:
+        """Canonical string for content addressing (scenario ids)."""
+        from repro.hashing import float_token
+        parts = [self.name]
+        parts.extend(f"{key}={float_token(value)}"
+                     for key, value in sorted(self.draws.items()))
+        return ";".join(parts)
+
+    def apply(self, circuit: Circuit,
+              variation: ProcessVariation = DEFAULT_PROCESS) -> Circuit:
+        """Perturb *circuit* to this corner of *variation*.
+
+        Global draws are applied through the same
+        :meth:`~repro.tolerance.process.Spread.perturb` arithmetic (and
+        the same parameter floors) as Monte Carlo sampling, with every
+        mismatch draw at zero; ``tt`` returns the input circuit
+        unchanged (same object), so the nominal cell costs nothing.
+        """
+        if self.is_typical:
+            return circuit
+        g_vto = {"nmos": self.vto_nmos, "pmos": self.vto_pmos}
+        g_kp = {"nmos": self.kp_nmos, "pmos": self.kp_pmos}
+        variant = circuit.copy(name=f"{circuit.name}~{self.name}")
+        for element in circuit:
+            if isinstance(element, Resistor):
+                new_r = variation.resistor.perturb(
+                    element.resistance, self.resistor, 0.0)
+                variant = variant.replace_element(
+                    Resistor(element.name, element.n1, element.n2,
+                             max(new_r, 1e-3)))
+            elif isinstance(element, Capacitor):
+                new_c = variation.capacitor.perturb(
+                    element.capacitance, self.capacitor, 0.0)
+                variant = variant.replace_element(
+                    Capacitor(element.name, element.n1, element.n2,
+                              max(new_c, 1e-18)))
+            elif isinstance(element, Mosfet):
+                kind = element.params.kind
+                vto_mag = abs(element.params.vto)
+                new_vto_mag = variation.mos_vto.perturb(
+                    vto_mag, g_vto[kind], 0.0)
+                new_vto = float(np.copysign(max(new_vto_mag, 1e-3),
+                                            element.params.vto))
+                new_kp = max(variation.mos_kp.perturb(
+                    element.params.kp, g_kp[kind], 0.0), 1e-9)
+                params = element.params.scaled(vto=new_vto, kp=new_kp)
+                variant = variant.replace_element(
+                    Mosfet(element.name, element.d, element.g, element.s,
+                           element.b, params, element.w, element.l,
+                           element.m))
+        return variant
+
+
+_S = _CORNER_SIGMA
+
+#: The shipped corner library (see module docstring).
+STANDARD_CORNERS: dict[str, ProcessCorner] = {
+    corner.name: corner for corner in (
+        ProcessCorner("tt"),
+        ProcessCorner("ss", vto_nmos=+_S, vto_pmos=+_S,
+                      kp_nmos=-_S, kp_pmos=-_S),
+        ProcessCorner("ff", vto_nmos=-_S, vto_pmos=-_S,
+                      kp_nmos=+_S, kp_pmos=+_S),
+        ProcessCorner("sf", vto_nmos=+_S, vto_pmos=-_S,
+                      kp_nmos=-_S, kp_pmos=+_S),
+        ProcessCorner("fs", vto_nmos=-_S, vto_pmos=+_S,
+                      kp_nmos=+_S, kp_pmos=-_S),
+        ProcessCorner("rhi", resistor=+_S, capacitor=+_S),
+        ProcessCorner("rlo", resistor=-_S, capacitor=-_S),
+    )
+}
+
+
+def available_corners() -> tuple[str, ...]:
+    """Names of the shipped corner library, sorted."""
+    return tuple(sorted(STANDARD_CORNERS))
+
+
+def get_corner(name: str) -> ProcessCorner:
+    """Look up a shipped corner by name."""
+    try:
+        return STANDARD_CORNERS[name]
+    except KeyError:
+        raise ToleranceError(
+            f"unknown process corner {name!r}; "
+            f"available: {list(available_corners())}") from None
+
+
+def apply_corner(circuit: Circuit, corner: ProcessCorner | str,
+                 variation: ProcessVariation = DEFAULT_PROCESS) -> Circuit:
+    """Apply a corner (by object or library name) to *circuit*."""
+    if isinstance(corner, str):
+        corner = get_corner(corner)
+    return corner.apply(circuit, variation)

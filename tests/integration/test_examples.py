@@ -46,6 +46,21 @@ def test_test_scheduling(capsys, monkeypatch):
     assert "cumulative weighted coverage" in out
 
 
+def test_campaign_sweep(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "campaign_sweep.py")
+    assert "15 cells" in out
+    assert "15 ok, 0 rejected, 0 failed" in out
+    assert "Campaign summary by family" in out
+
+
+def test_examples_resolve_macros_via_registry():
+    """Examples must go through the registry, not concrete classes."""
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert "IVConverterMacro(" not in text, script.name
+        assert "RCLadderMacro(" not in text, script.name
+
+
 @pytest.mark.slow
 def test_tps_graph_exploration_quick(capsys, monkeypatch):
     out = run_example(capsys, monkeypatch, "tps_graph_exploration.py",

@@ -1,0 +1,75 @@
+"""Unit tests of deterministic process-corner application."""
+
+import pytest
+
+from repro.circuit.elements import Capacitor, Resistor
+from repro.circuit.mosfet import Mosfet
+from repro.errors import ToleranceError
+from repro.macros import get_macro
+from repro.tolerance import (
+    STANDARD_CORNERS,
+    apply_corner,
+    available_corners,
+    get_corner,
+)
+from repro.tolerance.corners import ProcessCorner
+
+
+class TestCornerLibrary:
+    def test_shipped_corners(self):
+        assert set(available_corners()) == {
+            "tt", "ss", "ff", "sf", "fs", "rhi", "rlo"}
+
+    def test_unknown_corner_raises(self):
+        with pytest.raises(ToleranceError, match="unknown"):
+            get_corner("slow-slow")
+
+    def test_tokens_distinct(self):
+        tokens = {c.token() for c in STANDARD_CORNERS.values()}
+        assert len(tokens) == len(STANDARD_CORNERS)
+
+    def test_non_finite_draw_rejected(self):
+        with pytest.raises(ToleranceError, match="finite"):
+            ProcessCorner(name="bad", resistor=float("nan"))
+
+
+class TestCornerApplication:
+    def test_typical_returns_same_circuit(self):
+        circuit = get_macro("rc-ladder").circuit
+        assert get_corner("tt").apply(circuit) is circuit
+
+    def test_rhi_scales_passives_up_rlo_down(self):
+        circuit = get_macro("rc-ladder").circuit
+        hi = apply_corner(circuit, "rhi")
+        lo = apply_corner(circuit, "rlo")
+        for element in circuit:
+            if isinstance(element, Resistor):
+                assert hi.element(element.name).resistance > element.resistance
+                assert lo.element(element.name).resistance < element.resistance
+            elif isinstance(element, Capacitor):
+                assert hi.element(element.name).capacitance > element.capacitance
+                assert lo.element(element.name).capacitance < element.capacitance
+
+    def test_mos_corner_leaves_passives_untouched(self):
+        circuit = get_macro("two-stage-opamp").circuit
+        ss = apply_corner(circuit, "ss")
+        saw_mosfet = False
+        for element in circuit:
+            skewed = ss.element(element.name)
+            if isinstance(element, Resistor):
+                assert skewed.resistance == element.resistance
+            elif isinstance(element, Mosfet):
+                saw_mosfet = True
+                assert skewed.params.kp < element.params.kp
+                assert abs(skewed.params.vto) > abs(element.params.vto)
+        assert saw_mosfet
+
+    def test_apply_is_deterministic(self):
+        circuit = get_macro("two-stage-opamp").circuit
+        first = apply_corner(circuit, "sf")
+        second = apply_corner(circuit, "sf")
+        assert first.to_netlist() == second.to_netlist()
+
+    def test_corner_circuit_renamed(self):
+        circuit = get_macro("rc-ladder").circuit
+        assert apply_corner(circuit, "ff").name == f"{circuit.name}~ff"

@@ -1,0 +1,113 @@
+"""Unit tests of the topology-family layer."""
+
+import pytest
+
+from repro.errors import TestGenerationError as GenError
+from repro.scenarios import (
+    AxisSpec,
+    DictionarySpec,
+    TopologyFamily,
+    available_families,
+    get_family,
+    register_family,
+)
+
+
+class TestAxisSpec:
+    def test_int_axis_accepts_integral(self):
+        axis = AxisSpec("n", "int", lower=2, upper=8)
+        assert axis.validate(4) == 4
+        assert axis.validate(4.0) == 4
+
+    def test_int_axis_rejects_bool_fraction_and_string(self):
+        axis = AxisSpec("n", "int")
+        for bad in (True, 2.5, "4"):
+            with pytest.raises(GenError, match="'n'"):
+                axis.validate(bad)
+
+    def test_bounds_are_inclusive(self):
+        axis = AxisSpec("x", "float", lower=1.0, upper=2.0)
+        assert axis.validate(1.0) == 1.0
+        assert axis.validate(2.0) == 2.0
+        with pytest.raises(GenError, match="below lower"):
+            axis.validate(0.5)
+        with pytest.raises(GenError, match="above upper"):
+            axis.validate(2.5)
+
+    def test_quantity_axis_parses_unit_strings(self):
+        axis = AxisSpec("c", "quantity", lower=1e-12, upper=100e-12)
+        assert axis.validate("10p") == "10p"
+        assert axis.validate(1e-11) == 1e-11
+        with pytest.raises(GenError, match="above upper"):
+            axis.validate("1u")
+        with pytest.raises(GenError, match="unit string"):
+            axis.validate(None)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GenError, match="kind"):
+            AxisSpec("x", "complex")
+
+
+class TestDictionarySpec:
+    def test_exhaustive_forbids_ifa_knobs(self):
+        with pytest.raises(GenError, match="IFA"):
+            DictionarySpec(label="x", kind="exhaustive", top_n=5)
+
+    def test_derive_ifa_trims(self):
+        family = get_family("rc-ladder")
+        macro = family.variant({"n_sections": 3}).build_macro()
+        full = DictionarySpec(label="full", kind="ifa").derive(macro)
+        lean = DictionarySpec(label="lean", kind="ifa",
+                              top_n=3).derive(macro)
+        assert len(tuple(lean)) == 3 < len(tuple(full))
+
+    def test_token_encodes_all_knobs(self):
+        spec = DictionarySpec(label="l", kind="ifa", top_n=5,
+                              min_likelihood=0.25)
+        assert spec.token() == "l;ifa;top=5;min=0.25"
+
+
+class TestFamilyExpansion:
+    def test_shipped_families_registered(self):
+        assert set(available_families()) >= {
+            "rc-ladder", "active-filter", "two-stage-opamp",
+            "folded-cascode-ota", "iv-converter"}
+
+    def test_expand_cross_product_order(self):
+        family = get_family("two-stage-opamp")
+        variants = family.expand({"supply": [4.5, 5.0],
+                                  "c_comp": ["5p", "10p"]})
+        points = [v.params for v in variants]
+        # axes sorted by name (c_comp before supply), values in order
+        assert points == [
+            {"c_comp": "5p", "supply": 4.5},
+            {"c_comp": "5p", "supply": 5.0},
+            {"c_comp": "10p", "supply": 4.5},
+            {"c_comp": "10p", "supply": 5.0},
+        ]
+
+    def test_expand_empty_mapping_yields_default_variant(self):
+        (variant,) = get_family("iv-converter").expand({})
+        assert variant.parameters == ()
+        assert variant.build_macro().macro_type == "iv-converter"
+
+    def test_expand_rejects_empty_value_list(self):
+        with pytest.raises(GenError, match="empty value"):
+            get_family("rc-ladder").expand({"n_sections": []})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(GenError, match="no axis"):
+            get_family("rc-ladder").variant({"sections": 4})
+
+    def test_variant_builds_parameterized_macro(self):
+        variant = get_family("rc-ladder").variant({"n_sections": 5})
+        macro = variant.build_macro()
+        assert macro.circuit.has_node("n4")
+        assert not macro.circuit.has_node("n5")  # last section is vout
+
+    def test_registry_rejects_silent_overwrite(self):
+        family = TopologyFamily(name="rc-ladder", macro_type="rc-ladder")
+        with pytest.raises(GenError, match="registered"):
+            register_family(family)
+        with pytest.raises(GenError, match="unknown"):
+            get_family("no-such-family")

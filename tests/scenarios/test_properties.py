@@ -1,0 +1,104 @@
+"""Property-based sweep of the scenario space (satellite contract).
+
+Seeded hypothesis sweeps over random in-range parameter points of the
+cheap topology families pin three invariants the campaign engine leans
+on:
+
+* every generated variant's (circuit, dictionary, configurations)
+  scenario passes the strict lint gate — the same bar as
+  ``repro lint --strict``;
+* every auto-derived dictionary's bridging universe survives
+  :func:`repro.faults.dictionary.validate_fault_nodes` against the
+  variant's own netlist;
+* scenario ids are injective over distinct parameter tuples (and over
+  corner and dictionary choices).
+
+The op-amp families are sampled at their default point only (circuit
+construction is orders of magnitude more expensive); their full grids
+run in the campaign benchmarks.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.faults.dictionary import validate_fault_nodes
+from repro.lint import lint_scenario
+from repro.scenarios import DictionarySpec, get_family, scenario_id
+from repro.tolerance import STANDARD_CORNERS, get_corner
+
+SWEEP_SETTINGS = settings(
+    max_examples=25, deadline=None, derandomize=True,
+    suppress_health_check=(HealthCheck.too_slow,))
+
+
+@st.composite
+def ladder_variants(draw):
+    """A random in-range variant of one of the cheap ladder families."""
+    if draw(st.booleans()):
+        family = get_family("rc-ladder")
+        point = {"n_sections": draw(st.integers(2, 16))}
+    else:
+        family = get_family("active-filter")
+        point = {"n_sections": draw(st.integers(2, 24)),
+                 "fault_top_n": draw(st.integers(4, 20))}
+    return family.variant(point)
+
+
+@st.composite
+def dictionary_specs(draw):
+    if draw(st.booleans()):
+        return DictionarySpec(label="x", kind="exhaustive")
+    return DictionarySpec(
+        label="x", kind="ifa",
+        top_n=draw(st.one_of(st.none(), st.integers(3, 30))))
+
+
+class TestScenarioProperties:
+    @SWEEP_SETTINGS
+    @given(ladder_variants())
+    def test_every_variant_lints_strict(self, variant):
+        """Generated topologies clear `repro lint --strict` wholesale."""
+        macro = variant.build_macro()
+        report = lint_scenario(macro.circuit, macro.fault_dictionary(),
+                               macro.test_configurations())
+        assert report.ok(strict=True), [
+            d.render() for d in report.diagnostics]
+
+    @SWEEP_SETTINGS
+    @given(ladder_variants(), dictionary_specs())
+    def test_every_dictionary_validates_nodes(self, variant, spec):
+        """Auto-derived dictionaries name only real circuit nodes."""
+        macro = variant.build_macro()
+        faults = spec.derive(macro)
+        assert len(tuple(faults)) >= 1
+        validate_fault_nodes(macro.circuit, macro.standard_nodes)
+        for fault in faults:
+            bridged = [n for n in (getattr(fault, "node_a", ""),
+                                   getattr(fault, "node_b", "")) if n]
+            for node in bridged:
+                assert macro.circuit.has_node(node)
+
+    @SWEEP_SETTINGS
+    @given(st.lists(ladder_variants(), min_size=2, max_size=6),
+           st.sampled_from(sorted(STANDARD_CORNERS)),
+           dictionary_specs())
+    def test_scenario_ids_injective(self, variants, corner_name, spec):
+        """Distinct parameter tuples never collide on scenario id."""
+        corner = get_corner(corner_name)
+        ids = {}
+        for variant in variants:
+            key = (variant.family.name, variant.parameters)
+            sid = scenario_id(variant, corner, spec)
+            if key in ids:
+                assert ids[key] == sid  # same point -> same id
+            else:
+                assert sid not in ids.values()  # new point -> new id
+                ids[key] = sid
+
+    @SWEEP_SETTINGS
+    @given(ladder_variants())
+    def test_id_varies_over_corner_and_dictionary(self, variant):
+        ids = {scenario_id(variant, get_corner(name), spec)
+               for name in sorted(STANDARD_CORNERS)
+               for spec in (DictionarySpec(),
+                            DictionarySpec(top_n=5))}
+        assert len(ids) == len(STANDARD_CORNERS) * 2

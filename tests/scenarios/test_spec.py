@@ -1,0 +1,125 @@
+"""Unit tests of sweep-spec parsing and cell expansion."""
+
+import json
+
+import pytest
+
+from repro.errors import TestGenerationError as GenError
+from repro.errors import ToleranceError
+from repro.scenarios import load_spec, parse_spec, scenario_id
+from repro.scenarios.families import DictionarySpec, get_family
+from repro.tolerance import get_corner
+
+MINIMAL = {
+    "campaign": {"name": "mini"},
+    "topologies": [{"family": "rc-ladder",
+                    "axes": {"n_sections": [2, 3]}}],
+}
+
+
+class TestParsing:
+    def test_defaults(self):
+        spec = parse_spec(MINIMAL)
+        assert spec.name == "mini"
+        assert spec.mode == "screen"
+        assert [c.name for c in spec.corners] == ["tt"]
+        assert [d.label for d in spec.dictionaries] == ["ifa"]
+        assert len(spec.cells()) == 2
+
+    def test_full_cross_product(self):
+        spec = parse_spec({
+            **MINIMAL,
+            "corners": ["tt", "ss", "rhi"],
+            "dictionaries": [{"label": "a"},
+                             {"label": "b", "kind": "exhaustive"}],
+        })
+        assert len(spec.cells()) == 2 * 3 * 2
+
+    def test_custom_corner_clause(self):
+        spec = parse_spec({**MINIMAL,
+                           "custom_corners": [
+                               {"name": "res-up", "resistor": 1.5}]})
+        assert [c.name for c in spec.corners] == ["res-up"]
+        assert spec.corners[0].resistor == 1.5
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(GenError, match="unknown top-level"):
+            parse_spec({**MINIMAL, "topologys": []})
+
+    def test_unknown_corner_rejected(self):
+        with pytest.raises(ToleranceError, match="unknown process corner"):
+            parse_spec({**MINIMAL, "corners": ["slowslow"]})
+
+    def test_unknown_dictionary_key_rejected(self):
+        with pytest.raises(GenError, match="unknown key"):
+            parse_spec({**MINIMAL,
+                        "dictionaries": [{"label": "x", "topn": 3}]})
+
+    def test_missing_family_rejected(self):
+        with pytest.raises(GenError, match="family"):
+            parse_spec({"campaign": {"name": "x"},
+                        "topologies": [{"axes": {}}]})
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(GenError, match="mode"):
+            parse_spec({**MINIMAL, "campaign": {"name": "x",
+                                                "mode": "explore"}})
+
+    def test_duplicate_dictionary_labels_rejected(self):
+        with pytest.raises(GenError, match="unique"):
+            parse_spec({**MINIMAL,
+                        "dictionaries": [{"label": "a"},
+                                         {"label": "a", "top_n": 3}]})
+
+
+class TestLoading:
+    def test_toml_and_json_agree(self, tmp_path):
+        toml_path = tmp_path / "spec.toml"
+        toml_path.write_text(
+            'corners = ["tt", "ss"]\n'
+            '[campaign]\nname = "x"\n'
+            '[[topologies]]\nfamily = "rc-ladder"\n'
+            '[topologies.axes]\nn_sections = [2, 3]\n')
+        json_path = tmp_path / "spec.json"
+        json_path.write_text(json.dumps(
+            {**MINIMAL, "campaign": {"name": "x"},
+             "corners": ["tt", "ss"]}))
+        toml_cells = load_spec(toml_path).cells()
+        json_cells = load_spec(json_path).cells()
+        assert [c.scenario_id for c in toml_cells] == \
+            [c.scenario_id for c in json_cells]
+
+    def test_missing_and_wrong_suffix(self, tmp_path):
+        with pytest.raises(GenError, match="no such"):
+            load_spec(tmp_path / "nope.toml")
+        bad = tmp_path / "spec.yaml"
+        bad.write_text("{}")
+        with pytest.raises(GenError, match="toml or"):
+            load_spec(bad)
+
+    def test_malformed_toml_named(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("campaign = [unclosed\n")
+        with pytest.raises(GenError, match="malformed TOML"):
+            load_spec(path)
+
+
+class TestScenarioIds:
+    def test_id_ignores_declaration_order(self):
+        a = parse_spec({**MINIMAL, "corners": ["tt", "ss"]})
+        b = parse_spec({**MINIMAL, "corners": ["ss", "tt"]})
+        assert {c.scenario_id for c in a.cells()} == \
+            {c.scenario_id for c in b.cells()}
+
+    def test_id_separates_every_axis(self):
+        family = get_family("rc-ladder")
+        base = scenario_id(family.variant({"n_sections": 2}),
+                           get_corner("tt"), DictionarySpec())
+        for variant, corner, dictionary in (
+                (family.variant({"n_sections": 3}), get_corner("tt"),
+                 DictionarySpec()),
+                (family.variant({"n_sections": 2}), get_corner("ss"),
+                 DictionarySpec()),
+                (family.variant({"n_sections": 2}), get_corner("tt"),
+                 DictionarySpec(top_n=4))):
+            assert scenario_id(variant, corner, dictionary) != base

@@ -107,6 +107,7 @@ DETERMINISM_SEEDS = (
     "repro.testgen.generator",
     "repro.tolerance.montecarlo",
     "repro.serve",
+    "repro.scenarios",
 )
 
 
